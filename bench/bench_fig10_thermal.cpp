@@ -1,0 +1,55 @@
+// Figure 10: pole-compartment temperature vs weather over the summer
+// window 2023-06-24 .. 2023-07-11 (thermal simulation; see DESIGN.md).
+//
+// Paper: pole max 57.81 degC, min 21.00, mean 41.95; offset vs weather
+// ~10 degC at peak heat and < 5 degC in cool periods; the Coral's
+// recommended 0-50 degC range is exceeded at peaks without failures.
+
+#include "bench_common.hpp"
+#include "deploy/thermal.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+int main() {
+    print_header("Figure 10", "Pole vs weather temperature, 18 summer days");
+
+    const thermal_series series = simulate_pole_temperature();
+    const running_stats pole = series.pole_stats();
+    const running_stats weather = series.weather_stats();
+
+    text_table table{{"Series", "Min (degC)", "Mean (degC)", "Max (degC)"}};
+    table.add_row({"Pole compartment", text_table::num(pole.min()),
+                   text_table::num(pole.mean()), text_table::num(pole.max())});
+    table.add_row({"Weather", text_table::num(weather.min()), text_table::num(weather.mean()),
+                   text_table::num(weather.max())});
+    table.print(std::cout);
+
+    std::cout << "\nmean pole-minus-weather offset: peak hours "
+              << text_table::num(series.mean_peak_offset_c()) << " degC, night "
+              << text_table::num(series.mean_night_offset_c()) << " degC\n";
+    std::cout << "fraction of samples above the Coral's 50 degC limit: "
+              << text_table::num(100.0 * series.fraction_above(50.0)) << "%\n";
+    std::cout << "samples: " << series.samples.size() << " (every 1.7 min, "
+              << text_table::num(series.samples.size() / 18.0, 0) << "/day)\n";
+
+    // Daily profile sketch: mean pole temperature per 2-hour band.
+    std::cout << "\nmean pole temperature by time of day:\n";
+    for (int band = 0; band < 12; ++band) {
+        running_stats s;
+        for (const auto& sample : series.samples) {
+            const double hour = std::fmod(sample.time_hours, 24.0);
+            if (hour >= band * 2.0 && hour < band * 2.0 + 2.0) s.add(sample.pole_c);
+        }
+        std::cout << "  " << band * 2 << ":00-" << band * 2 + 2
+                  << ":00  " << text_table::num(s.mean(), 1) << "  "
+                  << std::string(static_cast<std::size_t>(s.mean()), '#') << "\n";
+    }
+
+    print_paper_note(
+        "pole max 57.81 / min 21.00 / mean 41.95 degC; ~10 degC above weather at "
+        "peak heat, < 5 degC when cool; operation continued above the Coral's "
+        "50 degC rating. Expected shape: same statistics and a clear diurnal "
+        "cycle peaking mid-afternoon.");
+    return 0;
+}

@@ -1,0 +1,65 @@
+// Figure 4: (a) the k-NN-distance curve of one capture with its elbow
+// point; (b) the distribution of per-capture optimal eps values across a
+// dataset — the motivation for adaptive clustering (a fixed eps cannot
+// cover the observed spread).
+
+#include "bench_common.hpp"
+#include "clustering/adaptive_eps.hpp"
+#include "common/stats.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+int main() {
+    print_header("Figure 4",
+                 "k-NN distance elbow (one capture) and optimal-eps distribution");
+
+    const auto crowd_cfg = standard_crowd_config();
+    const auto crowd = standard_crowd_dataset();
+    const adaptive_eps_config eps_cfg = crowd_cfg.capture.clustering;
+
+    // ---- (a) one capture's sorted k-NN distance curve ----
+    for (const auto& sample : crowd) {
+        const point_cloud ingested =
+            ingest(sample.raw, crowd_cfg.capture.roi, crowd_cfg.capture.ground);
+        if (ingested.size() < 200) continue;
+        const auto curve = knn_distance_curve(ingested, eps_cfg.k, eps_cfg.metric);
+        const double eps = adaptive_epsilon(ingested, eps_cfg);
+        std::cout << "Figure 4a: sorted " << eps_cfg.k << "-NN distances of one capture ("
+                  << curve.size() << " points), elbow eps = " << text_table::num(eps, 3)
+                  << "\n";
+        const std::size_t steps = 12;
+        for (std::size_t i = 0; i < steps; ++i) {
+            const std::size_t index = i * (curve.size() - 1) / (steps - 1);
+            const double value = curve[index];
+            std::cout << "  rank " << index << ": " << text_table::num(value, 3) << " "
+                      << std::string(static_cast<std::size_t>(value * 120), '#') << "\n";
+        }
+        break;
+    }
+
+    // ---- (b) optimal eps across the dataset ----
+    histogram eps_hist{0.0, 0.6, 24};
+    running_stats eps_stats;
+    for (const auto& sample : crowd) {
+        const point_cloud ingested =
+            ingest(sample.raw, crowd_cfg.capture.roi, crowd_cfg.capture.ground);
+        if (ingested.size() < 30) continue;
+        const double eps = adaptive_epsilon(ingested, eps_cfg);
+        eps_hist.add(eps);
+        eps_stats.add(eps);
+    }
+    std::cout << "\nFigure 4b: optimal eps across " << eps_stats.count()
+              << " captures: min=" << text_table::num(eps_stats.min(), 3)
+              << " max=" << text_table::num(eps_stats.max(), 3)
+              << " mode bin center=" << text_table::num(eps_hist.bin_center(eps_hist.mode_bin()), 3)
+              << "\n";
+    for (const auto& row : eps_hist.ascii_rows(40)) std::cout << "  " << row << "\n";
+
+    print_paper_note(
+        "the paper finds per-sample optimal eps spanning 0.04..9.06 with a mode "
+        "near 0.08; one sample's elbow sits at 0.069. Expected shape: a wide, "
+        "unimodal spread of optimal eps across captures — no single fixed value "
+        "fits all.");
+    return 0;
+}

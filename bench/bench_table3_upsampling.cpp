@@ -1,0 +1,51 @@
+// Table III: noise-controlled up-sampling ablation — object-data
+// sampling vs Gaussian sampling with sigma in {3, 5, 7}.
+//
+// Paper: object data 99.97%; Gaussian sigma=3 99.70 (-0.27),
+// sigma=5 94.30 (-5.67), sigma=7 97.15 (-2.82).
+
+#include "bench_common.hpp"
+
+using namespace hawc;
+using namespace hawc::bench;
+
+int main() {
+    print_header("Table III",
+                 "Up-sampling ablation: object-data padding vs Gaussian padding");
+
+    auto ds = standard_dataset();
+
+    struct variant {
+        std::string name;
+        sampling_method method;
+        double sigma;
+    };
+    const variant variants[] = {
+        {"Object data", sampling_method::object_data, 0.0},
+        {"Gaussian s=3", sampling_method::gaussian, 3.0},
+        {"Gaussian s=5", sampling_method::gaussian, 5.0},
+        {"Gaussian s=7", sampling_method::gaussian, 7.0},
+    };
+
+    text_table table{{"Sampling Method", "Test Accuracy (%)", "Difference (%)"}};
+    double baseline = 0.0;
+    for (const auto& v : variants) {
+        rng r{7};
+        hawc_config cfg = standard_hawc_config(ds);
+        cfg.features.upsample.method = v.method;
+        cfg.features.upsample.gaussian_sigma = v.sigma;
+        hawc_model model{cfg, ds.pool, r};
+        std::cerr << "[bench] training HAWC with " << v.name << "...\n";
+        model.train(ds.train, nullptr, r);
+        const double accuracy = model.evaluate(ds.test, r).accuracy;
+        if (v.method == sampling_method::object_data) baseline = accuracy;
+        table.add_row({v.name, text_table::num(100.0 * accuracy),
+                       text_table::num(100.0 * (accuracy - baseline))});
+    }
+
+    table.print(std::cout);
+    print_paper_note(
+        "object data 99.97; Gaussian 99.70/94.30/97.15 for sigma 3/5/7. Expected "
+        "shape: object-data sampling at least matches the best Gaussian variant.");
+    return 0;
+}

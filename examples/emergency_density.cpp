@@ -1,0 +1,93 @@
+// Emergency crowding detection: the paper's safety scenario — detect
+// unusual crowd density in real time so that incidents (evacuations,
+// dangerous congestion) can be flagged immediately.
+//
+// The example trains HAWC-CC, then streams scenes whose density ramps
+// from normal traffic to a dense gathering, and raises alerts when the
+// counted density crosses Fruin's level-of-service thresholds.
+
+#include <iostream>
+
+#include "classifiers/hawc_model.hpp"
+#include "counting/crowd_counter.hpp"
+
+using namespace hawc;
+
+namespace {
+
+/// Fruin-style level of service from people per square metre.
+const char* service_level(double people_per_m2) {
+    if (people_per_m2 < 0.3) return "A (free flow)";
+    if (people_per_m2 < 0.7) return "C (constrained)";
+    if (people_per_m2 < 1.0) return "D (congested)";
+    if (people_per_m2 < 2.0) return "E (critical)";
+    return "F (jammed) - ALERT";
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "Preparing the classifier...\n";
+    single_person_dataset_config ds_cfg;
+    ds_cfg.human_samples = 400;
+    ds_cfg.object_samples = 400;
+    ds_cfg.capture.min_cluster_points = 20;
+    const single_person_dataset ds = build_single_person_dataset(ds_cfg);
+
+    rng random{7};
+    hawc_config model_cfg;
+    model_cfg.features.upsample.target_points = ds.target_points;
+    model_cfg.features.projection.target_points = ds.target_points;
+    model_cfg.training.epochs = 15;
+    model_cfg.training.lr_decay_factor = 0.3;
+    model_cfg.training.lr_decay_period = 8;
+    hawc_model model{model_cfg, ds.pool, random};
+    model.train(ds.train, nullptr, random);
+
+    // Donor clusters for composited density scenes.
+    std::vector<point_cloud> humans;
+    std::vector<point_cloud> objects;
+    for (std::size_t i = 0; i < ds.train.size(); ++i) {
+        (ds.train.labels[i] == label_human ? humans : objects)
+            .push_back(ds.train.clusters[i]);
+    }
+
+    // Counting over the widened composited area (people at 7-40 m).
+    capture_config count_cfg;
+    count_cfg.min_cluster_points = 20;
+    count_cfg.roi.x_min_m = 5.0;
+    count_cfg.roi.x_max_m = 42.0;
+    count_cfg.roi.y_min_m = -10.0;
+    count_cfg.roi.y_max_m = 10.0;
+    const crowd_counter counter{count_cfg, model};
+    constexpr double monitored_area_m2 = 100.0;
+
+    std::cout << "\nStreaming density ramp (monitored area " << monitored_area_m2
+              << " m^2):\n";
+    std::cout << "  frame  truth  counted  density  level\n";
+
+    rng stream_rng{31};
+    bool alert_raised = false;
+    std::size_t frame = 0;
+    for (const std::size_t people : {5, 10, 20, 40, 60, 90, 120, 160, 210, 250}) {
+        density_scene_config cfg;
+        cfg.pedestrians = people;
+        const density_scene scene = build_density_scene(cfg, humans, objects, stream_rng);
+        const count_result result = counter.count(scene.cloud, stream_rng);
+        const double density = static_cast<double>(result.count) / monitored_area_m2;
+        const char* level = service_level(density);
+
+        std::printf("  %5zu  %5zu  %7zu  %7.2f  %s\n", frame++, scene.ground_truth,
+                    result.count, density, level);
+        if (!alert_raised && density >= 2.0) {
+            std::cout << "  >>> EMERGENCY ALERT: density " << density
+                      << " people/m^2 exceeds the safe threshold (2.0). Estimated "
+                      << result.count << " people in the zone. <<<\n";
+            alert_raised = true;
+        }
+    }
+
+    std::cout << "\nThe alert fires from the LiDAR stream alone: no camera, no "
+                 "personally identifiable information leaves the pole.\n";
+    return alert_raised ? 0 : 1;
+}

@@ -1,0 +1,224 @@
+#include "classifiers/autoencoder_model.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "nn/loss.hpp"
+#include "nn/optimizer.hpp"
+
+namespace hawc {
+
+namespace {
+
+struct built_nets {
+    sequential classifier;
+    sequential decoder;
+    std::size_t encoder_layers = 0;
+};
+
+built_nets build(const autoencoder_config& config, rng& random) {
+    HAWC_REQUIRE(!config.encoder_units.empty(), "encoder needs at least one layer");
+    built_nets nets;
+    const std::size_t input_features = config.features.feature_count();
+
+    std::size_t in = input_features;
+    for (std::size_t width : config.encoder_units) {
+        nets.classifier.emplace<dense>(in, width, random);
+        nets.classifier.emplace<relu>();
+        in = width;
+    }
+    // Linear bottleneck: a ReLU here can die wholesale under
+    // reconstruction pretraining, collapsing the code to zero.
+    nets.classifier.emplace<dense>(in, config.bottleneck, random);
+    nets.encoder_layers = nets.classifier.layer_count();
+
+    // Classification output layer on the bottleneck.
+    nets.classifier.emplace<dense>(config.bottleneck, 2, random);
+
+    // Mirrored decoder.
+    std::size_t dec_in = config.bottleneck;
+    for (auto it = config.encoder_units.rbegin(); it != config.encoder_units.rend(); ++it) {
+        nets.decoder.emplace<dense>(dec_in, *it, random);
+        nets.decoder.emplace<relu>();
+        dec_in = *it;
+    }
+    nets.decoder.emplace<dense>(dec_in, input_features, random);
+    return nets;
+}
+
+}  // namespace
+
+autoencoder_model::autoencoder_model(const autoencoder_config& config, rng& random)
+    : config_{config} {
+    auto nets = build(config, random);
+    classifier_ = std::move(nets.classifier);
+    decoder_ = std::move(nets.decoder);
+    encoder_layer_count_ = nets.encoder_layers;
+}
+
+tensor autoencoder_model::featurize_cluster(const point_cloud& cluster) const {
+    const tensor raw = slice_features(cluster, config_.features);
+    HAWC_REQUIRE(scaler_.fitted(), "autoencoder must be trained before featurizing");
+    return scaler_.transform(raw);
+}
+
+labelled_dataset autoencoder_model::featurize(const cluster_dataset& data) const {
+    labelled_dataset out;
+    out.labels = data.labels;
+    out.samples.reserve(data.size());
+    for (const auto& cluster : data.clusters) out.samples.push_back(featurize_cluster(cluster));
+    return out;
+}
+
+std::vector<epoch_report> autoencoder_model::train(const cluster_dataset& train_set,
+                                                   const cluster_dataset* test_set, rng& random) {
+    HAWC_REQUIRE(train_set.size() > 0, "cannot train on an empty dataset");
+
+    // Fit the scaler on raw training features.
+    std::vector<tensor> raw;
+    raw.reserve(train_set.size());
+    for (const auto& cluster : train_set.clusters) {
+        raw.push_back(slice_features(cluster, config_.features));
+    }
+    scaler_.fit(raw);
+
+    const labelled_dataset train_data = featurize(train_set);
+
+    // --- Phase 1: reconstruction pretraining (encoder + decoder). ---
+    adam pretrain_opt{config_.adam};
+    auto enc_params = classifier_.parameters_range(0, encoder_layer_count_);
+    auto dec_params = decoder_.parameters();
+    std::vector<parameter*> joint = enc_params;
+    joint.insert(joint.end(), dec_params.begin(), dec_params.end());
+    pretrain_opt.attach(std::move(joint));
+
+    std::vector<std::size_t> order(train_data.size());
+    std::iota(order.begin(), order.end(), 0);
+    const std::size_t batch_size = config_.head_training.batch_size;
+
+    for (std::size_t epoch = 0; epoch < config_.reconstruction_epochs; ++epoch) {
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[random.uniform_index(i)]);
+        }
+        for (std::size_t begin = 0; begin < order.size(); begin += batch_size) {
+            const std::size_t end = std::min(begin + batch_size, order.size());
+            std::vector<tensor> chunk;
+            chunk.reserve(end - begin);
+            for (std::size_t i = begin; i < end; ++i) chunk.push_back(train_data.samples[order[i]]);
+            const tensor x = tensor::stack(chunk);
+
+            const tensor z = classifier_.forward_range(x, 0, encoder_layer_count_, true);
+            const tensor x_hat = decoder_.forward(z, true);
+            const auto loss = mean_squared_error(x_hat, x);
+            const tensor gz = decoder_.backward(loss.grad);
+            classifier_.backward_range(gz, 0, encoder_layer_count_);
+            pretrain_opt.step();
+        }
+    }
+
+    // --- Phase 2: classification head on the frozen bottleneck. ---
+    // Only the output layer trains (the paper's baseline follows Liou et
+    // al.: the autoencoder representation is learned by reconstruction,
+    // with a classification output layer on top).
+    labelled_dataset test_data;
+    if (test_set != nullptr) test_data = featurize(*test_set);
+
+    adam head_opt{config_.head_training.adam};
+    head_opt.attach(classifier_.parameters_range(encoder_layer_count_, classifier_.layer_count()));
+
+    std::vector<epoch_report> reports;
+    for (std::size_t epoch = 0; epoch < config_.head_training.epochs; ++epoch) {
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[random.uniform_index(i)]);
+        }
+        double loss_sum = 0.0;
+        std::size_t correct = 0;
+        std::size_t batches = 0;
+        std::vector<std::uint8_t> batch_labels;
+        for (std::size_t begin = 0; begin < order.size(); begin += batch_size) {
+            const std::size_t end = std::min(begin + batch_size, order.size());
+            std::vector<tensor> chunk;
+            batch_labels.clear();
+            for (std::size_t i = begin; i < end; ++i) {
+                chunk.push_back(train_data.samples[order[i]]);
+                batch_labels.push_back(train_data.labels[order[i]]);
+            }
+            const tensor x = tensor::stack(chunk);
+            const tensor logits = classifier_.forward(x, /*training=*/false);
+            auto loss = softmax_cross_entropy(logits, batch_labels);
+            classifier_.backward_range(loss.grad_logits, encoder_layer_count_,
+                                       classifier_.layer_count());
+            head_opt.step();
+            loss_sum += loss.loss;
+            correct += loss.correct;
+            ++batches;
+        }
+        epoch_report report;
+        report.epoch = epoch;
+        report.train_loss = loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1));
+        report.train_accuracy =
+            static_cast<double>(correct) / static_cast<double>(train_data.size());
+        if (test_set != nullptr && test_data.size() > 0) {
+            report.test_accuracy = hawc::evaluate(classifier_, test_data).accuracy;
+        }
+        reports.push_back(report);
+    }
+    return reports;
+}
+
+eval_metrics autoencoder_model::evaluate(const cluster_dataset& data) {
+    return hawc::evaluate(classifier_, featurize(data));
+}
+
+bool autoencoder_model::is_human(const point_cloud& cluster, rng& /*random*/) const {
+    const tensor logits = const_cast<sequential&>(classifier_).forward(
+        featurize_cluster(cluster), /*training=*/false);
+    return logits.at(0, 1) > logits.at(0, 0);
+}
+
+std::size_t autoencoder_model::parameter_count() const {
+    return classifier_.parameter_count() + decoder_.parameter_count();
+}
+
+quantized_model autoencoder_model::quantize(const cluster_dataset& calibration, rng& random,
+                                            std::size_t calibration_count) const {
+    HAWC_REQUIRE(calibration.size() > 0, "need calibration clusters");
+    std::vector<tensor> samples;
+    const std::size_t count = std::min(calibration_count, calibration.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pick = random.uniform_index(calibration.size());
+        samples.push_back(featurize_cluster(calibration.clusters[pick]));
+    }
+    return quantize_model(const_cast<sequential&>(classifier_), samples);
+}
+
+autoencoder_config autoencoder_model::grid_search(const cluster_dataset& train_set,
+                                                  const cluster_dataset& validation_set,
+                                                  rng& random,
+                                                  const autoencoder_config& base) {
+    // KerasTuner-style sweep of encoder widths (16..128 in powers of two),
+    // keeping the mirrored decoder and bottleneck fixed.
+    autoencoder_config best = base;
+    double best_accuracy = -1.0;
+    for (std::size_t w1 : {32, 64, 128}) {
+        for (std::size_t w2 : {16, 32, 64}) {
+            if (w2 > w1) continue;
+            autoencoder_config candidate = base;
+            candidate.encoder_units = {w1, (w1 + w2) / 2, w2};
+            rng trial_rng = random.fork();
+            autoencoder_model model{candidate, trial_rng};
+            model.train(train_set, nullptr, trial_rng);
+            const double accuracy = model.evaluate(validation_set).accuracy;
+            if (accuracy > best_accuracy) {
+                best_accuracy = accuracy;
+                best = candidate;
+            }
+        }
+    }
+    return best;
+}
+
+}  // namespace hawc

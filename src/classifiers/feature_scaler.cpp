@@ -1,0 +1,46 @@
+#include "classifiers/feature_scaler.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+void feature_scaler::fit(const std::vector<tensor>& features) {
+    HAWC_REQUIRE(!features.empty(), "cannot fit scaler on empty feature set");
+    const std::size_t f = features.front().size();
+    mean_.assign(f, 0.0f);
+    stddev_.assign(f, 0.0f);
+
+    for (const auto& x : features) {
+        HAWC_REQUIRE(x.size() == f, "inconsistent feature width");
+        for (std::size_t i = 0; i < f; ++i) mean_[i] += x[i];
+    }
+    const auto n = static_cast<float>(features.size());
+    for (auto& m : mean_) m /= n;
+
+    for (const auto& x : features) {
+        for (std::size_t i = 0; i < f; ++i) {
+            const float d = x[i] - mean_[i];
+            stddev_[i] += d * d;
+        }
+    }
+    // Floor the deviation: near-constant features must not be amplified
+    // into huge standardized values by a vanishing denominator.
+    for (std::size_t i = 0; i < stddev_.size(); ++i) {
+        const float floor = std::max(1e-3f, 1e-3f * std::abs(mean_[i]));
+        stddev_[i] = std::max(std::sqrt(stddev_[i] / n), floor);
+    }
+}
+
+tensor feature_scaler::transform(const tensor& features) const {
+    HAWC_REQUIRE(fitted(), "scaler not fitted");
+    HAWC_REQUIRE(features.size() == mean_.size(), "feature width mismatch");
+    tensor out = features;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        out[i] = (out[i] - mean_[i]) / stddev_[i];
+    }
+    return out;
+}
+
+}  // namespace hawc

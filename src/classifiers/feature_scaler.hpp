@@ -1,0 +1,34 @@
+#pragma once
+
+// Per-feature standardization (zero mean, unit variance) fitted on
+// training features — both the AutoEncoder and OC-SVM baselines need it
+// because the slice features mix counts, metres, and ratios.
+
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace hawc {
+
+class feature_scaler {
+public:
+    feature_scaler() = default;
+
+    /// Fit on (1, F) feature tensors.
+    void fit(const std::vector<tensor>& features);
+
+    bool fitted() const { return !mean_.empty(); }
+    std::size_t feature_count() const { return mean_.size(); }
+
+    /// Standardize in place: x' = (x - mean) / std.
+    tensor transform(const tensor& features) const;
+
+    const std::vector<float>& mean() const { return mean_; }
+    const std::vector<float>& stddev() const { return stddev_; }
+
+private:
+    std::vector<float> mean_;
+    std::vector<float> stddev_;
+};
+
+}  // namespace hawc

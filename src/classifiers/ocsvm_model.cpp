@@ -1,0 +1,166 @@
+#include "classifiers/ocsvm_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+std::vector<float> ocsvm_model::featurize(const point_cloud& cluster) const {
+    const tensor raw = slice_features(cluster, config_.features);
+    const tensor scaled = scaler_.transform(raw);
+    return {scaled.data(), scaled.data() + scaled.size()};
+}
+
+double ocsvm_model::kernel(const std::vector<float>& a, const std::vector<float>& b) const {
+    double d_sq = 0.0;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+        d_sq += d * d;
+    }
+    return std::exp(-gamma_ * d_sq);
+}
+
+void ocsvm_model::train(const cluster_dataset& train_set) {
+    // Collect positives and fit the scaler on them.
+    std::vector<tensor> raw;
+    for (std::size_t i = 0; i < train_set.size(); ++i) {
+        if (train_set.labels[i] == label_human) {
+            raw.push_back(slice_features(train_set.clusters[i], config_.features));
+        }
+    }
+    HAWC_REQUIRE(!raw.empty(), "OC-SVM needs at least one human training sample");
+    scaler_.fit(raw);
+
+    training_points_.clear();
+    training_points_.reserve(raw.size());
+    for (const auto& t : raw) {
+        const tensor scaled = scaler_.transform(t);
+        training_points_.emplace_back(scaled.data(), scaled.data() + scaled.size());
+    }
+
+    const std::size_t l = training_points_.size();
+    gamma_ = config_.gamma > 0.0
+                 ? config_.gamma
+                 : 1.0 / static_cast<double>(training_points_.front().size());
+
+    // Kernel matrix (training sets are modest; l^2 doubles fit easily).
+    std::vector<double> k(l * l);
+    for (std::size_t i = 0; i < l; ++i) {
+        for (std::size_t j = i; j < l; ++j) {
+            const double v = kernel(training_points_[i], training_points_[j]);
+            k[i * l + j] = v;
+            k[j * l + i] = v;
+        }
+    }
+
+    // nu-one-class dual: min 1/2 a'Ka  s.t. 0 <= a_i <= 1/(nu*l), sum a = 1.
+    // Initialise feasibly and optimize with pairwise (SMO-style) updates
+    // that preserve the sum constraint.
+    const double upper = 1.0 / (config_.nu * static_cast<double>(l));
+    alphas_.assign(l, 1.0 / static_cast<double>(l));
+    std::vector<double> gradient(l);  // (K a)_i
+    for (std::size_t i = 0; i < l; ++i) {
+        double g = 0.0;
+        for (std::size_t j = 0; j < l; ++j) g += k[i * l + j] * alphas_[j];
+        gradient[i] = g;
+    }
+
+    for (std::size_t sweep = 0; sweep < config_.max_sweeps; ++sweep) {
+        // Most-violating pair: i with max gradient among a_i > 0, j with
+        // min gradient among a_j < upper.
+        std::size_t i_up = l, j_down = l;
+        double g_max = -1e300, g_min = 1e300;
+        for (std::size_t i = 0; i < l; ++i) {
+            if (alphas_[i] > 1e-12 && gradient[i] > g_max) {
+                g_max = gradient[i];
+                i_up = i;
+            }
+            if (alphas_[i] < upper - 1e-12 && gradient[i] < g_min) {
+                g_min = gradient[i];
+                j_down = i;
+            }
+        }
+        if (i_up == l || j_down == l || g_max - g_min < config_.tolerance) break;
+
+        // Optimal step transferring mass from i_up to j_down.
+        const double k_ii = k[i_up * l + i_up];
+        const double k_jj = k[j_down * l + j_down];
+        const double k_ij = k[i_up * l + j_down];
+        const double curvature = std::max(k_ii + k_jj - 2.0 * k_ij, 1e-12);
+        double step = (g_max - g_min) / curvature;
+        step = std::min(step, alphas_[i_up]);
+        step = std::min(step, upper - alphas_[j_down]);
+        if (step <= 0.0) break;
+
+        alphas_[i_up] -= step;
+        alphas_[j_down] += step;
+        for (std::size_t m = 0; m < l; ++m) {
+            gradient[m] += step * (k[m * l + j_down] - k[m * l + i_up]);
+        }
+    }
+
+    // rho: average decision value over margin support vectors
+    // (0 < alpha < upper); fall back to all support vectors.
+    double rho_sum = 0.0;
+    std::size_t rho_count = 0;
+    for (std::size_t i = 0; i < l; ++i) {
+        if (alphas_[i] > 1e-9 && alphas_[i] < upper - 1e-9) {
+            rho_sum += gradient[i];
+            ++rho_count;
+        }
+    }
+    if (rho_count == 0) {
+        for (std::size_t i = 0; i < l; ++i) {
+            if (alphas_[i] > 1e-9) {
+                rho_sum += gradient[i];
+                ++rho_count;
+            }
+        }
+    }
+    rho_ = rho_count > 0 ? rho_sum / static_cast<double>(rho_count) : 0.0;
+}
+
+double ocsvm_model::decision_value(const point_cloud& cluster) const {
+    HAWC_REQUIRE(trained(), "OC-SVM not trained");
+    const auto x = featurize(cluster);
+    double f = 0.0;
+    for (std::size_t i = 0; i < training_points_.size(); ++i) {
+        if (alphas_[i] > 1e-12) f += alphas_[i] * kernel(training_points_[i], x);
+    }
+    return f - rho_;
+}
+
+bool ocsvm_model::is_human(const point_cloud& cluster, rng& /*random*/) const {
+    return decision_value(cluster) >= 0.0;
+}
+
+std::size_t ocsvm_model::support_vector_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(alphas_.begin(), alphas_.end(), [](double a) { return a > 1e-9; }));
+}
+
+ocsvm_model::metrics ocsvm_model::evaluate(const cluster_dataset& data) const {
+    std::size_t tp = 0, tn = 0, fp = 0, fn = 0;
+    rng dummy{0};
+    for (std::size_t i = 0; i < data.size(); ++i) {
+        const bool predicted = is_human(data.clusters[i], dummy);
+        const bool actual = data.labels[i] == label_human;
+        if (predicted && actual) ++tp;
+        if (predicted && !actual) ++fp;
+        if (!predicted && actual) ++fn;
+        if (!predicted && !actual) ++tn;
+    }
+    metrics m;
+    m.accuracy = static_cast<double>(tp + tn) / static_cast<double>(data.size());
+    m.precision = tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp) : 0.0;
+    m.recall = tp + fn > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fn) : 0.0;
+    m.f1 = m.precision + m.recall > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    return m;
+}
+
+}  // namespace hawc

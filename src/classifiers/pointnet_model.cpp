@@ -1,0 +1,113 @@
+#include "classifiers/pointnet_model.hpp"
+
+#include <algorithm>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "nn/activations.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+
+namespace hawc {
+
+namespace {
+
+sequential build_network(const pointnet_config& config, rng& random) {
+    HAWC_REQUIRE(!config.mlp_channels.empty(), "PointNet needs at least one MLP layer");
+    sequential net;
+    std::size_t in_channels = 3;
+    for (std::size_t width : config.mlp_channels) {
+        net.emplace<conv2d>(in_channels, width, 1, padding::valid, random);
+        net.emplace<batch_norm>(width);
+        net.emplace<relu>();
+        in_channels = width;
+    }
+    net.emplace<global_max_pool>();
+    net.emplace<flatten>();
+    std::size_t in_features = in_channels;
+    for (std::size_t width : config.fc_units) {
+        net.emplace<dense>(in_features, width, random);
+        net.emplace<relu>();
+        in_features = width;
+    }
+    net.emplace<dense>(in_features, 2, random);
+    return net;
+}
+
+}  // namespace
+
+pointnet_model::pointnet_model(const pointnet_config& config, object_pool pool, rng& random)
+    : config_{config}, pool_{std::move(pool)}, network_{build_network(config, random)} {}
+
+std::vector<std::size_t> pointnet_model::sample_shape() const {
+    return {config_.upsample.target_points, 1, 3};
+}
+
+tensor pointnet_model::featurize_cluster(const point_cloud& cluster, rng& random) const {
+    const vec3 anchor = cluster.empty() ? vec3{} : cluster.centroid();
+    const point_cloud padded = upsample_cluster(cluster, config_.upsample, pool_, random);
+    tensor out{{1, config_.upsample.target_points, 1, 3}};
+    const double clamp = config_.xy_clamp;
+    const float xy_scale = static_cast<float>(1.0 / clamp);
+    constexpr float z_scale = 1.0f / 2.2f;
+    for (std::size_t j = 0; j < padded.size(); ++j) {
+        out.at(0, j, 0, 0) =
+            static_cast<float>(std::clamp(padded[j].x - anchor.x, -clamp, clamp)) * xy_scale;
+        out.at(0, j, 0, 1) =
+            static_cast<float>(std::clamp(padded[j].y - anchor.y, -clamp, clamp)) * xy_scale;
+        out.at(0, j, 0, 2) = static_cast<float>(padded[j].z - config_.ground_z) * z_scale;
+    }
+    return out;
+}
+
+labelled_dataset pointnet_model::featurize(const cluster_dataset& data, rng& random) const {
+    labelled_dataset out;
+    out.labels = data.labels;
+    out.samples.reserve(data.size());
+    for (const auto& cluster : data.clusters) {
+        out.samples.push_back(featurize_cluster(cluster, random));
+    }
+    return out;
+}
+
+std::vector<epoch_report> pointnet_model::train(const cluster_dataset& train_set,
+                                                const cluster_dataset* test_set, rng& random) {
+    const labelled_dataset train_data = featurize(train_set, random);
+    labelled_dataset test_data;
+    if (test_set != nullptr) test_data = featurize(*test_set, random);
+    const epoch_refresh_fn refresh = [this, &train_set](labelled_dataset& data, rng& r) {
+        for (std::size_t i = 0; i < train_set.size(); ++i) {
+            const auto& cluster = train_set.clusters[i];
+            const point_cloud rotated =
+                cluster.rotated_z(cluster.centroid(), r.uniform(0.0, 2.0 * std::numbers::pi));
+            data.samples[i] = featurize_cluster(rotated, r);
+        }
+    };
+    return train_classifier(network_, train_data, test_set != nullptr ? &test_data : nullptr,
+                            config_.training, random, refresh);
+}
+
+eval_metrics pointnet_model::evaluate(const cluster_dataset& data, rng& random) {
+    return hawc::evaluate(network_, featurize(data, random));
+}
+
+bool pointnet_model::is_human(const point_cloud& cluster, rng& random) const {
+    const tensor logits = network_.forward(featurize_cluster(cluster, random), false);
+    return logits.at(0, 1) > logits.at(0, 0);
+}
+
+quantized_model pointnet_model::quantize(const cluster_dataset& calibration, rng& random,
+                                         std::size_t calibration_count) const {
+    HAWC_REQUIRE(calibration.size() > 0, "need calibration clusters");
+    std::vector<tensor> samples;
+    const std::size_t count = std::min(calibration_count, calibration.size());
+    for (std::size_t i = 0; i < count; ++i) {
+        const std::size_t pick = random.uniform_index(calibration.size());
+        samples.push_back(featurize_cluster(calibration.clusters[pick], random));
+    }
+    return quantize_model(network_, samples);
+}
+
+}  // namespace hawc

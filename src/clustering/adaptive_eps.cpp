@@ -1,0 +1,75 @@
+#include "clustering/adaptive_eps.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+std::vector<double> knn_distance_curve(const point_cloud& cloud, std::size_t k,
+                                       const cluster_metric& metric) {
+    HAWC_REQUIRE(k >= 1, "k must be at least 1");
+    std::vector<double> distances;
+    if (cloud.size() <= k) return distances;
+
+    const point_cloud scaled = metric.scale(cloud);
+    const kd_tree tree{scaled};
+    distances.reserve(scaled.size());
+    for (const auto& p : scaled) {
+        // k+1 because the query point itself is its own 0-th neighbour.
+        const auto neighbors = tree.nearest(p, k + 1);
+        distances.push_back(neighbors.back().distance);
+    }
+    std::sort(distances.begin(), distances.end());
+    return distances;
+}
+
+std::size_t knee_index(std::span<const double> ascending) {
+    HAWC_REQUIRE(ascending.size() >= 2, "knee needs at least two samples");
+    std::size_t best = ascending.size() - 1;
+    double best_ratio = -1.0;
+    for (std::size_t i = 0; i + 1 < ascending.size(); ++i) {
+        if (ascending[i] <= 0.0) continue;
+        const double ratio = (ascending[i + 1] - ascending[i]) / ascending[i];
+        if (ratio > best_ratio) {
+            best_ratio = ratio;
+            best = i;
+        }
+    }
+    return best;
+}
+
+double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config) {
+    const auto curve = knn_distance_curve(cloud, config.k, config.metric);
+    if (curve.size() < 2) return config.min_eps;
+
+    // Restrict to the transition band (see adaptive_eps_config) and skip
+    // the near-duplicate region below min_eps, where relative jumps are
+    // measurement noise rather than the elbow.
+    auto lo = static_cast<std::size_t>(config.band_lo * static_cast<double>(curve.size()));
+    auto hi = static_cast<std::size_t>(config.band_hi * static_cast<double>(curve.size()));
+    while (lo < curve.size() && curve[lo] < config.min_eps) ++lo;
+    hi = std::clamp<std::size_t>(hi, lo + 2, curve.size());
+    if (hi - lo < 2) return std::clamp(curve.back(), config.min_eps, config.max_eps);
+
+    const std::span<const double> band{curve.data() + lo, hi - lo};
+    const double eps = band[knee_index(band)];
+    return std::clamp(eps, config.min_eps, config.max_eps);
+}
+
+adaptive_clustering_result adaptive_dbscan(const point_cloud& cloud,
+                                           const adaptive_eps_config& config) {
+    adaptive_clustering_result result;
+    if (cloud.empty()) return result;
+    result.chosen_eps = adaptive_epsilon(cloud, config);
+
+    dbscan_config run;
+    run.eps = result.chosen_eps;
+    run.min_points = config.min_points;
+    run.metric = config.metric;
+    result.clusters = dbscan(cloud, run);
+    return result;
+}
+
+}  // namespace hawc

@@ -1,0 +1,53 @@
+#pragma once
+
+// The paper's adaptive clustering (Section IV): pick the DBSCAN eps for
+// *each capture* by locating the elbow of its sorted k-NN-distance curve,
+//   k_elbow = argmax_i (d[i+1] - d[i]) / d[i],    eps = d[k_elbow],
+// then run DBSCAN with that eps.
+
+#include <span>
+
+#include "clustering/dbscan.hpp"
+
+namespace hawc {
+
+struct adaptive_eps_config {
+    std::size_t k = 4;          // which nearest neighbour's distance to use
+    double min_eps = 0.05;      // clamp: degenerate elbows on tiny clouds
+    double max_eps = 2.0;
+    std::size_t min_points = 5; // DBSCAN core threshold (m in the paper)
+    cluster_metric metric{};
+
+    // The elbow marks the transition from cluster points (small k-NN
+    // distances) to noise points (large ones). Relative jumps deep inside
+    // the dense bulk or between the last few extreme outliers are not
+    // that transition, so the search is restricted to this quantile band
+    // of the sorted curve.
+    double band_lo = 0.60;
+    double band_hi = 0.985;
+};
+
+/// Sorted (ascending) distance from every point to its k-th nearest
+/// neighbour, computed in metric space. This is the curve of Figure 4a.
+std::vector<double> knn_distance_curve(const point_cloud& cloud, std::size_t k,
+                                       const cluster_metric& metric = {});
+
+/// Index of the elbow of an ascending distance curve, using the paper's
+/// maximum-relative-increase criterion. Zero-valued entries are skipped
+/// (relative increase is undefined there).
+std::size_t knee_index(std::span<const double> ascending);
+
+/// The per-capture optimal eps: elbow of the k-NN curve, clamped to
+/// [min_eps, max_eps]. Returns min_eps for clouds too small to estimate.
+double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config = {});
+
+/// The full adaptive clustering step: eps selection + DBSCAN.
+struct adaptive_clustering_result {
+    cluster_result clusters;
+    double chosen_eps = 0.0;
+};
+
+adaptive_clustering_result adaptive_dbscan(const point_cloud& cloud,
+                                           const adaptive_eps_config& config = {});
+
+}  // namespace hawc

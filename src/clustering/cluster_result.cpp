@@ -1,0 +1,39 @@
+#include "clustering/cluster_result.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+std::vector<point_cloud> cluster_result::extract_clusters(const point_cloud& cloud) const {
+    HAWC_REQUIRE(labels.size() == cloud.size(), "labels must match cloud size");
+    std::vector<point_cloud> clusters(cluster_count);
+    for (std::size_t i = 0; i < labels.size(); ++i) {
+        const int label = labels[i];
+        if (label == noise_label) continue;
+        clusters[static_cast<std::size_t>(label)].push_back(cloud[i]);
+    }
+    return clusters;
+}
+
+std::size_t cluster_result::noise_count() const {
+    return static_cast<std::size_t>(std::count(labels.begin(), labels.end(), noise_label));
+}
+
+std::vector<std::size_t> cluster_result::cluster_sizes() const {
+    std::vector<std::size_t> sizes(cluster_count, 0);
+    for (int label : labels) {
+        if (label != noise_label) ++sizes[static_cast<std::size_t>(label)];
+    }
+    return sizes;
+}
+
+point_cloud cluster_metric::scale(const point_cloud& cloud) const {
+    point_cloud out;
+    out.reserve(cloud.size());
+    for (const auto& p : cloud) out.push_back({p.x, p.y, p.z * z_weight});
+    return out;
+}
+
+}  // namespace hawc

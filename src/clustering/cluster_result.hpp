@@ -1,0 +1,43 @@
+#pragma once
+
+// Common result type for all clustering algorithms in the framework.
+
+#include <cstddef>
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// Label assigned to points that belong to no cluster.
+inline constexpr int noise_label = -1;
+
+/// Per-point labels in [0, cluster_count) or noise_label.
+struct cluster_result {
+    std::vector<int> labels;
+    std::size_t cluster_count = 0;
+
+    /// Materialize each cluster as its own point cloud (noise dropped).
+    std::vector<point_cloud> extract_clusters(const point_cloud& cloud) const;
+
+    /// Number of points labelled as noise.
+    std::size_t noise_count() const;
+
+    /// Size of each cluster.
+    std::vector<std::size_t> cluster_sizes() const;
+};
+
+/// The anisotropy compensation applied before clustering. A spinning
+/// multi-channel sensor samples azimuth far more densely than elevation,
+/// so Euclidean density is strongly direction-dependent; down-weighting z
+/// makes within-target spacing near-isotropic (a standard 2.5D treatment
+/// for pole-mounted spinning LiDAR). All clusterers and the adaptive-eps
+/// selection operate in this scaled space; cluster membership is then
+/// mapped back to the original points.
+struct cluster_metric {
+    double z_weight = 0.15;
+
+    point_cloud scale(const point_cloud& cloud) const;
+};
+
+}  // namespace hawc

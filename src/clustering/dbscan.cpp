@@ -1,0 +1,67 @@
+#include "clustering/dbscan.hpp"
+
+#include <deque>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tree, double eps,
+                             std::size_t min_points) {
+    HAWC_REQUIRE(eps > 0.0, "dbscan eps must be positive");
+    HAWC_REQUIRE(min_points >= 1, "dbscan min_points must be at least 1");
+
+    constexpr int unvisited = -2;
+    cluster_result result;
+    result.labels.assign(scaled_cloud.size(), unvisited);
+
+    int next_cluster = 0;
+    std::deque<std::size_t> frontier;
+
+    for (std::size_t seed = 0; seed < scaled_cloud.size(); ++seed) {
+        if (result.labels[seed] != unvisited) continue;
+
+        auto seed_neighbors = tree.radius_search(scaled_cloud[seed], eps);
+        if (seed_neighbors.size() < min_points) {
+            result.labels[seed] = noise_label;  // may be relabelled as border later
+            continue;
+        }
+
+        // Grow a new cluster from this core point (BFS expansion).
+        const int cluster = next_cluster++;
+        result.labels[seed] = cluster;
+        frontier.assign(seed_neighbors.begin(), seed_neighbors.end());
+
+        while (!frontier.empty()) {
+            const std::size_t p = frontier.front();
+            frontier.pop_front();
+            if (result.labels[p] == noise_label) {
+                result.labels[p] = cluster;  // border point
+                continue;
+            }
+            if (result.labels[p] != unvisited) continue;
+            result.labels[p] = cluster;
+
+            auto neighbors = tree.radius_search(scaled_cloud[p], eps);
+            if (neighbors.size() >= min_points) {
+                for (auto n : neighbors) {
+                    if (result.labels[n] == unvisited || result.labels[n] == noise_label) {
+                        frontier.push_back(n);
+                    }
+                }
+            }
+        }
+    }
+
+    result.cluster_count = static_cast<std::size_t>(next_cluster);
+    return result;
+}
+
+cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config) {
+    if (cloud.empty()) return {};
+    const point_cloud scaled = config.metric.scale(cloud);
+    const kd_tree tree{scaled};
+    return dbscan_scaled(scaled, tree, config.eps, config.min_points);
+}
+
+}  // namespace hawc

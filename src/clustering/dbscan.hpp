@@ -1,0 +1,28 @@
+#pragma once
+
+// DBSCAN density-based clustering (Ester et al.), KD-tree accelerated.
+// The paper's pipeline runs DBSCAN with a per-capture adaptive eps (see
+// adaptive_eps.hpp); the fixed-eps variant here is also the Table IV
+// baseline.
+
+#include "clustering/cluster_result.hpp"
+#include "pointcloud/kd_tree.hpp"
+
+namespace hawc {
+
+struct dbscan_config {
+    double eps = 0.1;            // neighbourhood radius (in metric space)
+    std::size_t min_points = 5;  // core-point density threshold (m in the paper)
+    cluster_metric metric{};
+};
+
+/// Run DBSCAN over `cloud`. Returns per-point labels; border points join
+/// the first core point that reaches them, noise points get noise_label.
+cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config);
+
+/// DBSCAN over a cloud already in metric space with a prebuilt tree
+/// (used by the adaptive path to reuse the k-NN tree).
+cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tree, double eps,
+                             std::size_t min_points);
+
+}  // namespace hawc

@@ -1,0 +1,135 @@
+#include "clustering/gmm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "clustering/kmeans.hpp"
+
+namespace hawc {
+
+namespace {
+
+/// Log density of a diagonal Gaussian at p.
+double log_gaussian(const vec3& p, const gmm_component& c) {
+    constexpr double log_2pi = 1.8378770664093453;  // log(2*pi)
+    double log_det = 0.0;
+    double quad = 0.0;
+    const double d[3] = {p.x - c.mean.x, p.y - c.mean.y, p.z - c.mean.z};
+    const double v[3] = {c.variance.x, c.variance.y, c.variance.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        log_det += std::log(v[axis]);
+        quad += d[axis] * d[axis] / v[axis];
+    }
+    return -0.5 * (3.0 * log_2pi + log_det + quad);
+}
+
+double log_sum_exp(const std::vector<double>& xs) {
+    const double m = *std::max_element(xs.begin(), xs.end());
+    if (!std::isfinite(m)) return m;
+    double sum = 0.0;
+    for (double x : xs) sum += std::exp(x - m);
+    return m + std::log(sum);
+}
+
+}  // namespace
+
+gmm_result gmm_cluster(const point_cloud& cloud, const gmm_config& config, rng& random) {
+    HAWC_REQUIRE(config.components >= 1, "need at least one component");
+    gmm_result result;
+    if (cloud.empty()) return result;
+
+    const point_cloud data = config.metric.scale(cloud);
+    const std::size_t n = data.size();
+    const std::size_t k = std::min(config.components, n);
+
+    // Initialise from k-means for stable, deterministic-given-seed starts.
+    kmeans_config km;
+    km.k = k;
+    km.metric = cluster_metric{1.0};  // data already scaled
+    const auto seed = kmeans(data, km, random);
+
+    result.components.resize(k);
+    {
+        std::vector<vec3> sq_sums(k);
+        std::vector<std::size_t> counts(k, 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            const auto c = static_cast<std::size_t>(seed.clusters.labels[i]);
+            const vec3 d = data[i] - seed.centroids[c];
+            sq_sums[c] += vec3{d.x * d.x, d.y * d.y, d.z * d.z};
+            ++counts[c];
+        }
+        for (std::size_t c = 0; c < k; ++c) {
+            result.components[c].mean = seed.centroids[c];
+            const double denom = std::max<std::size_t>(counts[c], 1);
+            result.components[c].variance = {
+                std::max(sq_sums[c].x / denom, config.min_variance),
+                std::max(sq_sums[c].y / denom, config.min_variance),
+                std::max(sq_sums[c].z / denom, config.min_variance)};
+            result.components[c].weight = std::max(1e-9, static_cast<double>(counts[c]) / n);
+        }
+    }
+
+    std::vector<std::vector<double>> resp(n, std::vector<double>(k, 0.0));
+    double prev_ll = -std::numeric_limits<double>::infinity();
+
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+
+        // E step.
+        double ll = 0.0;
+        std::vector<double> log_probs(k);
+        for (std::size_t i = 0; i < n; ++i) {
+            for (std::size_t c = 0; c < k; ++c) {
+                log_probs[c] = std::log(result.components[c].weight) +
+                               log_gaussian(data[i], result.components[c]);
+            }
+            const double norm = log_sum_exp(log_probs);
+            ll += norm;
+            for (std::size_t c = 0; c < k; ++c) resp[i][c] = std::exp(log_probs[c] - norm);
+        }
+        result.log_likelihood = ll;
+
+        // M step.
+        for (std::size_t c = 0; c < k; ++c) {
+            double weight_sum = 0.0;
+            vec3 mean_sum;
+            for (std::size_t i = 0; i < n; ++i) {
+                weight_sum += resp[i][c];
+                mean_sum += data[i] * resp[i][c];
+            }
+            if (weight_sum < 1e-9) continue;  // dead component: freeze
+            const vec3 mean = mean_sum / weight_sum;
+            vec3 var_sum;
+            for (std::size_t i = 0; i < n; ++i) {
+                const vec3 d = data[i] - mean;
+                var_sum += vec3{d.x * d.x, d.y * d.y, d.z * d.z} * resp[i][c];
+            }
+            result.components[c].mean = mean;
+            result.components[c].variance = {
+                std::max(var_sum.x / weight_sum, config.min_variance),
+                std::max(var_sum.y / weight_sum, config.min_variance),
+                std::max(var_sum.z / weight_sum, config.min_variance)};
+            result.components[c].weight = weight_sum / static_cast<double>(n);
+        }
+
+        if (std::abs(ll - prev_ll) < config.tolerance * (std::abs(prev_ll) + 1.0)) break;
+        prev_ll = ll;
+    }
+
+    // Hard assignment.
+    result.clusters.labels.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        std::size_t best = 0;
+        for (std::size_t c = 1; c < k; ++c) {
+            if (resp[i][c] > resp[i][best]) best = c;
+        }
+        result.clusters.labels[i] = static_cast<int>(best);
+    }
+    result.clusters.cluster_count = k;
+    return result;
+}
+
+}  // namespace hawc

@@ -1,0 +1,35 @@
+#pragma once
+
+// Gaussian mixture clustering via EM with diagonal covariances — the
+// other parametric method the paper evaluated and rejected (Section IV):
+// it imposes convex, ellipsoidal clusters on data that is neither.
+
+#include "clustering/cluster_result.hpp"
+#include "common/rng.hpp"
+
+namespace hawc {
+
+struct gmm_config {
+    std::size_t components = 2;
+    std::size_t max_iterations = 60;
+    double tolerance = 1e-5;          // relative log-likelihood change
+    double min_variance = 1e-4;       // variance floor per axis
+    cluster_metric metric{};
+};
+
+struct gmm_component {
+    vec3 mean;
+    vec3 variance;   // diagonal covariance
+    double weight = 0.0;
+};
+
+struct gmm_result {
+    cluster_result clusters;          // hard assignment: argmax responsibility
+    std::vector<gmm_component> components;
+    double log_likelihood = 0.0;
+    std::size_t iterations = 0;
+};
+
+gmm_result gmm_cluster(const point_cloud& cloud, const gmm_config& config, rng& random);
+
+}  // namespace hawc

@@ -1,0 +1,193 @@
+#include "clustering/hierarchical.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+namespace {
+
+/// Condensed symmetric matrix of pairwise distances between active nodes.
+class distance_matrix {
+public:
+    explicit distance_matrix(const point_cloud& cloud) : n_{cloud.size()} {
+        data_.resize(n_ * n_);
+        for (std::size_t i = 0; i < n_; ++i) {
+            for (std::size_t j = i + 1; j < n_; ++j) {
+                const double d = cloud[i].distance_to(cloud[j]);
+                at(i, j) = d;
+                at(j, i) = d;
+            }
+        }
+    }
+
+    double& at(std::size_t i, std::size_t j) { return data_[i * n_ + j]; }
+    double get(std::size_t i, std::size_t j) const { return data_[i * n_ + j]; }
+
+private:
+    std::size_t n_;
+    std::vector<double> data_;
+};
+
+double lance_williams(linkage link, double d_ki, double d_kj, std::size_t n_i, std::size_t n_j) {
+    switch (link) {
+        case linkage::single: return std::min(d_ki, d_kj);
+        case linkage::complete: return std::max(d_ki, d_kj);
+        case linkage::average: {
+            const auto ni = static_cast<double>(n_i);
+            const auto nj = static_cast<double>(n_j);
+            return (ni * d_ki + nj * d_kj) / (ni + nj);
+        }
+    }
+    return std::max(d_ki, d_kj);
+}
+
+}  // namespace
+
+std::vector<dendrogram_merge> build_dendrogram(const point_cloud& cloud,
+                                               const hierarchical_config& config) {
+    const std::size_t n = cloud.size();
+    HAWC_REQUIRE(n <= config.max_points,
+                 "cloud too large for O(n^2) agglomeration; subsample first");
+    std::vector<dendrogram_merge> merges;
+    if (n < 2) return merges;
+
+    const point_cloud scaled = config.metric.scale(cloud);
+    distance_matrix dist{scaled};
+
+    // active[i]: current dendrogram node id occupying slot i (or npos).
+    constexpr std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> node_id(n);
+    std::iota(node_id.begin(), node_id.end(), 0);
+    std::vector<bool> active(n, true);
+    std::vector<std::size_t> sizes(n, 1);
+
+    std::vector<std::size_t> chain;
+    chain.reserve(n);
+    std::size_t remaining = n;
+
+    auto nearest_of = [&](std::size_t i) {
+        std::size_t best = npos;
+        double best_d = std::numeric_limits<double>::infinity();
+        for (std::size_t j = 0; j < n; ++j) {
+            if (j == i || !active[j]) continue;
+            const double d = dist.get(i, j);
+            if (d < best_d) {
+                best_d = d;
+                best = j;
+            }
+        }
+        return std::pair{best, best_d};
+    };
+
+    while (remaining > 1) {
+        if (chain.empty()) {
+            // Start the chain from any active slot.
+            for (std::size_t i = 0; i < n; ++i) {
+                if (active[i]) {
+                    chain.push_back(i);
+                    break;
+                }
+            }
+        }
+        while (true) {
+            const std::size_t tip = chain.back();
+            const auto [next, d] = nearest_of(tip);
+            if (chain.size() >= 2 && next == chain[chain.size() - 2]) {
+                // Reciprocal nearest neighbours: merge tip and next.
+                const std::size_t a = tip;
+                const std::size_t b = next;
+                merges.push_back({node_id[a], node_id[b], d});
+                // Merged cluster lives in slot a; update distances.
+                for (std::size_t k = 0; k < n; ++k) {
+                    if (!active[k] || k == a || k == b) continue;
+                    const double updated = lance_williams(config.link, dist.get(k, a),
+                                                          dist.get(k, b), sizes[a], sizes[b]);
+                    dist.at(k, a) = updated;
+                    dist.at(a, k) = updated;
+                }
+                sizes[a] += sizes[b];
+                active[b] = false;
+                node_id[a] = n + merges.size() - 1;
+                --remaining;
+                chain.pop_back();
+                chain.pop_back();
+                break;
+            }
+            chain.push_back(next);
+        }
+    }
+    return merges;
+}
+
+namespace {
+
+cluster_result cut_dendrogram(std::size_t n, const std::vector<dendrogram_merge>& merges,
+                              const std::vector<bool>& apply) {
+    // Union-find over leaves and merge nodes. Merge m creates node n+m;
+    // children always reference nodes created by earlier log entries, and
+    // for single/complete/average linkage a child's height never exceeds
+    // its parent's, so a height cut can be applied in log order.
+    std::vector<std::size_t> parent(n + merges.size());
+    std::iota(parent.begin(), parent.end(), 0);
+    auto find = [&](std::size_t x) {
+        while (parent[x] != x) {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        return x;
+    };
+
+    for (std::size_t m = 0; m < merges.size(); ++m) {
+        if (!apply[m]) continue;
+        const std::size_t merged = n + m;
+        parent[find(merges[m].left)] = merged;
+        parent[find(merges[m].right)] = merged;
+    }
+
+    cluster_result result;
+    result.labels.assign(n, noise_label);
+    std::vector<int> root_to_label(n + merges.size(), -1);
+    int next = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const std::size_t root = find(i);
+        if (root_to_label[root] < 0) root_to_label[root] = next++;
+        result.labels[i] = root_to_label[root];
+    }
+    result.cluster_count = static_cast<std::size_t>(next);
+    return result;
+}
+
+}  // namespace
+
+cluster_result hierarchical_cluster(const point_cloud& cloud, const hierarchical_config& config) {
+    if (cloud.empty()) return {};
+    const auto merges = build_dendrogram(cloud, config);
+    std::vector<bool> apply(merges.size());
+    for (std::size_t m = 0; m < merges.size(); ++m) {
+        apply[m] = merges[m].height <= config.cut_distance;
+    }
+    return cut_dendrogram(cloud.size(), merges, apply);
+}
+
+cluster_result hierarchical_cluster_k(const point_cloud& cloud, std::size_t k,
+                                      const hierarchical_config& config) {
+    if (cloud.empty()) return {};
+    HAWC_REQUIRE(k >= 1, "k must be at least 1");
+    const auto merges = build_dendrogram(cloud, config);
+    // Applying the n-k cheapest merges leaves exactly k clusters.
+    std::vector<std::size_t> order(merges.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+        return merges[a].height < merges[b].height;
+    });
+    std::vector<bool> apply(merges.size(), false);
+    const std::size_t to_apply = cloud.size() > k ? cloud.size() - k : 0;
+    for (std::size_t i = 0; i < std::min(to_apply, order.size()); ++i) apply[order[i]] = true;
+    return cut_dendrogram(cloud.size(), merges, apply);
+}
+
+}  // namespace hawc

@@ -1,0 +1,46 @@
+#pragma once
+
+// Agglomerative hierarchical clustering (Table IV baseline). Implements
+// the nearest-neighbour-chain algorithm with Lance-Williams updates for
+// single, complete, and average linkage, then cuts the dendrogram either
+// at a dissimilarity threshold or at a target cluster count.
+//
+// The paper observes this baseline "often attributes bounding boxes of
+// the same object to separate clusters", wildly overcounting crowds —
+// which is exactly what a diameter-capped (complete-linkage) cut does to
+// sparse LiDAR targets.
+
+#include "clustering/cluster_result.hpp"
+
+namespace hawc {
+
+enum class linkage { single, complete, average };
+
+struct hierarchical_config {
+    linkage link = linkage::complete;
+    double cut_distance = 0.8;   // dendrogram cut height (metric space)
+    cluster_metric metric{};
+    std::size_t max_points = 6000;  // guard: O(n^2) memory
+};
+
+/// One merge step of the dendrogram (children may be leaves or merges).
+struct dendrogram_merge {
+    std::size_t left = 0;
+    std::size_t right = 0;
+    double height = 0.0;
+};
+
+/// Full agglomeration: n-1 merges over the scaled cloud.
+/// Node ids: 0..n-1 are leaves; n+i is the cluster created by merge i.
+std::vector<dendrogram_merge> build_dendrogram(const point_cloud& cloud,
+                                               const hierarchical_config& config);
+
+/// Cut the dendrogram at config.cut_distance.
+cluster_result hierarchical_cluster(const point_cloud& cloud,
+                                    const hierarchical_config& config);
+
+/// Cut the dendrogram into exactly k clusters (k <= n).
+cluster_result hierarchical_cluster_k(const point_cloud& cloud, std::size_t k,
+                                      const hierarchical_config& config);
+
+}  // namespace hawc

@@ -1,0 +1,110 @@
+#include "clustering/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+kmeans_result kmeans(const point_cloud& cloud, const kmeans_config& config, rng& random) {
+    HAWC_REQUIRE(config.k >= 1, "k must be at least 1");
+    kmeans_result result;
+    if (cloud.empty()) return result;
+
+    const point_cloud data = config.metric.scale(cloud);
+    const std::size_t n = data.size();
+    const std::size_t k = std::min(config.k, n);
+
+    // k-means++ seeding.
+    std::vector<vec3> centroids;
+    centroids.reserve(k);
+    centroids.push_back(data[random.uniform_index(n)]);
+    std::vector<double> best_d_sq(n, std::numeric_limits<double>::infinity());
+    while (centroids.size() < k) {
+        double total = 0.0;
+        for (std::size_t i = 0; i < n; ++i) {
+            best_d_sq[i] = std::min(best_d_sq[i], data[i].distance_sq_to(centroids.back()));
+            total += best_d_sq[i];
+        }
+        if (total <= 0.0) {
+            centroids.push_back(data[random.uniform_index(n)]);
+            continue;
+        }
+        double target = random.uniform() * total;
+        std::size_t chosen = n - 1;
+        for (std::size_t i = 0; i < n; ++i) {
+            target -= best_d_sq[i];
+            if (target <= 0.0) {
+                chosen = i;
+                break;
+            }
+        }
+        centroids.push_back(data[chosen]);
+    }
+
+    std::vector<int> labels(n, 0);
+    for (std::size_t iter = 0; iter < config.max_iterations; ++iter) {
+        result.iterations = iter + 1;
+        // Assignment step.
+        for (std::size_t i = 0; i < n; ++i) {
+            double best = std::numeric_limits<double>::infinity();
+            for (std::size_t c = 0; c < centroids.size(); ++c) {
+                const double d = data[i].distance_sq_to(centroids[c]);
+                if (d < best) {
+                    best = d;
+                    labels[i] = static_cast<int>(c);
+                }
+            }
+        }
+        // Update step.
+        std::vector<vec3> sums(centroids.size());
+        std::vector<std::size_t> counts(centroids.size(), 0);
+        for (std::size_t i = 0; i < n; ++i) {
+            sums[static_cast<std::size_t>(labels[i])] += data[i];
+            ++counts[static_cast<std::size_t>(labels[i])];
+        }
+        double max_shift = 0.0;
+        for (std::size_t c = 0; c < centroids.size(); ++c) {
+            if (counts[c] == 0) continue;  // keep empty centroid in place
+            const vec3 updated = sums[c] / static_cast<double>(counts[c]);
+            max_shift = std::max(max_shift, updated.distance_to(centroids[c]));
+            centroids[c] = updated;
+        }
+        if (max_shift < config.tolerance) break;
+    }
+
+    result.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        result.inertia += data[i].distance_sq_to(centroids[static_cast<std::size_t>(labels[i])]);
+    }
+    result.clusters.labels = std::move(labels);
+    result.clusters.cluster_count = centroids.size();
+    result.centroids = std::move(centroids);
+    return result;
+}
+
+std::size_t kmeans_elbow_k(const point_cloud& cloud, std::size_t k_max,
+                           const kmeans_config& base, rng& random) {
+    HAWC_REQUIRE(k_max >= 1, "k_max must be at least 1");
+    std::vector<double> inertias;
+    for (std::size_t k = 1; k <= k_max; ++k) {
+        kmeans_config cfg = base;
+        cfg.k = k;
+        inertias.push_back(kmeans(cloud, cfg, random).inertia + 1e-12);
+    }
+    // Largest relative drop marks the elbow.
+    std::size_t best_k = 1;
+    double best_drop = -1.0;
+    for (std::size_t k = 1; k < inertias.size(); ++k) {
+        const double drop = (inertias[k - 1] - inertias[k]) / inertias[k - 1];
+        if (drop > best_drop) {
+            best_drop = drop;
+            best_k = k + 1;
+        }
+    }
+    return best_k;
+}
+
+}  // namespace hawc

@@ -1,0 +1,35 @@
+#pragma once
+
+// Lloyd's k-means with k-means++ seeding. One of the clustering methods
+// the paper evaluated and rejected (Section IV): it assumes convex,
+// similar-size clusters and needs k given up front — both poor fits for
+// walkway LiDAR captures. Included as the corresponding ablation.
+
+#include "clustering/cluster_result.hpp"
+#include "common/rng.hpp"
+
+namespace hawc {
+
+struct kmeans_config {
+    std::size_t k = 2;
+    std::size_t max_iterations = 50;
+    double tolerance = 1e-6;  // stop when centroids move less than this
+    cluster_metric metric{};
+};
+
+struct kmeans_result {
+    cluster_result clusters;
+    std::vector<vec3> centroids;   // in metric space
+    double inertia = 0.0;          // sum of squared distances to centroids
+    std::size_t iterations = 0;
+};
+
+kmeans_result kmeans(const point_cloud& cloud, const kmeans_config& config, rng& random);
+
+/// Choose k by the elbow of the inertia curve over k in [1, k_max]
+/// (mirrors the paper's point that no principled k exists for scenes:
+/// this heuristic is what one would have to resort to).
+std::size_t kmeans_elbow_k(const point_cloud& cloud, std::size_t k_max,
+                           const kmeans_config& base, rng& random);
+
+}  // namespace hawc

@@ -1,0 +1,15 @@
+#include "common/error.hpp"
+
+#include <sstream>
+
+namespace hawc::detail {
+
+void throw_requirement_failure(const char* expr, const std::string& message,
+                               const std::source_location& loc) {
+    std::ostringstream out;
+    out << "requirement failed: " << message << " [" << expr << "] at " << loc.file_name()
+        << ':' << loc.line();
+    throw invalid_argument_error{out.str()};
+}
+
+}  // namespace hawc::detail

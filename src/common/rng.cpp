@@ -1,0 +1,17 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hawc {
+
+double rng::normal() {
+    // Box-Muller transform; discard the second variate to keep the
+    // generator stateless beyond its 256-bit core state.
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * std::numbers::pi * u2);
+}
+
+}  // namespace hawc

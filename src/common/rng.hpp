@@ -1,0 +1,101 @@
+#pragma once
+
+// Deterministic random number generation for the whole framework.
+//
+// Every stochastic component (LiDAR noise, scene placement, NN init,
+// sampling) takes an explicit `rng&` or seed so that experiments are
+// reproducible run-to-run. The generator is xoshiro256++, seeded through
+// splitmix64 as recommended by its authors.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace hawc {
+
+/// Counter-based seed expander used to initialise xoshiro state.
+inline std::uint64_t splitmix64(std::uint64_t& state) {
+    state += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = state;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+/// xoshiro256++ generator. Satisfies std::uniform_random_bit_generator,
+/// so it can be used with <random> distributions as well.
+class rng {
+public:
+    using result_type = std::uint64_t;
+
+    explicit rng(std::uint64_t seed = 0x5eed5eed5eed5eedull) { reseed(seed); }
+
+    void reseed(std::uint64_t seed) {
+        std::uint64_t sm = seed;
+        for (auto& word : state_) word = splitmix64(sm);
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return std::numeric_limits<result_type>::max(); }
+
+    result_type operator()() {
+        const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1).
+    double uniform() {
+        return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+    }
+
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+    /// Uniform integer in [0, n). n must be > 0.
+    std::uint64_t uniform_index(std::uint64_t n) {
+        // Lemire's multiply-shift rejection method (unbiased).
+        std::uint64_t x = (*this)();
+        __uint128_t m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+        auto lo = static_cast<std::uint64_t>(m);
+        if (lo < n) {
+            const std::uint64_t threshold = -n % n;
+            while (lo < threshold) {
+                x = (*this)();
+                m = static_cast<__uint128_t>(x) * static_cast<__uint128_t>(n);
+                lo = static_cast<std::uint64_t>(m);
+            }
+        }
+        return static_cast<std::uint64_t>(m >> 64);
+    }
+
+    /// Standard normal via Box-Muller (no cached spare: keeps state minimal).
+    double normal();
+
+    /// Normal with given mean and standard deviation.
+    double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+    /// Bernoulli draw with probability p of returning true.
+    bool chance(double p) { return uniform() < p; }
+
+    /// Derive an independent child generator (for parallel substreams).
+    rng fork() {
+        std::uint64_t s = (*this)();
+        return rng{s};
+    }
+
+private:
+    static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace hawc

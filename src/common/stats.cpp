@@ -1,0 +1,74 @@
+#include "common/stats.hpp"
+
+#include <limits>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+void running_stats::merge(const running_stats& other) {
+    if (other.count_ == 0) return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const auto n1 = static_cast<double>(count_);
+    const auto n2 = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = n1 + n2;
+    mean_ += delta * n2 / total;
+    m2_ += other.m2_ + delta * delta * n1 * n2 / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+histogram::histogram(double lo, double hi, std::size_t bins)
+    : lo_{lo}, hi_{hi}, width_{(hi - lo) / static_cast<double>(bins)}, counts_(bins, 0) {
+    HAWC_REQUIRE(hi > lo, "histogram range must be non-empty");
+    HAWC_REQUIRE(bins > 0, "histogram needs at least one bin");
+}
+
+void histogram::add(double x) {
+    auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width_);
+    bin = std::clamp<std::ptrdiff_t>(bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(bin)];
+    ++total_;
+}
+
+std::size_t histogram::mode_bin() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < counts_.size(); ++i) {
+        if (counts_[i] > counts_[best]) best = i;
+    }
+    return best;
+}
+
+std::vector<std::string> histogram::ascii_rows(std::size_t max_width) const {
+    std::size_t peak = 1;
+    for (auto c : counts_) peak = std::max(peak, c);
+    std::vector<std::string> rows;
+    rows.reserve(counts_.size());
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        const auto bar = counts_[i] * max_width / peak;
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), "[%8.3f,%8.3f) %6zu ", bin_lo(i), bin_hi(i), counts_[i]);
+        rows.push_back(std::string{buf} + std::string(bar, '#'));
+    }
+    return rows;
+}
+
+double percentile(std::vector<double> values, double p) {
+    HAWC_REQUIRE(!values.empty(), "percentile of empty sample");
+    HAWC_REQUIRE(p >= 0.0 && p <= 100.0, "percentile must be in [0,100]");
+    std::sort(values.begin(), values.end());
+    const double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+    const auto lo = static_cast<std::size_t>(rank);
+    const auto hi = std::min(lo + 1, values.size() - 1);
+    const double frac = rank - static_cast<double>(lo);
+    return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+}  // namespace hawc

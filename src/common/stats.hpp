@@ -1,0 +1,82 @@
+#pragma once
+
+// Streaming statistics accumulators shared by benchmarks and metrics code.
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hawc {
+
+/// Welford online accumulator for mean/variance plus min/max.
+class running_stats {
+public:
+    void add(double x) {
+        ++count_;
+        const double delta = x - mean_;
+        mean_ += delta / static_cast<double>(count_);
+        m2_ += delta * (x - mean_);
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+        sum_ += x;
+    }
+
+    std::size_t count() const { return count_; }
+    double sum() const { return sum_; }
+    double mean() const { return count_ > 0 ? mean_ : 0.0; }
+    double variance() const { return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0; }
+    double stddev() const { return std::sqrt(variance()); }
+    double min() const { return count_ > 0 ? min_ : 0.0; }
+    double max() const { return count_ > 0 ? max_ : 0.0; }
+
+    void merge(const running_stats& other);
+
+private:
+    std::size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double sum_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Histogram with fixed-width bins over [lo, hi); out-of-range samples clamp
+/// to the edge bins. Used to regenerate the paper's distribution figures.
+class histogram {
+public:
+    histogram(double lo, double hi, std::size_t bins);
+
+    void add(double x);
+    void add(std::span<const double> xs) {
+        for (double x : xs) add(x);
+    }
+
+    std::size_t bin_count() const { return counts_.size(); }
+    std::size_t count(std::size_t bin) const { return counts_[bin]; }
+    std::size_t total() const { return total_; }
+    double bin_lo(std::size_t bin) const { return lo_ + width_ * static_cast<double>(bin); }
+    double bin_hi(std::size_t bin) const { return bin_lo(bin) + width_; }
+    double bin_center(std::size_t bin) const { return bin_lo(bin) + 0.5 * width_; }
+
+    /// Index of the most populated bin.
+    std::size_t mode_bin() const;
+
+    /// Render a one-line-per-bin ASCII bar chart (for bench output).
+    std::vector<std::string> ascii_rows(std::size_t max_width = 50) const;
+
+private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/// Percentile of a sample set (linear interpolation, p in [0,100]).
+double percentile(std::vector<double> values, double p);
+
+}  // namespace hawc

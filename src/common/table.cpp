@@ -1,0 +1,52 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+text_table::text_table(std::vector<std::string> header) : header_{std::move(header)} {
+    HAWC_REQUIRE(!header_.empty(), "table needs at least one column");
+}
+
+void text_table::add_row(std::vector<std::string> cells) {
+    HAWC_REQUIRE(cells.size() == header_.size(), "row arity must match header");
+    rows_.push_back(std::move(cells));
+}
+
+std::string text_table::num(double value, int precision) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string text_table::pm(double mean, double stddev, int precision) {
+    return num(mean, precision) + " +/- " + num(stddev, precision);
+}
+
+void text_table::print(std::ostream& out) const {
+    std::vector<std::size_t> widths(header_.size());
+    for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) widths[c] = std::max(widths[c], row[c].size());
+    }
+
+    auto print_row = [&](const std::vector<std::string>& row) {
+        out << "|";
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            out << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ') << " |";
+        }
+        out << '\n';
+    };
+
+    print_row(header_);
+    out << "|";
+    for (auto w : widths) out << std::string(w + 2, '-') << "|";
+    out << '\n';
+    for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace hawc

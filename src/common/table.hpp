@@ -1,0 +1,34 @@
+#pragma once
+
+// Minimal fixed-column text table writer so every benchmark prints its
+// paper table in a uniform, copy-pastable format.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace hawc {
+
+/// Accumulates rows of string cells and renders them with aligned columns.
+class text_table {
+public:
+    explicit text_table(std::vector<std::string> header);
+
+    /// Append a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Helper to format a double with fixed precision.
+    static std::string num(double value, int precision = 2);
+
+    /// "mean ± stddev" cell, as the paper prints latency and count columns.
+    static std::string pm(double mean, double stddev, int precision = 2);
+
+    /// Render with column separators and a header rule.
+    void print(std::ostream& out) const;
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,49 @@
+#pragma once
+
+// Wall-clock timing utilities used by the speed benchmarks.
+
+#include <chrono>
+
+#include "common/stats.hpp"
+
+namespace hawc {
+
+/// Monotonic stopwatch; reports elapsed milliseconds.
+class stopwatch {
+public:
+    stopwatch() : start_{clock::now()} {}
+
+    void reset() { start_ = clock::now(); }
+
+    double elapsed_ms() const {
+        return std::chrono::duration<double, std::milli>(clock::now() - start_).count();
+    }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/// Collects repeated latency measurements (mean ± stddev in ms), matching
+/// how the paper reports inference time.
+class latency_recorder {
+public:
+    /// Time one invocation of `fn` and record it.
+    template <typename Fn>
+    void measure(Fn&& fn) {
+        stopwatch sw;
+        fn();
+        stats_.add(sw.elapsed_ms());
+    }
+
+    void add_ms(double ms) { stats_.add(ms); }
+
+    double mean_ms() const { return stats_.mean(); }
+    double stddev_ms() const { return stats_.stddev(); }
+    std::size_t count() const { return stats_.count(); }
+
+private:
+    running_stats stats_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,146 @@
+#include "counting/crowd_counter.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "clustering/dbscan.hpp"
+#include "clustering/kmeans.hpp"
+#include "clustering/hierarchical.hpp"
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "preprocess/ingest.hpp"
+
+namespace hawc {
+
+crowd_counter::crowd_counter(const capture_config& config, const human_classifier& classifier)
+    : config_{config}, classifier_{&classifier} {}
+
+std::size_t estimate_multiplicity(const point_cloud& cluster, const multiplicity_config& config) {
+    if (!config.enabled || cluster.empty()) return 1;
+
+    const aabb box = cluster.bounds();
+    const vec3 extent = box.size();
+    if (std::max(extent.x, extent.y) <= config.single_person_max_extent_m) return 1;
+
+    // Occupied ground footprint: unique xy grid cells times cell area.
+    std::vector<std::pair<std::int64_t, std::int64_t>> cells;
+    cells.reserve(cluster.size());
+    for (const auto& p : cluster) {
+        cells.emplace_back(static_cast<std::int64_t>(std::floor(p.x / config.cell_size_m)),
+                           static_cast<std::int64_t>(std::floor(p.y / config.cell_size_m)));
+    }
+    std::sort(cells.begin(), cells.end());
+    const auto unique_cells =
+        static_cast<double>(std::unique(cells.begin(), cells.end()) - cells.begin());
+    const double area = unique_cells * config.cell_size_m * config.cell_size_m;
+    const auto people =
+        static_cast<std::size_t>(std::lround(area / config.person_footprint_m2));
+    return std::clamp<std::size_t>(people, 1, config.max_per_cluster);
+}
+
+count_result crowd_counter::count(const point_cloud& raw, rng& random) const {
+    count_result result;
+    stopwatch sw;
+
+    const point_cloud ingested = ingest(raw, config_.roi, config_.ground);
+    result.times.ingest_ms = sw.elapsed_ms();
+    if (ingested.empty()) return result;
+
+    sw.reset();
+    std::vector<point_cloud> clusters;
+    if (clusterer_) {
+        clusters = clusterer_(ingested);
+    } else {
+        clusters = adaptive_dbscan(ingested, config_.clustering)
+                       .clusters.extract_clusters(ingested);
+    }
+    result.times.clustering_ms = sw.elapsed_ms();
+
+    sw.reset();
+    for (const auto& cluster : clusters) {
+        if (cluster.size() < config_.min_cluster_points) continue;
+        ++result.cluster_count;
+
+        const std::size_t capacity = estimate_multiplicity(cluster, multiplicity_);
+        if (capacity <= 1) {
+            if (classifier_->is_human(cluster, random)) ++result.count;
+            continue;
+        }
+
+        // Oversized cluster: split into person-sized parts and classify
+        // each part on its own (a merged crowd looks nothing like the
+        // single-person clusters the classifier was trained on). k-means
+        // cuts people apart awkwardly, so fragment-level classification
+        // under-counts; once the region is established to be
+        // human-dominated (a majority of its parts classify human), the
+        // footprint capacity is the better population estimate.
+        kmeans_config split;
+        split.k = capacity;
+        split.metric = config_.clustering.metric;
+        const auto parts =
+            kmeans(cluster, split, random).clusters.extract_clusters(cluster);
+        std::size_t examined = 0;
+        std::size_t human_parts = 0;
+        for (const auto& part : parts) {
+            if (part.size() < config_.min_cluster_points) continue;
+            ++examined;
+            if (classifier_->is_human(part, random)) ++human_parts;
+        }
+        if (examined > 0 && 2 * human_parts >= examined) {
+            result.count += std::max(human_parts, capacity);
+        } else {
+            result.count += human_parts;
+        }
+    }
+    result.times.classification_ms = sw.elapsed_ms();
+    return result;
+}
+
+crowd_counter::evaluation crowd_counter::evaluate(std::span<const crowd_sample> samples,
+                                                  rng& random) const {
+    HAWC_REQUIRE(!samples.empty(), "cannot evaluate on an empty dataset");
+    counting_accumulator acc;
+    running_stats latency;
+    for (const auto& sample : samples) {
+        const count_result r = count(sample.raw, random);
+        acc.add(static_cast<double>(r.count), static_cast<double>(sample.ground_truth));
+        latency.add(r.times.total_ms());
+    }
+    evaluation e;
+    e.metrics = acc.metrics();
+    e.mean_latency_ms = latency.mean();
+    e.stddev_latency_ms = latency.stddev();
+    return e;
+}
+
+clusterer_fn make_fixed_eps_clusterer(double eps, const capture_config& config) {
+    dbscan_config db;
+    db.eps = eps;
+    db.min_points = config.clustering.min_points;
+    db.metric = config.clustering.metric;
+    return [db](const point_cloud& cloud) {
+        return dbscan(cloud, db).extract_clusters(cloud);
+    };
+}
+
+clusterer_fn make_hierarchical_clusterer(double cut_distance, const capture_config& config) {
+    hierarchical_config hc;
+    hc.cut_distance = cut_distance;
+    hc.metric = config.clustering.metric;
+    return [hc](const point_cloud& cloud) {
+        if (cloud.size() > hc.max_points) {
+            // O(n^2) guard: deterministically stride-subsample large clouds.
+            point_cloud reduced;
+            const double stride =
+                static_cast<double>(cloud.size()) / static_cast<double>(hc.max_points);
+            for (std::size_t i = 0; i < hc.max_points; ++i) {
+                reduced.push_back(cloud[static_cast<std::size_t>(i * stride)]);
+            }
+            return hierarchical_cluster(reduced, hc).extract_clusters(reduced);
+        }
+        return hierarchical_cluster(cloud, hc).extract_clusters(cloud);
+    };
+}
+
+}  // namespace hawc

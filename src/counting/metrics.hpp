@@ -1,0 +1,58 @@
+#pragma once
+
+// Crowd-counting accuracy metrics, following the image-based crowd
+// counting convention the paper adopts: MAE = mean |C - C_gt| and
+// MSE = mean (C - C_gt)^2 over a sequence of captures.
+
+#include <cstddef>
+#include <vector>
+
+namespace hawc {
+
+struct counting_metrics {
+    double mae = 0.0;
+    double mse = 0.0;
+    std::size_t samples = 0;
+    double total_predicted = 0.0;
+    double total_ground_truth = 0.0;
+
+    /// Count accuracy as the paper reports it for Table VI:
+    /// 1 - |total error| / total ground truth.
+    double accuracy() const {
+        if (total_ground_truth <= 0.0) return 0.0;
+        const double err = total_predicted - total_ground_truth;
+        return 1.0 - (err < 0.0 ? -err : err) / total_ground_truth;
+    }
+};
+
+class counting_accumulator {
+public:
+    void add(double predicted, double ground_truth) {
+        const double err = predicted - ground_truth;
+        abs_sum_ += err < 0.0 ? -err : err;
+        sq_sum_ += err * err;
+        ++count_;
+        predicted_sum_ += predicted;
+        truth_sum_ += ground_truth;
+    }
+
+    counting_metrics metrics() const {
+        counting_metrics m;
+        if (count_ == 0) return m;
+        m.mae = abs_sum_ / static_cast<double>(count_);
+        m.mse = sq_sum_ / static_cast<double>(count_);
+        m.samples = count_;
+        m.total_predicted = predicted_sum_;
+        m.total_ground_truth = truth_sum_;
+        return m;
+    }
+
+private:
+    double abs_sum_ = 0.0;
+    double sq_sum_ = 0.0;
+    double predicted_sum_ = 0.0;
+    double truth_sum_ = 0.0;
+    std::size_t count_ = 0;
+};
+
+}  // namespace hawc

@@ -1,0 +1,165 @@
+#include "dataset/builders.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+namespace {
+
+/// Pick the cluster whose xy centroid is nearest to `target`; returns
+/// nullptr when none is within `max_distance`.
+const point_cloud* nearest_cluster(const std::vector<point_cloud>& clusters, const vec3& target,
+                                   double max_distance) {
+    const point_cloud* best = nullptr;
+    double best_d = max_distance;
+    for (const auto& cluster : clusters) {
+        const vec3 c = cluster.centroid();
+        const double d = std::hypot(c.x - target.x, c.y - target.y);
+        if (d < best_d) {
+            best_d = d;
+            best = &cluster;
+        }
+    }
+    return best;
+}
+
+/// Stratified 80:20 split of one class's clusters.
+void split_class(std::vector<point_cloud>& clusters, std::uint8_t label, double test_fraction,
+                 rng& random, cluster_dataset& train, cluster_dataset& test) {
+    for (std::size_t i = clusters.size(); i > 1; --i) {
+        std::swap(clusters[i - 1], clusters[random.uniform_index(i)]);
+    }
+    const auto test_count =
+        static_cast<std::size_t>(test_fraction * static_cast<double>(clusters.size()));
+    for (std::size_t i = 0; i < clusters.size(); ++i) {
+        if (i < test_count) {
+            test.add(std::move(clusters[i]), label);
+        } else {
+            train.add(std::move(clusters[i]), label);
+        }
+    }
+}
+
+}  // namespace
+
+single_person_dataset build_single_person_dataset(const single_person_dataset_config& config) {
+    rng random{config.seed};
+    single_person_dataset out;
+
+    // --- Human captures: one pedestrian per scene. ---
+    std::vector<point_cloud> human_clusters;
+    std::size_t attempts = 0;
+    const std::size_t max_attempts = config.human_samples * 4;
+    while (human_clusters.size() < config.human_samples && attempts++ < max_attempts) {
+        const scene s = make_single_person_scene(random, config.capture.walkway);
+        const capture cap = run_capture(s, config.capture, random);
+        const vec3 person = s.entities().front().ground_position;
+        if (const auto* cluster = nearest_cluster(cap.clusters, person, 1.5)) {
+            human_clusters.push_back(*cluster);
+        }
+    }
+    HAWC_REQUIRE(human_clusters.size() >= config.human_samples / 2,
+                 "too few human captures survived the pipeline; check sensor config");
+
+    // --- Object captures: human-free scenes, every cluster is a negative. ---
+    std::vector<point_cloud> object_clusters;
+    attempts = 0;
+    while (object_clusters.size() < config.object_samples && attempts++ < max_attempts) {
+        const std::size_t objects = 2 + random.uniform_index(3);
+        const scene s = make_object_scene(random, objects, config.capture.walkway);
+        const capture cap = run_capture(s, config.capture, random);
+        for (const auto& cluster : cap.clusters) {
+            if (object_clusters.size() >= config.object_samples) break;
+            object_clusters.push_back(cluster);
+        }
+    }
+    HAWC_REQUIRE(object_clusters.size() >= config.object_samples / 2,
+                 "too few object captures survived the pipeline");
+
+    split_class(human_clusters, label_human, config.test_fraction, random, out.train, out.test);
+    split_class(object_clusters, label_object, config.test_fraction, random, out.train, out.test);
+
+    // Shuffle the interleaved training order.
+    for (std::size_t i = out.train.size(); i > 1; --i) {
+        const std::size_t j = random.uniform_index(i);
+        std::swap(out.train.clusters[i - 1], out.train.clusters[j]);
+        std::swap(out.train.labels[i - 1], out.train.labels[j]);
+    }
+
+    // Object pool and N'_max from the training split only (no leakage).
+    std::vector<std::size_t> sizes;
+    sizes.reserve(out.train.size());
+    for (std::size_t i = 0; i < out.train.size(); ++i) {
+        sizes.push_back(out.train.clusters[i].size());
+        if (out.train.labels[i] == label_object) {
+            out.pool.add_cloud(out.train.clusters[i]);
+        }
+    }
+    out.target_points = compute_target_points(sizes);
+    return out;
+}
+
+std::vector<crowd_sample> build_crowd_dataset(const crowd_dataset_config& config) {
+    rng random{config.seed};
+    const scanner sensor{config.capture.sensor};
+    std::vector<crowd_sample> samples;
+    samples.reserve(config.scenes);
+
+    for (std::size_t i = 0; i < config.scenes; ++i) {
+        const std::size_t people = random.uniform_index(config.max_people + 1);
+        const std::size_t objects = random.uniform_index(config.max_objects + 1);
+        const scene s = make_crowd_scene(random, people, objects, config.capture.walkway);
+        const scan_result scan_data = sensor.scan(s.primitives(), random, config.capture.scan);
+
+        crowd_sample sample;
+        sample.raw = scan_data.to_cloud();
+        sample.ground_truth = visible_human_count(s, scan_data, config.capture);
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+density_scene build_density_scene(const density_scene_config& config,
+                                  std::span<const point_cloud> human_clusters,
+                                  std::span<const point_cloud> object_clusters, rng& random) {
+    HAWC_REQUIRE(!human_clusters.empty(), "need donor human clusters");
+    HAWC_REQUIRE(!object_clusters.empty(), "need donor object clusters");
+
+    density_scene out;
+    out.ground_truth = config.pedestrians;
+
+    // The paper applies random x/y offsets to the single-person clouds'
+    // ORIGINAL coordinates (donors sit at 12-35 m), so the composited
+    // crowd spans 7-40 m from the sensor rather than collapsing onto one
+    // patch — which is what keeps clusters separable at high density.
+    auto place = [&](const point_cloud& donor, bool record_offset) {
+        const double dx = random.uniform(-config.offset_range_m, config.offset_range_m);
+        const double dy = random.uniform(-config.offset_range_m, config.offset_range_m);
+        out.cloud.append(donor.translated({dx, dy, 0.0}));
+        if (record_offset) {
+            out.x_offsets.push_back(dx);
+            out.y_offsets.push_back(dy);
+        }
+    };
+
+    for (std::size_t i = 0; i < config.pedestrians; ++i) {
+        place(human_clusters[random.uniform_index(human_clusters.size())], true);
+    }
+    // Objects proportional to pedestrians (paper: 10 objects per 20 people).
+    const std::size_t objects = config.pedestrians / 2;
+    for (std::size_t i = 0; i < objects; ++i) {
+        place(object_clusters[random.uniform_index(object_clusters.size())], false);
+    }
+    return out;
+}
+
+const char* density_level_name(std::size_t pedestrians) {
+    if (pedestrians < 100) return "Low";
+    if (pedestrians < 200) return "Moderate";
+    return "High";
+}
+
+}  // namespace hawc

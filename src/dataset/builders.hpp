@@ -1,0 +1,77 @@
+#pragma once
+
+// Dataset builders: the synthetic stand-ins for the paper's two curated
+// 15,028-sample LiDAR datasets (see DESIGN.md, substitutions). Builders
+// are deterministic given a seed.
+
+#include "dataset/capture_pipeline.hpp"
+#include "features/cluster_dataset.hpp"
+#include "features/upsampling.hpp"
+
+namespace hawc {
+
+/// ---- Single-person detection dataset (paper dataset 1) ----
+
+struct single_person_dataset_config {
+    std::size_t human_samples = 600;
+    std::size_t object_samples = 600;
+    double test_fraction = 0.2;          // random 80:20 split, as in the paper
+    std::uint64_t seed = 42;
+    capture_config capture{};
+};
+
+struct single_person_dataset {
+    cluster_dataset train;
+    cluster_dataset test;
+    object_pool pool;             // built from TRAINING object clusters only
+    std::size_t target_points = 0;  // N'_max derived from the training split
+};
+
+single_person_dataset build_single_person_dataset(const single_person_dataset_config& config);
+
+/// ---- Crowd counting dataset (paper dataset 2) ----
+
+struct crowd_sample {
+    point_cloud raw;          // full scan of the scene
+    std::size_t ground_truth = 0;
+};
+
+struct crowd_dataset_config {
+    std::size_t scenes = 150;
+    std::size_t max_people = 8;          // people per scene drawn in [0, max]
+    std::size_t max_objects = 4;
+    std::uint64_t seed = 99;
+    capture_config capture{};
+};
+
+std::vector<crowd_sample> build_crowd_dataset(const crowd_dataset_config& config);
+
+/// ---- Scalability scenes (paper Table VI / Figure 11) ----
+///
+/// Built the way the paper describes: single-person cluster clouds are
+/// given random x/y offsets in [-5, 5] m around positions in a
+/// ~100 m^2 patch of the walkway, plus object clusters at a 1:2 ratio.
+
+struct density_scene_config {
+    std::size_t pedestrians = 20;
+    double offset_range_m = 5.0;
+    std::uint64_t seed = 7;
+};
+
+struct density_scene {
+    point_cloud cloud;              // composited capture
+    std::size_t ground_truth = 0;
+    std::vector<double> x_offsets;  // for the Figure 11 distributions
+    std::vector<double> y_offsets;
+};
+
+/// `human_clusters` / `object_clusters` are donor clusters (e.g. from the
+/// single-person dataset). The paper's density levels: <=1 person/m^2 low,
+/// <2 moderate, >=2 high over the ~100 m^2 patch.
+density_scene build_density_scene(const density_scene_config& config,
+                                  std::span<const point_cloud> human_clusters,
+                                  std::span<const point_cloud> object_clusters, rng& random);
+
+const char* density_level_name(std::size_t pedestrians);
+
+}  // namespace hawc

@@ -1,0 +1,57 @@
+#include "dataset/capture_pipeline.hpp"
+
+namespace hawc {
+
+namespace {
+
+capture cluster_ingested(point_cloud raw, point_cloud ingested, const capture_config& config) {
+    capture cap;
+    cap.raw = std::move(raw);
+    cap.ingested = std::move(ingested);
+    if (cap.ingested.empty()) return cap;
+
+    const auto result = adaptive_dbscan(cap.ingested, config.clustering);
+    cap.chosen_eps = result.chosen_eps;
+    for (auto& cluster : result.clusters.extract_clusters(cap.ingested)) {
+        if (cluster.size() >= config.min_cluster_points) {
+            cap.clusters.push_back(std::move(cluster));
+        }
+    }
+    return cap;
+}
+
+}  // namespace
+
+capture run_capture(const scene& s, const capture_config& config, rng& random) {
+    const scanner sensor{config.sensor};
+    const scan_result scan_data = sensor.scan(s.primitives(), random, config.scan);
+    point_cloud raw = scan_data.to_cloud();
+    point_cloud ingested = ingest(raw, config.roi, config.ground);
+    return cluster_ingested(std::move(raw), std::move(ingested), config);
+}
+
+capture process_cloud(const point_cloud& raw, const capture_config& config) {
+    return cluster_ingested(raw, ingest(raw, config.roi, config.ground), config);
+}
+
+std::size_t visible_human_count(const scene& s, const scan_result& scan_data,
+                                const capture_config& config, std::size_t min_returns) {
+    std::size_t count = 0;
+    for (const auto& entity : s.entities()) {
+        if (entity.kind != entity_kind::human) continue;
+        std::size_t returns = 0;
+        for (const auto& ret : scan_data.returns) {
+            if (ret.entity_id != entity.id) continue;
+            const auto& p = ret.position;
+            if (p.x >= config.roi.x_min_m && p.x <= config.roi.x_max_m &&
+                p.y >= config.roi.y_min_m && p.y <= config.roi.y_max_m &&
+                p.z >= config.ground.z_min_m) {
+                ++returns;
+            }
+        }
+        if (returns >= min_returns) ++count;
+    }
+    return count;
+}
+
+}  // namespace hawc

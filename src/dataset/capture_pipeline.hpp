@@ -1,0 +1,48 @@
+#pragma once
+
+// The shared scene -> clusters capture path: scan a simulated scene,
+// ingest (ROI + ground removal), and cluster adaptively. Dataset builders
+// and the counting pipelines both run through this.
+
+#include "clustering/adaptive_eps.hpp"
+#include "lidar/scanner.hpp"
+#include "preprocess/ingest.hpp"
+#include "sim/scene.hpp"
+
+namespace hawc {
+
+/// Everything that defines the capture geometry and processing knobs.
+struct capture_config {
+    sensor_config sensor{};
+    walkway_config walkway{};
+    roi_config roi{};
+    ground_filter_config ground{};
+    adaptive_eps_config clustering{};
+    scan_options scan{};
+    std::size_t min_cluster_points = 8;  // clusters below this are dropped
+
+    capture_config() { roi.z_min_m = -sensor.mount_height_m; }
+};
+
+/// One processed capture.
+struct capture {
+    point_cloud raw;       // full scan
+    point_cloud ingested;  // after ROI + ground removal
+    std::vector<point_cloud> clusters;
+    double chosen_eps = 0.0;
+};
+
+/// Scan `s` and run the ingestion + adaptive clustering front half of
+/// HAWC-CC. Clusters smaller than min_cluster_points are discarded.
+capture run_capture(const scene& s, const capture_config& config, rng& random);
+
+/// Ingest + adaptively cluster an existing cloud (for composited scenes).
+capture process_cloud(const point_cloud& raw, const capture_config& config);
+
+/// Ground-truth count for a scan: humans with at least `min_returns`
+/// registered returns inside the ROI (the paper labels counts by what is
+/// visible in the capture).
+std::size_t visible_human_count(const scene& s, const scan_result& scan_data,
+                                const capture_config& config, std::size_t min_returns = 5);
+
+}  // namespace hawc

@@ -1,0 +1,96 @@
+#include "deploy/thermal.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace hawc {
+
+namespace {
+
+/// Smooth daily solar intensity in [0, 1], peaking at `peak_hour`.
+double solar_intensity(double hour_of_day, double peak_hour) {
+    const double phase = 2.0 * std::numbers::pi * (hour_of_day - peak_hour) / 24.0;
+    return std::max(0.0, std::cos(phase));
+}
+
+}  // namespace
+
+thermal_series simulate_pole_temperature(const thermal_config& config) {
+    rng random{config.seed};
+    thermal_series series;
+
+    const double total_hours = config.days * 24.0;
+    const double step_hours = config.sample_interval_min / 60.0;
+    series.samples.reserve(static_cast<std::size_t>(total_hours / step_hours) + 1);
+
+    // Day-to-day weather drift: a slowly varying mean per day.
+    std::vector<double> day_offset(static_cast<std::size_t>(config.days) + 2, 0.0);
+    double drift = 0.0;
+    for (auto& offset : day_offset) {
+        drift = 0.7 * drift + random.normal(0.0, config.weather_day_to_day_sigma_c);
+        offset = drift;
+    }
+
+    double pole_c = config.weather_mean_c;  // start in equilibrium
+    const double lag_alpha =
+        1.0 - std::exp(-step_hours / std::max(config.thermal_lag_hours, 1e-3));
+
+    for (double t = 0.0; t <= total_hours; t += step_hours) {
+        const double hour_of_day = std::fmod(t, 24.0);
+        const auto day = static_cast<std::size_t>(t / 24.0);
+
+        const double phase = 2.0 * std::numbers::pi * (hour_of_day - config.peak_hour) / 24.0;
+        const double weather = config.weather_mean_c + day_offset[day] +
+                               config.weather_daily_amplitude_c * std::cos(phase) +
+                               random.normal(0.0, config.weather_noise_sigma_c);
+
+        const double target = weather + config.night_offset_c +
+                              config.solar_gain_peak_c *
+                                  solar_intensity(hour_of_day, config.peak_hour - 0.5);
+        pole_c += lag_alpha * (target - pole_c);
+
+        series.samples.push_back({t, weather, pole_c});
+    }
+    return series;
+}
+
+running_stats thermal_series::pole_stats() const {
+    running_stats s;
+    for (const auto& sample : samples) s.add(sample.pole_c);
+    return s;
+}
+
+running_stats thermal_series::weather_stats() const {
+    running_stats s;
+    for (const auto& sample : samples) s.add(sample.weather_c);
+    return s;
+}
+
+double thermal_series::mean_peak_offset_c() const {
+    running_stats s;
+    for (const auto& sample : samples) {
+        const double hour = std::fmod(sample.time_hours, 24.0);
+        if (hour >= 13.0 && hour <= 18.0) s.add(sample.pole_c - sample.weather_c);
+    }
+    return s.mean();
+}
+
+double thermal_series::mean_night_offset_c() const {
+    running_stats s;
+    for (const auto& sample : samples) {
+        const double hour = std::fmod(sample.time_hours, 24.0);
+        if (hour >= 1.0 && hour <= 5.0) s.add(sample.pole_c - sample.weather_c);
+    }
+    return s.mean();
+}
+
+double thermal_series::fraction_above(double limit_c) const {
+    if (samples.empty()) return 0.0;
+    std::size_t above = 0;
+    for (const auto& sample : samples) {
+        if (sample.pole_c > limit_c) ++above;
+    }
+    return static_cast<double>(above) / static_cast<double>(samples.size());
+}
+
+}  // namespace hawc

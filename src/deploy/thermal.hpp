@@ -1,0 +1,57 @@
+#pragma once
+
+// Thermal simulation of the pole enclosure (Figure 10 substitution).
+// A diurnal desert-summer weather model plus a first-order enclosure
+// model: solar gain pushes the compartment ~10 degC above ambient at
+// peak heat and under 5 degC at night, with thermal lag.
+
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+
+namespace hawc {
+
+struct thermal_config {
+    double days = 18.0;                 // 2023-06-24 .. 2023-07-11
+    double sample_interval_min = 1.7;   // paper: ~2500 samples/day
+    // Phoenix summer ambient.
+    double weather_mean_c = 35.0;
+    double weather_daily_amplitude_c = 9.5;
+    double weather_day_to_day_sigma_c = 1.6;
+    double weather_noise_sigma_c = 0.35;
+    double peak_hour = 16.0;            // hottest time of day
+    // Enclosure behaviour.
+    double solar_gain_peak_c = 9.5;     // extra heating at peak sun
+    double night_offset_c = 2.2;        // residual electronics heat
+    double thermal_lag_hours = 0.8;
+    std::uint64_t seed = 20230624;
+};
+
+struct thermal_sample {
+    double time_hours = 0.0;   // since the start of the window
+    double weather_c = 0.0;
+    double pole_c = 0.0;
+};
+
+struct thermal_series {
+    std::vector<thermal_sample> samples;
+
+    running_stats pole_stats() const;
+    running_stats weather_stats() const;
+
+    /// Mean (pole - weather) offset during the hottest hours of each day
+    /// (13:00-18:00) and the coolest (01:00-05:00).
+    double mean_peak_offset_c() const;
+    double mean_night_offset_c() const;
+
+    /// Fraction of samples above the Coral Dev Board's recommended
+    /// operational maximum (50 degC per its datasheet).
+    double fraction_above(double limit_c) const;
+};
+
+/// Run the simulation over the configured window.
+thermal_series simulate_pole_temperature(const thermal_config& config = {});
+
+}  // namespace hawc

@@ -1,0 +1,80 @@
+#include "edge/device_model.hpp"
+
+namespace hawc {
+
+device_profile device_profile::jetson_nano() {
+    device_profile d;
+    d.name = "Jetson Nano";
+    // Maxwell GPU via cuDNN: moderate throughput, every op supported.
+    d.conv_fp32 = {2.5e9, 0.04};
+    d.conv_int8 = {4.0e9, 0.04};
+    d.dense_fp32 = {2.0e9, 0.03};
+    d.dense_int8 = {3.0e9, 0.03};
+    d.elementwise_per_second = 8e9;
+    d.per_inference_overhead_ms = 0.08;
+    return d;
+}
+
+device_profile device_profile::coral_dev_board() {
+    device_profile d;
+    d.name = "Coral Dev Board";
+    // fp32 has no accelerator: slow in-order CPU.
+    d.conv_fp32 = {0.5e9, 0.02};
+    d.dense_fp32 = {0.8e9, 0.01};
+    // int8 conv/pool map onto the edge TPU; dense layers dispatch poorly
+    // (high per-op cost, low effective throughput).
+    d.conv_int8 = {4.0e11, 0.08};
+    d.dense_int8 = {0.5e9, 0.15};
+    d.elementwise_per_second = 1.5e9;
+    d.per_inference_overhead_ms = 0.05;
+    return d;
+}
+
+double predict_fp32_latency_ms(const device_profile& device,
+                               std::span<const layer_info> layers) {
+    double total_ms = device.per_inference_overhead_ms;
+    for (const auto& layer : layers) {
+        switch (layer.kind) {
+            case op_kind::convolution:
+                total_ms += device.conv_fp32.dispatch_overhead_ms +
+                            1e3 * static_cast<double>(layer.macs_per_sample) /
+                                device.conv_fp32.macs_per_second;
+                break;
+            case op_kind::dense:
+                total_ms += device.dense_fp32.dispatch_overhead_ms +
+                            1e3 * static_cast<double>(layer.macs_per_sample) /
+                                device.dense_fp32.macs_per_second;
+                break;
+            case op_kind::normalization:
+            case op_kind::activation:
+            case op_kind::pooling:
+                total_ms += 1e3 * static_cast<double>(layer.activations_per_sample) /
+                            device.elementwise_per_second;
+                break;
+            case op_kind::reshape:
+                break;
+        }
+    }
+    return total_ms;
+}
+
+double predict_int8_latency_ms(const device_profile& device, std::span<const q_op_info> ops) {
+    double total_ms = device.per_inference_overhead_ms;
+    for (const auto& op : ops) {
+        switch (op.kind) {
+            case op_kind::convolution:
+                total_ms += device.conv_int8.dispatch_overhead_ms +
+                            1e3 * static_cast<double>(op.macs) / device.conv_int8.macs_per_second;
+                break;
+            case op_kind::dense:
+                total_ms += device.dense_int8.dispatch_overhead_ms +
+                            1e3 * static_cast<double>(op.macs) / device.dense_int8.macs_per_second;
+                break;
+            default:
+                break;  // pooling/reshape: fused or negligible on-device
+        }
+    }
+    return total_ms;
+}
+
+}  // namespace hawc

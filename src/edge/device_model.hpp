@@ -1,0 +1,55 @@
+#pragma once
+
+// Analytic edge-device latency models (Table II substitution, see
+// DESIGN.md). A device profile maps each operation class to an effective
+// MAC throughput plus per-op dispatch overhead, separately for fp32 and
+// int8. The two shipped profiles encode the architectural facts the
+// paper's measurements hinge on:
+//
+//  * Jetson Nano: a general-purpose GPU (CUDA/cuDNN) runs every op in
+//    both precisions; int8 gains are modest.
+//  * Coral Dev Board: the edge TPU executes int8 conv/pool extremely
+//    fast but dispatches dense layers inefficiently (the paper's
+//    explanation for the int8 AutoEncoder being *slower* than fp32),
+//    while fp32 falls back to the slow CPU entirely.
+//
+// Constants are calibrated to land in the regime of the paper's Table II;
+// absolute milliseconds are model outputs, not measurements.
+
+#include <span>
+#include <string>
+
+#include "nn/layer.hpp"
+#include "quant/q_model.hpp"
+
+namespace hawc {
+
+struct op_cost {
+    double macs_per_second = 1e9;
+    double dispatch_overhead_ms = 0.01;
+};
+
+struct device_profile {
+    std::string name;
+    op_cost conv_fp32;
+    op_cost conv_int8;
+    op_cost dense_fp32;
+    op_cost dense_int8;
+    /// Elementwise work (activations, norm) in elements/second; fp32 path
+    /// only — int8 fuses these into conv/dense.
+    double elementwise_per_second = 5e9;
+    double per_inference_overhead_ms = 0.1;
+
+    static device_profile jetson_nano();
+    static device_profile coral_dev_board();
+};
+
+/// Predicted fp32 latency for one sample from a model summary
+/// (sequential::summarize output).
+double predict_fp32_latency_ms(const device_profile& device,
+                               std::span<const layer_info> layers);
+
+/// Predicted int8 latency from quantized op infos.
+double predict_int8_latency_ms(const device_profile& device, std::span<const q_op_info> ops);
+
+}  // namespace hawc

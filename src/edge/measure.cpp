@@ -1,0 +1,36 @@
+#include "edge/measure.hpp"
+
+namespace hawc {
+
+namespace {
+
+// Prevent the optimizer from discarding forward passes.
+volatile float sink_value = 0.0f;
+
+}  // namespace
+
+latency_summary measure_fp32_latency(sequential& model, const tensor& sample,
+                                     std::size_t iterations, std::size_t warmup) {
+    for (std::size_t i = 0; i < warmup; ++i) {
+        sink_value = model.forward(sample, false)[0];
+    }
+    latency_recorder recorder;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        recorder.measure([&] { sink_value = model.forward(sample, false)[0]; });
+    }
+    return {recorder.mean_ms(), recorder.stddev_ms(), iterations};
+}
+
+latency_summary measure_int8_latency(const quantized_model& model, const tensor& sample,
+                                     std::size_t iterations, std::size_t warmup) {
+    for (std::size_t i = 0; i < warmup; ++i) {
+        sink_value = model.forward(sample)[0];
+    }
+    latency_recorder recorder;
+    for (std::size_t i = 0; i < iterations; ++i) {
+        recorder.measure([&] { sink_value = model.forward(sample)[0]; });
+    }
+    return {recorder.mean_ms(), recorder.stddev_ms(), iterations};
+}
+
+}  // namespace hawc

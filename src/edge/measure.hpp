@@ -1,0 +1,27 @@
+#pragma once
+
+// Host wall-clock measurement of single-sample inference latency, used
+// alongside the device cost models in the Table II bench to verify the
+// *relative* ordering of our implementations.
+
+#include "common/timer.hpp"
+#include "nn/sequential.hpp"
+#include "quant/q_model.hpp"
+
+namespace hawc {
+
+struct latency_summary {
+    double mean_ms = 0.0;
+    double stddev_ms = 0.0;
+    std::size_t iterations = 0;
+};
+
+/// Time `iterations` single-sample fp32 forwards (after `warmup` runs).
+latency_summary measure_fp32_latency(sequential& model, const tensor& sample,
+                                     std::size_t iterations = 30, std::size_t warmup = 3);
+
+/// Time `iterations` single-sample int8 forwards.
+latency_summary measure_int8_latency(const quantized_model& model, const tensor& sample,
+                                     std::size_t iterations = 30, std::size_t warmup = 3);
+
+}  // namespace hawc

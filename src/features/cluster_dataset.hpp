@@ -1,0 +1,36 @@
+#pragma once
+
+// Labelled cluster dataset: the unit of classifier training/evaluation.
+// Produced by the dataset builders, consumed by every classifier.
+
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+inline constexpr std::uint8_t label_object = 0;
+inline constexpr std::uint8_t label_human = 1;
+
+struct cluster_dataset {
+    std::vector<point_cloud> clusters;
+    std::vector<std::uint8_t> labels;  // label_object / label_human
+
+    std::size_t size() const { return clusters.size(); }
+
+    void add(point_cloud cluster, std::uint8_t label) {
+        clusters.push_back(std::move(cluster));
+        labels.push_back(label);
+    }
+
+    std::size_t count_label(std::uint8_t label) const {
+        std::size_t n = 0;
+        for (auto l : labels) {
+            if (l == label) ++n;
+        }
+        return n;
+    }
+};
+
+}  // namespace hawc

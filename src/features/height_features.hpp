@@ -1,0 +1,24 @@
+#pragma once
+
+// Height-variation feature (paper Section V): for each point, the
+// standard deviation of the z-coordinates of its k nearest neighbours.
+// Humans produce characteristic vertical structure (head/torso/legs at
+// distinct elevations); flat or blobby objects do not.
+
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// Per-point sigma values, in the same order as `cloud`. Uses a KD-tree
+/// for the neighbour queries (one query per point, as in the paper).
+std::vector<double> height_variation(const point_cloud& cloud, std::size_t k = 8);
+
+/// Sigma of each `query` point measured against neighbours drawn from
+/// `reference` (e.g. cluster points against the original cluster, so
+/// padding noise does not contaminate the statistic).
+std::vector<double> height_variation(const point_cloud& query, const point_cloud& reference,
+                                     std::size_t k = 8);
+
+}  // namespace hawc

@@ -1,0 +1,34 @@
+#include "features/pipeline.hpp"
+
+#include <cmath>
+
+#include "features/height_features.hpp"
+
+namespace hawc {
+
+tensor cnn_feature_extractor::extract(const point_cloud& cluster, rng& random) const {
+    const vec3 anchor = cluster.empty() ? vec3{} : cluster.centroid();
+    const point_cloud padded = upsample_cluster(cluster, config_.upsample, pool_, random);
+
+    // Height variation on genuine cluster structure only: up-sampling
+    // appends padding after the original points (or down-samples, in
+    // which case every point is genuine), so the first n_real entries of
+    // `padded` are cluster points and the rest get sigma = 0.
+    const std::size_t n_real = std::min(cluster.size(), padded.size());
+    point_cloud real_points;
+    real_points.reserve(n_real);
+    for (std::size_t i = 0; i < n_real; ++i) real_points.push_back(padded[i]);
+    std::vector<double> sigma =
+        height_variation(real_points, cluster, config_.projection.knn_k);
+    sigma.resize(padded.size(), 0.0);
+
+    return project_cluster(padded, anchor, config_.projection, sigma);
+}
+
+std::vector<std::size_t> cnn_feature_extractor::sample_shape() const {
+    const auto d = static_cast<std::size_t>(
+        std::lround(std::sqrt(static_cast<double>(config_.projection.target_points))));
+    return {d, d, projection_channels(config_.projection.method)};
+}
+
+}  // namespace hawc

@@ -1,0 +1,37 @@
+#pragma once
+
+// The end-to-end cluster -> CNN-input feature pipeline used by HAWC (and,
+// with a different projection method, by the Figure-9 ablations):
+// noise-controlled up-sampling followed by projection.
+
+#include "common/rng.hpp"
+#include "features/projection.hpp"
+#include "features/upsampling.hpp"
+
+namespace hawc {
+
+struct cnn_feature_config {
+    upsample_config upsample{};
+    projection_config projection{};
+};
+
+/// Owns the object pool so extraction is self-contained and copyable.
+class cnn_feature_extractor {
+public:
+    cnn_feature_extractor(cnn_feature_config config, object_pool pool)
+        : config_{std::move(config)}, pool_{std::move(pool)} {}
+
+    const cnn_feature_config& config() const { return config_; }
+
+    /// Cluster -> (1, D, D, C) tensor ready for the classifier.
+    tensor extract(const point_cloud& cluster, rng& random) const;
+
+    /// Input sample shape (D, D, C) for model construction.
+    std::vector<std::size_t> sample_shape() const;
+
+private:
+    cnn_feature_config config_;
+    object_pool pool_;
+};
+
+}  // namespace hawc

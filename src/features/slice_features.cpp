@@ -1,0 +1,104 @@
+#include "features/slice_features.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace hawc {
+
+tensor slice_features(const point_cloud& cluster, const slice_feature_config& config) {
+    const std::size_t slices = config.slice_count();
+    tensor out{{1, config.feature_count()}};
+    if (cluster.empty()) return out;
+
+    const vec3 centroid = cluster.centroid();
+
+    struct slice_accumulator {
+        std::vector<vec3> points;
+    };
+    std::vector<slice_accumulator> acc(slices);
+
+    double max_height = 0.0;
+    double z_height_sum = 0.0;
+    for (const auto& p : cluster) {
+        const double height = p.z - config.ground_z;
+        max_height = std::max(max_height, height);
+        z_height_sum += height;
+        if (height < 0.0 || height >= config.max_height_m) continue;
+        const auto s = static_cast<std::size_t>(height / config.slice_height_m);
+        acc[std::min(s, slices - 1)].points.push_back(p);
+    }
+
+    std::size_t f = 0;
+    for (std::size_t s = 0; s < slices; ++s) {
+        const auto& pts = acc[s].points;
+        double x_lo = 0.0, x_hi = 0.0, y_lo = 0.0, y_hi = 0.0;
+        double regularity = 0.0, circularity = 0.0;
+        if (!pts.empty()) {
+            x_lo = x_hi = pts[0].x;
+            y_lo = y_hi = pts[0].y;
+            double cx = 0.0, cy = 0.0;
+            for (const auto& p : pts) {
+                x_lo = std::min(x_lo, p.x);
+                x_hi = std::max(x_hi, p.x);
+                y_lo = std::min(y_lo, p.y);
+                y_hi = std::max(y_hi, p.y);
+                cx += p.x;
+                cy += p.y;
+            }
+            cx /= static_cast<double>(pts.size());
+            cy /= static_cast<double>(pts.size());
+
+            // Boundary regularity: stddev of radial distance to the slice
+            // centroid — small for smooth human torsos/heads.
+            double r_mean = 0.0;
+            std::vector<double> radii;
+            radii.reserve(pts.size());
+            for (const auto& p : pts) {
+                radii.push_back(std::hypot(p.x - cx, p.y - cy));
+                r_mean += radii.back();
+            }
+            r_mean /= static_cast<double>(pts.size());
+            double r_var = 0.0;
+            for (double r : radii) r_var += (r - r_mean) * (r - r_mean);
+            regularity = std::sqrt(r_var / static_cast<double>(pts.size()));
+
+            // Circularity: ratio of covariance eigenvalues in xy; 1 for a
+            // circular cross-section, -> 0 for elongated ones.
+            double sxx = 0.0, syy = 0.0, sxy = 0.0;
+            for (const auto& p : pts) {
+                const double dx = p.x - cx;
+                const double dy = p.y - cy;
+                sxx += dx * dx;
+                syy += dy * dy;
+                sxy += dx * dy;
+            }
+            const double tr = sxx + syy;
+            const double det = sxx * syy - sxy * sxy;
+            const double disc = std::sqrt(std::max(tr * tr / 4.0 - det, 0.0));
+            const double l1 = tr / 2.0 + disc;
+            const double l2 = tr / 2.0 - disc;
+            circularity = l1 > 1e-12 ? std::max(l2, 0.0) / l1 : 0.0;
+        }
+        out.at(0, f++) = static_cast<float>(pts.size());
+        out.at(0, f++) = static_cast<float>(x_hi - x_lo);
+        out.at(0, f++) = static_cast<float>(y_hi - y_lo);
+        out.at(0, f++) = static_cast<float>(regularity);
+        out.at(0, f++) = static_cast<float>(circularity);
+    }
+
+    if (config.include_global_aggregates) {
+        double footprint = 0.0;
+        for (const auto& p : cluster) {
+            footprint = std::max(footprint, std::hypot(p.x - centroid.x, p.y - centroid.y));
+        }
+        out.at(0, f++) = static_cast<float>(cluster.size());
+        out.at(0, f++) = static_cast<float>(max_height);
+        out.at(0, f++) = static_cast<float>(footprint);
+        out.at(0, f++) =
+            static_cast<float>(z_height_sum / static_cast<double>(cluster.size()));
+    }
+    return out;
+}
+
+}  // namespace hawc

@@ -1,0 +1,40 @@
+#pragma once
+
+// Hand-crafted slice features for the non-CNN baselines (AutoEncoder-CC
+// and OC-SVM-CC). Following the paper (after Leigh et al.), the cluster
+// is cut into 0.2 m z-slices (about one human head length); each slice
+// contributes shape statistics such as boundary regularity and
+// circularity, plus a few whole-cluster aggregates.
+
+#include "nn/tensor.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+struct slice_feature_config {
+    double slice_height_m = 0.2;
+    double max_height_m = 2.2;     // slices cover [0, max_height) above ground
+    double ground_z = -3.0;
+
+    /// The paper's baselines extract per-slice statistics only (after
+    /// Leigh et al.); whole-cluster aggregates (bounding height, total
+    /// count, footprint) are an extension that materially strengthens
+    /// the baselines, so they default to off.
+    bool include_global_aggregates = false;
+
+    std::size_t slice_count() const {
+        return static_cast<std::size_t>(max_height_m / slice_height_m + 0.5);
+    }
+    /// 5 per-slice features, plus 4 global aggregates when enabled.
+    std::size_t feature_count() const {
+        return slice_count() * 5 + (include_global_aggregates ? 4 : 0);
+    }
+};
+
+/// Per-slice features (count, x-extent, y-extent, boundary regularity,
+/// circularity) stacked bottom-to-top, then global aggregates (total
+/// count, bounding height, xy footprint radius, z centroid height).
+/// Returns a (1, F) tensor.
+tensor slice_features(const point_cloud& cluster, const slice_feature_config& config = {});
+
+}  // namespace hawc

@@ -1,0 +1,66 @@
+#include "features/upsampling.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+std::size_t next_perfect_square(std::size_t n) {
+    const auto root = static_cast<std::size_t>(std::ceil(std::sqrt(static_cast<double>(n))));
+    return root * root;
+}
+
+void object_pool::add_cloud(const point_cloud& cloud) {
+    points_.insert(points_.end(), cloud.begin(), cloud.end());
+}
+
+point_cloud object_pool::sample(std::size_t count, rng& random) const {
+    HAWC_REQUIRE(!points_.empty(), "object pool is empty");
+    point_cloud out;
+    out.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        out.push_back(points_[random.uniform_index(points_.size())]);
+    }
+    return out;
+}
+
+point_cloud upsample_cluster(const point_cloud& cluster, const upsample_config& config,
+                             const object_pool& pool, rng& random) {
+    HAWC_REQUIRE(config.target_points > 0, "target size must be positive");
+
+    if (cluster.size() >= config.target_points) {
+        // Random down-sample without replacement.
+        std::vector<std::size_t> indices(cluster.size());
+        for (std::size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+        for (std::size_t i = 0; i < config.target_points; ++i) {
+            const std::size_t j = i + random.uniform_index(indices.size() - i);
+            std::swap(indices[i], indices[j]);
+        }
+        indices.resize(config.target_points);
+        return cluster.subset(indices);
+    }
+
+    point_cloud out = cluster;
+    const std::size_t missing = config.target_points - cluster.size();
+    if (config.method == sampling_method::object_data) {
+        out.append(pool.sample(missing, random));
+    } else {
+        const vec3 center = cluster.empty() ? vec3{} : cluster.centroid();
+        for (std::size_t i = 0; i < missing; ++i) {
+            out.push_back(center + vec3{random.normal(0.0, config.gaussian_sigma),
+                                        random.normal(0.0, config.gaussian_sigma),
+                                        random.normal(0.0, config.gaussian_sigma)});
+        }
+    }
+    return out;
+}
+
+std::size_t compute_target_points(std::span<const std::size_t> cluster_sizes) {
+    HAWC_REQUIRE(!cluster_sizes.empty(), "need at least one cluster size");
+    const std::size_t n_max = *std::max_element(cluster_sizes.begin(), cluster_sizes.end());
+    return next_perfect_square(n_max);
+}
+
+}  // namespace hawc

@@ -1,0 +1,55 @@
+#pragma once
+
+// Noise-controlled up-sampling (paper Section V): CNNs need fixed-size
+// inputs but clusters have variable point counts, so every cluster is
+// padded to N'_max points. HAWC pads with points drawn from a pooled
+// "Object" dataset (scenes without humans) rather than synthetic
+// Gaussian noise — the Table III ablation compares both.
+
+#include "common/rng.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// N'_max = ceil(sqrt(n))^2 — the smallest perfect square >= n, so the
+/// point list reshapes to a square D x D image.
+std::size_t next_perfect_square(std::size_t n);
+
+/// Pool of points harvested from "Object" (human-free) captures. All
+/// object data is pooled together; up-sampling draws random points from
+/// the pool (paper Figure 5).
+class object_pool {
+public:
+    object_pool() = default;
+
+    void add_cloud(const point_cloud& cloud);
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+
+    /// Draw `count` points uniformly at random (with replacement).
+    point_cloud sample(std::size_t count, rng& random) const;
+
+private:
+    std::vector<vec3> points_;
+};
+
+/// How padding points are generated.
+enum class sampling_method { object_data, gaussian };
+
+struct upsample_config {
+    std::size_t target_points = 324;   // N'_max (perfect square)
+    sampling_method method = sampling_method::object_data;
+    double gaussian_sigma = 3.0;       // for sampling_method::gaussian
+};
+
+/// Pad `cluster` to config.target_points. Clusters larger than the
+/// target are randomly down-sampled to it (rare: N'_max is computed from
+/// the training maximum). Gaussian padding scatters synthetic points
+/// around the cluster centroid with the configured sigma per axis.
+point_cloud upsample_cluster(const point_cloud& cluster, const upsample_config& config,
+                             const object_pool& pool, rng& random);
+
+/// Compute N'_max from a training set of cluster sizes.
+std::size_t compute_target_points(std::span<const std::size_t> cluster_sizes);
+
+}  // namespace hawc

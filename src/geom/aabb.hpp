@@ -1,0 +1,66 @@
+#pragma once
+
+// Axis-aligned bounding box, used for ROI cropping and scene extents.
+
+#include <limits>
+
+#include "geom/vec3.hpp"
+
+namespace hawc {
+
+/// Closed axis-aligned box [lo, hi]. Default-constructed box is empty
+/// (contains nothing) and can be grown with expand().
+struct aabb {
+    vec3 lo{std::numeric_limits<double>::infinity(), std::numeric_limits<double>::infinity(),
+            std::numeric_limits<double>::infinity()};
+    vec3 hi{-std::numeric_limits<double>::infinity(), -std::numeric_limits<double>::infinity(),
+            -std::numeric_limits<double>::infinity()};
+
+    aabb() = default;
+    aabb(const vec3& lo_, const vec3& hi_) : lo{lo_}, hi{hi_} {}
+
+    bool empty() const { return lo.x > hi.x || lo.y > hi.y || lo.z > hi.z; }
+
+    bool contains(const vec3& p) const {
+        return p.x >= lo.x && p.x <= hi.x && p.y >= lo.y && p.y <= hi.y && p.z >= lo.z &&
+               p.z <= hi.z;
+    }
+
+    void expand(const vec3& p) {
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+
+    void expand(const aabb& b) {
+        if (b.empty()) return;
+        expand(b.lo);
+        expand(b.hi);
+    }
+
+    vec3 center() const { return (lo + hi) * 0.5; }
+    vec3 size() const { return empty() ? vec3{} : hi - lo; }
+
+    bool intersects(const aabb& b) const {
+        return !empty() && !b.empty() && lo.x <= b.hi.x && hi.x >= b.lo.x && lo.y <= b.hi.y &&
+               hi.y >= b.lo.y && lo.z <= b.hi.z && hi.z >= b.lo.z;
+    }
+
+    /// Squared distance from a point to the box (0 if inside).
+    double distance_sq(const vec3& p) const {
+        auto axis = [](double v, double lo_, double hi_) {
+            if (v < lo_) return lo_ - v;
+            if (v > hi_) return v - hi_;
+            return 0.0;
+        };
+        const double dx = axis(p.x, lo.x, hi.x);
+        const double dy = axis(p.y, lo.y, hi.y);
+        const double dz = axis(p.z, lo.z, hi.z);
+        return dx * dx + dy * dy + dz * dz;
+    }
+};
+
+}  // namespace hawc

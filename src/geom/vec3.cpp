@@ -1,0 +1,11 @@
+#include "geom/vec3.hpp"
+
+#include <ostream>
+
+namespace hawc {
+
+std::ostream& operator<<(std::ostream& out, const vec3& v) {
+    return out << '(' << v.x << ", " << v.y << ", " << v.z << ')';
+}
+
+}  // namespace hawc

@@ -1,0 +1,70 @@
+#pragma once
+
+// 3D vector type used for LiDAR points, directions, and scene geometry.
+
+#include <cmath>
+#include <iosfwd>
+
+namespace hawc {
+
+/// Plain value type: three doubles, full set of arithmetic operators.
+struct vec3 {
+    double x = 0.0;
+    double y = 0.0;
+    double z = 0.0;
+
+    constexpr vec3() = default;
+    constexpr vec3(double x_, double y_, double z_) : x{x_}, y{y_}, z{z_} {}
+
+    constexpr vec3 operator+(const vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+    constexpr vec3 operator-(const vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+    constexpr vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+    constexpr vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+    constexpr vec3 operator-() const { return {-x, -y, -z}; }
+
+    vec3& operator+=(const vec3& o) {
+        x += o.x;
+        y += o.y;
+        z += o.z;
+        return *this;
+    }
+    vec3& operator-=(const vec3& o) {
+        x -= o.x;
+        y -= o.y;
+        z -= o.z;
+        return *this;
+    }
+    vec3& operator*=(double s) {
+        x *= s;
+        y *= s;
+        z *= s;
+        return *this;
+    }
+
+    constexpr bool operator==(const vec3&) const = default;
+
+    constexpr double dot(const vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+    constexpr vec3 cross(const vec3& o) const {
+        return {y * o.z - z * o.y, z * o.x - x * o.z, x * o.y - y * o.x};
+    }
+    constexpr double norm_sq() const { return dot(*this); }
+    double norm() const { return std::sqrt(norm_sq()); }
+
+    /// Unit vector in the same direction; returns zero vector unchanged.
+    vec3 normalized() const {
+        const double n = norm();
+        return n > 0.0 ? *this / n : *this;
+    }
+
+    double distance_to(const vec3& o) const { return (*this - o).norm(); }
+    constexpr double distance_sq_to(const vec3& o) const { return (*this - o).norm_sq(); }
+};
+
+constexpr vec3 operator*(double s, const vec3& v) { return v * s; }
+
+std::ostream& operator<<(std::ostream& out, const vec3& v);
+
+/// Linear interpolation between two points (t in [0,1] maps a to b).
+constexpr vec3 lerp(const vec3& a, const vec3& b, double t) { return a + (b - a) * t; }
+
+}  // namespace hawc

@@ -1,0 +1,162 @@
+#include "lidar/primitives.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hawc {
+
+namespace {
+
+constexpr double hit_epsilon = 1e-9;
+
+/// Solve a*t^2 + b*t + c = 0 and return the smallest positive root.
+std::optional<double> smallest_positive_root(double a, double b, double c) {
+    const double disc = b * b - 4.0 * a * c;
+    if (disc < 0.0) return std::nullopt;
+    const double sq = std::sqrt(disc);
+    const double t0 = (-b - sq) / (2.0 * a);
+    const double t1 = (-b + sq) / (2.0 * a);
+    if (t0 > hit_epsilon) return t0;
+    if (t1 > hit_epsilon) return t1;
+    return std::nullopt;
+}
+
+}  // namespace
+
+std::optional<double> intersect(const ray& r, const sphere& s) {
+    const vec3 oc = r.origin - s.center;
+    return smallest_positive_root(1.0, 2.0 * oc.dot(r.direction),
+                                  oc.norm_sq() - s.radius * s.radius);
+}
+
+std::optional<double> intersect(const ray& r, const capsule& c) {
+    // Cylinder part: distance between ray and segment axis equals radius.
+    const vec3 axis = c.b - c.a;
+    const double axis_len_sq = axis.norm_sq();
+    if (axis_len_sq < hit_epsilon) {
+        return intersect(r, sphere{c.a, c.radius});
+    }
+    const vec3 d = r.direction;
+    const vec3 m = r.origin - c.a;
+    const vec3 n = axis / std::sqrt(axis_len_sq);
+
+    const vec3 d_perp = d - n * d.dot(n);
+    const vec3 m_perp = m - n * m.dot(n);
+
+    std::optional<double> best;
+    auto consider = [&](std::optional<double> t) {
+        if (t && (!best || *t < *best)) best = t;
+    };
+
+    const double a = d_perp.norm_sq();
+    if (a > hit_epsilon) {
+        const double b = 2.0 * d_perp.dot(m_perp);
+        const double cc = m_perp.norm_sq() - c.radius * c.radius;
+        if (auto t = smallest_positive_root(a, b, cc)) {
+            // Accept only if the hit projects inside the segment.
+            const double s = (r.at(*t) - c.a).dot(n);
+            if (s >= 0.0 && s * s <= axis_len_sq) consider(t);
+        }
+    }
+    // End caps.
+    consider(intersect(r, sphere{c.a, c.radius}));
+    consider(intersect(r, sphere{c.b, c.radius}));
+    return best;
+}
+
+std::optional<double> intersect(const ray& r, const box& b) {
+    // Slab method.
+    double t_near = -std::numeric_limits<double>::infinity();
+    double t_far = std::numeric_limits<double>::infinity();
+    const double origin[3] = {r.origin.x, r.origin.y, r.origin.z};
+    const double dir[3] = {r.direction.x, r.direction.y, r.direction.z};
+    const double lo[3] = {b.bounds.lo.x, b.bounds.lo.y, b.bounds.lo.z};
+    const double hi[3] = {b.bounds.hi.x, b.bounds.hi.y, b.bounds.hi.z};
+    for (int axis = 0; axis < 3; ++axis) {
+        if (std::abs(dir[axis]) < hit_epsilon) {
+            if (origin[axis] < lo[axis] || origin[axis] > hi[axis]) return std::nullopt;
+            continue;
+        }
+        double t0 = (lo[axis] - origin[axis]) / dir[axis];
+        double t1 = (hi[axis] - origin[axis]) / dir[axis];
+        if (t0 > t1) std::swap(t0, t1);
+        t_near = std::max(t_near, t0);
+        t_far = std::min(t_far, t1);
+        if (t_near > t_far) return std::nullopt;
+    }
+    if (t_near > hit_epsilon) return t_near;
+    if (t_far > hit_epsilon) return t_far;
+    return std::nullopt;
+}
+
+std::optional<double> intersect(const ray& r, const vertical_cylinder& c) {
+    // 2D circle intersection in the xy plane, then a z-range check.
+    const double dx = r.direction.x;
+    const double dy = r.direction.y;
+    const double ox = r.origin.x - c.base.x;
+    const double oy = r.origin.y - c.base.y;
+    const double a = dx * dx + dy * dy;
+
+    std::optional<double> best;
+    auto in_height = [&](double t) {
+        const double z = r.origin.z + r.direction.z * t;
+        return z >= c.base.z && z <= c.base.z + c.height;
+    };
+
+    if (a > hit_epsilon) {
+        const double b = 2.0 * (ox * dx + oy * dy);
+        const double cc = ox * ox + oy * oy - c.radius * c.radius;
+        const double disc = b * b - 4.0 * a * cc;
+        if (disc >= 0.0) {
+            const double sq = std::sqrt(disc);
+            for (double t : {(-b - sq) / (2.0 * a), (-b + sq) / (2.0 * a)}) {
+                if (t > hit_epsilon && in_height(t) && (!best || t < *best)) best = t;
+            }
+        }
+    }
+
+    // Top/bottom disks.
+    if (std::abs(r.direction.z) > hit_epsilon) {
+        for (double plane_z : {c.base.z, c.base.z + c.height}) {
+            const double t = (plane_z - r.origin.z) / r.direction.z;
+            if (t > hit_epsilon) {
+                const vec3 p = r.at(t);
+                const double rx = p.x - c.base.x;
+                const double ry = p.y - c.base.y;
+                if (rx * rx + ry * ry <= c.radius * c.radius && (!best || t < *best)) best = t;
+            }
+        }
+    }
+    return best;
+}
+
+std::optional<double> intersect(const ray& r, const shape& s) {
+    return std::visit([&](const auto& geom) { return intersect(r, geom); }, s);
+}
+
+aabb shape_bounds(const shape& s) {
+    return std::visit(
+        [](const auto& geom) -> aabb {
+            using T = std::decay_t<decltype(geom)>;
+            if constexpr (std::is_same_v<T, sphere>) {
+                const vec3 r{geom.radius, geom.radius, geom.radius};
+                return {geom.center - r, geom.center + r};
+            } else if constexpr (std::is_same_v<T, capsule>) {
+                aabb b;
+                const vec3 r{geom.radius, geom.radius, geom.radius};
+                b.expand(geom.a - r);
+                b.expand(geom.a + r);
+                b.expand(geom.b - r);
+                b.expand(geom.b + r);
+                return b;
+            } else if constexpr (std::is_same_v<T, box>) {
+                return geom.bounds;
+            } else {
+                const vec3 r{geom.radius, geom.radius, 0.0};
+                return {geom.base - r, geom.base + r + vec3{0.0, 0.0, geom.height}};
+            }
+        },
+        s);
+}
+
+}  // namespace hawc

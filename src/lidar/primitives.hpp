@@ -1,0 +1,68 @@
+#pragma once
+
+// Ray-castable scene primitives. Humans and campus objects are composed
+// of these shapes by the simulation module; the LiDAR scanner intersects
+// beams against them.
+
+#include <optional>
+#include <variant>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace hawc {
+
+/// A ray with unit direction. t-parameters are metric distances.
+struct ray {
+    vec3 origin;
+    vec3 direction;  // must be normalized
+
+    vec3 at(double t) const { return origin + direction * t; }
+};
+
+struct sphere {
+    vec3 center;
+    double radius = 1.0;
+};
+
+/// Capsule: segment from a to b with radius r (limbs, torsos).
+struct capsule {
+    vec3 a;
+    vec3 b;
+    double radius = 0.1;
+};
+
+/// Axis-aligned box (bins, benches, signage).
+struct box {
+    aabb bounds;
+};
+
+/// Vertical cylinder: axis parallel to z from base upward (poles, trunks).
+struct vertical_cylinder {
+    vec3 base;
+    double height = 1.0;
+    double radius = 0.1;
+};
+
+using shape = std::variant<sphere, capsule, box, vertical_cylinder>;
+
+/// Nearest positive intersection distance of `r` with a shape, if any.
+std::optional<double> intersect(const ray& r, const sphere& s);
+std::optional<double> intersect(const ray& r, const capsule& c);
+std::optional<double> intersect(const ray& r, const box& b);
+std::optional<double> intersect(const ray& r, const vertical_cylinder& c);
+std::optional<double> intersect(const ray& r, const shape& s);
+
+/// Bounding box of a shape (used for scene statistics and culling).
+aabb shape_bounds(const shape& s);
+
+/// One primitive in a scan scene, tagged with the entity it belongs to
+/// and a surface reflectivity in (0, 1] that scales return probability.
+struct scene_primitive {
+    shape geometry;
+    int entity_id = -1;      // humans/objects get unique ids; -1 = untagged
+    double reflectivity = 0.8;
+};
+
+}  // namespace hawc

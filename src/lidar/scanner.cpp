@@ -1,0 +1,89 @@
+#include "lidar/scanner.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace hawc {
+
+point_cloud scan_result::to_cloud() const {
+    point_cloud cloud;
+    cloud.reserve(returns.size());
+    for (const auto& r : returns) cloud.push_back(r.position);
+    return cloud;
+}
+
+point_cloud scan_result::entity_cloud(int entity_id) const {
+    point_cloud cloud;
+    for (const auto& r : returns) {
+        if (r.entity_id == entity_id) cloud.push_back(r.position);
+    }
+    return cloud;
+}
+
+scan_result scanner::scan(std::span<const scene_primitive> scene, rng& random,
+                          const scan_options& options) const {
+    const sensor_config& cfg = beams_.config();
+    scan_result result;
+    result.returns.reserve(beams_.size() / 8);
+
+    // Precompute shape bounds for a cheap reject test per beam. For the
+    // scene sizes here (tens of primitives) this is the dominant win over
+    // a full BVH, and keeps the scanner simple.
+    std::vector<aabb> bounds;
+    bounds.reserve(scene.size());
+    for (const auto& prim : scene) bounds.push_back(shape_bounds(prim.geometry));
+
+    for (const auto& b : beams_.beams()) {
+        const ray beam_ray{vec3{}, b.direction};
+
+        double best_t = std::numeric_limits<double>::infinity();
+        const scene_primitive* best_prim = nullptr;
+
+        for (std::size_t i = 0; i < scene.size(); ++i) {
+            // Conservative reject: if the closest possible approach of the
+            // box is farther than the best hit, skip the exact test.
+            if (bounds[i].distance_sq(vec3{}) > best_t * best_t) continue;
+            if (auto t = intersect(beam_ray, scene[i].geometry)) {
+                if (*t < best_t && *t <= cfg.max_range_m) {
+                    best_t = *t;
+                    best_prim = &scene[i];
+                }
+            }
+        }
+
+        // Ground plane at z = -mount_height (sensor frame).
+        double ground_t = std::numeric_limits<double>::infinity();
+        if (options.include_ground && b.direction.z < -1e-6) {
+            ground_t = -cfg.mount_height_m / b.direction.z;
+        }
+
+        const bool ground_wins = ground_t < best_t;
+        const double range = ground_wins ? ground_t : best_t;
+        if (!std::isfinite(range) || range > cfg.max_range_m) continue;
+
+        const double reflectivity =
+            ground_wins ? options.ground_reflectivity : best_prim->reflectivity;
+        if (!random.chance(return_probability(cfg, range, reflectivity))) continue;
+
+        const double noisy_range = range + random.normal(0.0, cfg.range_noise_sigma_m);
+        if (noisy_range <= 0.0) continue;
+
+        lidar_return ret;
+        ret.position = b.direction * noisy_range;
+        if (ground_wins) {
+            // Ground returns scatter vertically (grass blades, debris,
+            // pulley-like clutter the paper calls out); model that as
+            // additional upward-biased z jitter.
+            ret.position.z += std::abs(random.normal(0.0, options.ground_noise_sigma_m));
+            ret.entity_id = ground_entity_id;
+        } else {
+            ret.entity_id = best_prim->entity_id;
+        }
+        ret.range = noisy_range;
+        ret.channel = b.channel;
+        result.returns.push_back(ret);
+    }
+    return result;
+}
+
+}  // namespace hawc

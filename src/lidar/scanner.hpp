@@ -1,0 +1,63 @@
+#pragma once
+
+// The LiDAR scanner: casts every beam of a sensor against a primitive
+// scene and produces one point cloud per scan, with range noise, dropout,
+// and ground returns — the raw capture the HAWC-CC pipeline ingests.
+
+#include <span>
+
+#include "common/rng.hpp"
+#include "lidar/primitives.hpp"
+#include "lidar/sensor_model.hpp"
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// A returned point together with the entity that produced it (ground
+/// returns carry entity_id = ground_entity_id). Entity attribution is
+/// simulation ground truth only; the pipeline never sees it.
+struct lidar_return {
+    vec3 position;       // sensor frame: sensor at origin, z up
+    double range = 0.0;
+    int entity_id = -1;
+    std::size_t channel = 0;
+};
+
+inline constexpr int ground_entity_id = -2;
+
+/// Full result of one scan.
+struct scan_result {
+    std::vector<lidar_return> returns;
+
+    /// The positions only, as a cloud (what the real sensor outputs).
+    point_cloud to_cloud() const;
+
+    /// Positions of returns belonging to a specific entity.
+    point_cloud entity_cloud(int entity_id) const;
+};
+
+/// Scan configuration beyond the sensor optics.
+struct scan_options {
+    bool include_ground = true;        // simulate ground-plane returns
+    double ground_reflectivity = 0.55; // asphalt/concrete
+    double ground_noise_sigma_m = 0.05; // extra z jitter on ground returns
+};
+
+/// Immutable scanner bound to one sensor configuration. Thread-compatible:
+/// scans take their rng by reference and share no mutable state.
+class scanner {
+public:
+    explicit scanner(const sensor_config& config) : beams_{config} {}
+
+    const sensor_config& config() const { return beams_.config(); }
+
+    /// Cast all beams against `scene` (plus the ground plane at
+    /// z = -mount_height) and return the registered points.
+    scan_result scan(std::span<const scene_primitive> scene, rng& random,
+                     const scan_options& options = {}) const;
+
+private:
+    beam_table beams_;
+};
+
+}  // namespace hawc

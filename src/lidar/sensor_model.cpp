@@ -1,0 +1,48 @@
+#include "lidar/sensor_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+beam_table::beam_table(const sensor_config& config) : config_{config} {
+    HAWC_REQUIRE(config.channels >= 2, "sensor needs at least two channels");
+    HAWC_REQUIRE(config.azimuth_steps >= 2, "sensor needs at least two azimuth steps");
+    HAWC_REQUIRE(config.vertical_fov_deg > 0.0 && config.vertical_fov_deg < 180.0,
+                 "vertical FoV must be in (0, 180)");
+
+    constexpr double deg = std::numbers::pi / 180.0;
+    const double elevation_lo =
+        (config.vertical_center_deg - 0.5 * config.vertical_fov_deg) * deg;
+    const double elevation_step =
+        config.vertical_fov_deg * deg / static_cast<double>(config.channels - 1);
+    const double azimuth_lo = config.azimuth_start_deg * deg;
+    const double azimuth_step =
+        config.azimuth_fov_deg * deg / static_cast<double>(config.azimuth_steps - 1);
+
+    beams_.reserve(config.channels * config.azimuth_steps);
+    for (std::size_t step = 0; step < config.azimuth_steps; ++step) {
+        const double azimuth = azimuth_lo + azimuth_step * static_cast<double>(step);
+        for (std::size_t channel = 0; channel < config.channels; ++channel) {
+            const double elevation = elevation_lo + elevation_step * static_cast<double>(channel);
+            beam b;
+            b.direction = {std::cos(elevation) * std::cos(azimuth),
+                           std::cos(elevation) * std::sin(azimuth), std::sin(elevation)};
+            b.channel = channel;
+            b.azimuth_step = step;
+            beams_.push_back(b);
+        }
+    }
+}
+
+double return_probability(const sensor_config& config, double range, double reflectivity) {
+    const double geometric =
+        std::clamp(config.dropout_scale_a - range / config.dropout_scale_b, config.dropout_floor,
+                   1.0);
+    return std::clamp(reflectivity * geometric, 0.0, 1.0);
+}
+
+}  // namespace hawc

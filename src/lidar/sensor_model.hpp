@@ -1,0 +1,70 @@
+#pragma once
+
+// Parametric model of a multi-channel spinning LiDAR, defaulted to the
+// cost-effective 32-channel sensor the paper deploys (Ouster OS0 class):
+// wide vertical field of view, modest angular resolution, and strongly
+// distance-dependent return density.
+
+#include <cstddef>
+#include <vector>
+
+#include "geom/vec3.hpp"
+
+namespace hawc {
+
+/// Static description of the sensor optics and noise behaviour.
+struct sensor_config {
+    std::size_t channels = 32;           // vertical beams
+    // The real OS0 spreads 32 channels over 90 degrees vertically; beams
+    // pointing at the sky or the pole never return anything from the
+    // walkway ROI, so this model concentrates the configured channels on
+    // the ROI-relevant elevation band (equivalent to a tilted mount with
+    // a tighter-FoV unit) — see DESIGN.md, substitutions.
+    double vertical_fov_deg = 22.5;      // total vertical span
+    double vertical_center_deg = -9.0;   // band centre (negative = downward)
+    double azimuth_fov_deg = 90.0;       // scanned sector (paper: ~90 deg ROI)
+    double azimuth_start_deg = -45.0;    // sector start relative to +x
+    std::size_t azimuth_steps = 2048;    // samples across the sector
+    double max_range_m = 50.0;           // hard range cutoff
+    double range_noise_sigma_m = 0.03;   // Gaussian ranging noise (1 sigma)
+
+    // Return-probability model: p = reflectivity * clamp(a - range/b, lo, 1).
+    // Captures the paper's observation that far targets reflect too little
+    // light for a 32-channel sensor to register reliably.
+    double dropout_scale_a = 1.35;
+    double dropout_scale_b = 38.0;
+    double dropout_floor = 0.10;
+
+    /// Mount height above ground; the paper's poles put the sensor at 3 m,
+    /// so ground returns appear near z = -3 in the sensor frame.
+    double mount_height_m = 3.0;
+};
+
+/// One emitted beam direction (unit vector in the sensor frame).
+struct beam {
+    vec3 direction;
+    std::size_t channel = 0;
+    std::size_t azimuth_step = 0;
+};
+
+/// Precomputed table of all beam directions for a configuration.
+/// Channels are spaced uniformly across the vertical FoV and azimuth
+/// steps uniformly across the scanned sector.
+class beam_table {
+public:
+    explicit beam_table(const sensor_config& config);
+
+    const std::vector<beam>& beams() const { return beams_; }
+    std::size_t size() const { return beams_.size(); }
+    const sensor_config& config() const { return config_; }
+
+private:
+    sensor_config config_;
+    std::vector<beam> beams_;
+};
+
+/// Probability that a return at `range` from a surface with the given
+/// reflectivity registers, under `config`'s dropout model.
+double return_probability(const sensor_config& config, double range, double reflectivity);
+
+}  // namespace hawc

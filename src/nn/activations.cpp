@@ -1,0 +1,34 @@
+#include "nn/activations.hpp"
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+tensor relu::forward(const tensor& input, bool /*training*/) {
+    cached_input_ = input;
+    tensor out{input.shape()};
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        out[i] = input[i] > 0.0f ? input[i] : 0.0f;
+    }
+    return out;
+}
+
+tensor relu::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(cached_input_.size() == grad_output.size(), "backward before forward");
+    tensor grad_input{grad_output.shape()};
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        grad_input[i] = cached_input_[i] > 0.0f ? grad_output[i] : 0.0f;
+    }
+    return grad_input;
+}
+
+layer_info relu::info() const {
+    layer_info li;
+    li.name = "relu";
+    li.kind = op_kind::activation;
+    li.activations_per_sample =
+        cached_input_.batch() > 0 ? cached_input_.sample_size() : 0;
+    return li;
+}
+
+}  // namespace hawc

@@ -1,0 +1,22 @@
+#pragma once
+
+// Elementwise activations.
+
+#include "nn/layer.hpp"
+
+namespace hawc {
+
+class relu final : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override {
+        return input;
+    }
+
+private:
+    tensor cached_input_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,121 @@
+#include "nn/batch_norm.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+batch_norm::batch_norm(std::size_t channels, double momentum, double epsilon)
+    : channels_{channels},
+      momentum_{momentum},
+      epsilon_{epsilon},
+      gamma_{{channels}},
+      beta_{{channels}},
+      running_mean_{{channels}},
+      running_var_{{channels}} {
+    gamma_.value.fill(1.0f);
+    running_var_.fill(1.0f);
+}
+
+tensor batch_norm::forward(const tensor& input, bool training) {
+    HAWC_REQUIRE(input.shape().back() == channels_, "batch_norm channel mismatch");
+    const std::size_t rows = input.size() / channels_;  // N*H*W
+    cached_rows_ = rows;
+    cached_batch_ = std::max<std::size_t>(input.dim(0), 1);
+
+    std::vector<float> mean(channels_, 0.0f);
+    std::vector<float> var(channels_, 0.0f);
+    if (training) {
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float* px = input.data() + r * channels_;
+            for (std::size_t c = 0; c < channels_; ++c) mean[c] += px[c];
+        }
+        for (std::size_t c = 0; c < channels_; ++c) mean[c] /= static_cast<float>(rows);
+        for (std::size_t r = 0; r < rows; ++r) {
+            const float* px = input.data() + r * channels_;
+            for (std::size_t c = 0; c < channels_; ++c) {
+                const float d = px[c] - mean[c];
+                var[c] += d * d;
+            }
+        }
+        for (std::size_t c = 0; c < channels_; ++c) var[c] /= static_cast<float>(rows);
+        // Update running estimates.
+        const auto m = static_cast<float>(momentum_);
+        for (std::size_t c = 0; c < channels_; ++c) {
+            running_mean_[c] = m * running_mean_[c] + (1.0f - m) * mean[c];
+            running_var_[c] = m * running_var_[c] + (1.0f - m) * var[c];
+        }
+    } else {
+        for (std::size_t c = 0; c < channels_; ++c) {
+            mean[c] = running_mean_[c];
+            var[c] = running_var_[c];
+        }
+    }
+
+    cached_inv_std_.resize(channels_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+        cached_inv_std_[c] = 1.0f / std::sqrt(var[c] + static_cast<float>(epsilon_));
+    }
+
+    tensor out{input.shape()};
+    cached_normalized_ = tensor{input.shape()};
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* px = input.data() + r * channels_;
+        float* norm_px = cached_normalized_.data() + r * channels_;
+        float* out_px = out.data() + r * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) {
+            const float normalized = (px[c] - mean[c]) * cached_inv_std_[c];
+            norm_px[c] = normalized;
+            out_px[c] = gamma_.value[c] * normalized + beta_.value[c];
+        }
+    }
+    return out;
+}
+
+tensor batch_norm::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(cached_rows_ > 0, "backward before forward");
+    const std::size_t rows = cached_rows_;
+
+    // Standard batch-norm backward using the cached normalized values.
+    std::vector<float> sum_g(channels_, 0.0f);
+    std::vector<float> sum_g_xhat(channels_, 0.0f);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* g = grad_output.data() + r * channels_;
+        const float* xhat = cached_normalized_.data() + r * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) {
+            sum_g[c] += g[c];
+            sum_g_xhat[c] += g[c] * xhat[c];
+        }
+    }
+    for (std::size_t c = 0; c < channels_; ++c) {
+        beta_.grad[c] += sum_g[c];
+        gamma_.grad[c] += sum_g_xhat[c];
+    }
+
+    tensor grad_input{grad_output.shape()};
+    const auto inv_rows = 1.0f / static_cast<float>(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* g = grad_output.data() + r * channels_;
+        const float* xhat = cached_normalized_.data() + r * channels_;
+        float* gi = grad_input.data() + r * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) {
+            gi[c] = gamma_.value[c] * cached_inv_std_[c] *
+                    (g[c] - inv_rows * sum_g[c] - inv_rows * xhat[c] * sum_g_xhat[c]);
+        }
+    }
+    return grad_input;
+}
+
+layer_info batch_norm::info() const {
+    layer_info li;
+    li.name = "batch_norm(" + std::to_string(channels_) + ")";
+    li.kind = op_kind::normalization;
+    li.parameter_count = gamma_.value.size() + beta_.value.size();
+    li.macs_per_sample =
+        cached_rows_ > 0 ? (cached_rows_ / cached_batch_) * channels_ : channels_;
+    li.activations_per_sample = li.macs_per_sample;
+    return li;
+}
+
+}  // namespace hawc

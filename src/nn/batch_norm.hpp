@@ -1,0 +1,47 @@
+#pragma once
+
+// Batch normalization over the channel axis (NHWC): training mode uses
+// batch statistics and updates running estimates; eval mode uses the
+// running estimates. Works for rank-4 (per channel over N,H,W) and
+// rank-2 (per feature over N) inputs.
+
+#include "nn/layer.hpp"
+
+namespace hawc {
+
+class batch_norm final : public layer {
+public:
+    explicit batch_norm(std::size_t channels, double momentum = 0.9, double epsilon = 1e-5);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&gamma_, &beta_}; }
+    std::vector<tensor*> buffers() override { return {&running_mean_, &running_var_}; }
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override {
+        return input;
+    }
+
+    std::size_t channels() const { return channels_; }
+    const tensor& running_mean() const { return running_mean_; }
+    const tensor& running_var() const { return running_var_; }
+    const parameter& gamma() const { return gamma_; }
+    const parameter& beta() const { return beta_; }
+
+private:
+    std::size_t channels_;
+    double momentum_;
+    double epsilon_;
+    parameter gamma_;
+    parameter beta_;
+    tensor running_mean_;
+    tensor running_var_;
+
+    // Cached for backward.
+    tensor cached_normalized_;
+    std::vector<float> cached_inv_std_;
+    std::size_t cached_rows_ = 0;
+    std::size_t cached_batch_ = 1;
+};
+
+}  // namespace hawc

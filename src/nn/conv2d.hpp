@@ -1,0 +1,50 @@
+#pragma once
+
+// 2D convolution, NHWC, stride 1, 'same' or 'valid' padding. The paper's
+// HAWC CNN uses 3x3 kernels with stride 1; PointNet's shared per-point
+// MLPs are 1x1 convolutions over a (P, 1) spatial grid.
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace hawc {
+
+enum class padding { same, valid };
+
+class conv2d final : public layer {
+public:
+    /// He-normal initialised weights. kernel is square (k x k).
+    conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel, padding pad,
+           rng& random);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&weights_, &bias_}; }
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
+
+    std::size_t in_channels() const { return in_channels_; }
+    std::size_t out_channels() const { return out_channels_; }
+    std::size_t kernel() const { return kernel_; }
+    padding pad() const { return pad_; }
+
+    /// Weight tensor layout: (k, k, Cin, Cout).
+    parameter& weights() { return weights_; }
+    parameter& bias() { return bias_; }
+    const parameter& weights() const { return weights_; }
+    const parameter& bias() const { return bias_; }
+
+private:
+    std::size_t pad_amount() const { return pad_ == padding::same ? kernel_ / 2 : 0; }
+
+    std::size_t in_channels_;
+    std::size_t out_channels_;
+    std::size_t kernel_;
+    padding pad_;
+    parameter weights_;
+    parameter bias_;
+    tensor cached_input_;
+    mutable std::size_t last_hw_[2] = {0, 0};  // for info() MAC estimate
+};
+
+}  // namespace hawc

@@ -1,0 +1,108 @@
+#include "nn/dense.hpp"
+
+#include <cmath>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+dense::dense(std::size_t in_features, std::size_t out_features, rng& random)
+    : in_features_{in_features},
+      out_features_{out_features},
+      weights_{{in_features, out_features}},
+      bias_{{out_features}} {
+    const double std_dev = std::sqrt(2.0 / static_cast<double>(in_features));
+    for (std::size_t i = 0; i < weights_.value.size(); ++i) {
+        weights_.value[i] = static_cast<float>(random.normal(0.0, std_dev));
+    }
+}
+
+std::vector<std::size_t> dense::output_shape(std::vector<std::size_t> input) const {
+    HAWC_REQUIRE(input.size() == 2, "dense input must be rank 2 (use flatten first)");
+    HAWC_REQUIRE(input[1] == in_features_, "dense feature mismatch");
+    return {input[0], out_features_};
+}
+
+tensor dense::forward(const tensor& input, bool /*training*/) {
+    cached_input_ = input;
+    const auto out_shape = output_shape(input.shape());
+    tensor out{out_shape};
+    const std::size_t batch = input.dim(0);
+    const float* w = weights_.value.data();
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* in_row = input.data() + n * in_features_;
+        float* out_row = out.data() + n * out_features_;
+        for (std::size_t o = 0; o < out_features_; ++o) out_row[o] = bias_.value[o];
+        for (std::size_t i = 0; i < in_features_; ++i) {
+            const float x = in_row[i];
+            if (x == 0.0f) continue;  // post-ReLU inputs are often sparse
+            const float* w_row = &w[i * out_features_];
+            for (std::size_t o = 0; o < out_features_; ++o) out_row[o] += x * w_row[o];
+        }
+    }
+    return out;
+}
+
+tensor dense::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(cached_input_.size() > 0, "backward before forward");
+    const std::size_t batch = cached_input_.dim(0);
+    tensor grad_input{cached_input_.shape()};
+    const float* w = weights_.value.data();
+    float* dw = weights_.grad.data();
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* in_row = cached_input_.data() + n * in_features_;
+        const float* g_row = grad_output.data() + n * out_features_;
+        float* gi_row = grad_input.data() + n * in_features_;
+        for (std::size_t o = 0; o < out_features_; ++o) bias_.grad[o] += g_row[o];
+        for (std::size_t i = 0; i < in_features_; ++i) {
+            const float x = in_row[i];
+            const float* w_row = &w[i * out_features_];
+            float* dw_row = &dw[i * out_features_];
+            float acc = 0.0f;
+            for (std::size_t o = 0; o < out_features_; ++o) {
+                acc += w_row[o] * g_row[o];
+                dw_row[o] += x * g_row[o];
+            }
+            gi_row[i] = acc;
+        }
+    }
+    return grad_input;
+}
+
+layer_info dense::info() const {
+    layer_info li;
+    li.name = "dense(" + std::to_string(in_features_) + "->" + std::to_string(out_features_) + ")";
+    li.kind = op_kind::dense;
+    li.parameter_count = weights_.value.size() + bias_.value.size();
+    li.macs_per_sample = in_features_ * out_features_;
+    li.activations_per_sample = out_features_;
+    return li;
+}
+
+tensor flatten::forward(const tensor& input, bool /*training*/) {
+    cached_input_shape_ = input.shape();
+    return input.reshaped({input.dim(0), input.sample_size()});
+}
+
+tensor flatten::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(!cached_input_shape_.empty(), "backward before forward");
+    return grad_output.reshaped(cached_input_shape_);
+}
+
+layer_info flatten::info() const {
+    layer_info li;
+    li.name = "flatten";
+    li.kind = op_kind::reshape;
+    return li;
+}
+
+std::vector<std::size_t> flatten::output_shape(std::vector<std::size_t> input) const {
+    const std::size_t features = std::accumulate(input.begin() + 1, input.end(), std::size_t{1},
+                                                 std::multiplies<std::size_t>{});
+    return {input[0], features};
+}
+
+}  // namespace hawc

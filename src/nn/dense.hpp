@@ -1,0 +1,49 @@
+#pragma once
+
+// Fully-connected layer and the flatten adapter in front of it.
+
+#include "common/rng.hpp"
+#include "nn/layer.hpp"
+
+namespace hawc {
+
+/// (N, ..., F_in) is flattened per sample to (N, F_in) upstream; dense
+/// maps it to (N, F_out) with He-normal initialised weights.
+class dense final : public layer {
+public:
+    dense(std::size_t in_features, std::size_t out_features, rng& random);
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    std::vector<parameter*> parameters() override { return {&weights_, &bias_}; }
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
+
+    std::size_t in_features() const { return in_features_; }
+    std::size_t out_features() const { return out_features_; }
+    parameter& weights() { return weights_; }
+    parameter& bias() { return bias_; }
+    const parameter& weights() const { return weights_; }
+    const parameter& bias() const { return bias_; }
+
+private:
+    std::size_t in_features_;
+    std::size_t out_features_;
+    parameter weights_;  // (F_in, F_out)
+    parameter bias_;     // (F_out)
+    tensor cached_input_;
+};
+
+/// (N, H, W, C) -> (N, H*W*C). A pure reshape.
+class flatten final : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
+
+private:
+    std::vector<std::size_t> cached_input_shape_;
+};
+
+}  // namespace hawc

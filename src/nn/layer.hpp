@@ -1,0 +1,65 @@
+#pragma once
+
+// Layer interface of the NN library. Layers implement explicit forward
+// and backward passes (no autograd graph): forward caches whatever the
+// backward pass needs, backward accumulates parameter gradients and
+// returns the gradient w.r.t. the input.
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace hawc {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct parameter {
+    tensor value;
+    tensor grad;
+
+    explicit parameter(std::vector<std::size_t> shape) : value{shape}, grad{shape} {}
+    parameter() = default;
+};
+
+/// Broad operation class, used by the edge-device cost models to decide
+/// which execution unit an op maps to (conv/pool run on accelerators,
+/// large dense layers may not — the paper's Coral observation).
+enum class op_kind { convolution, dense, normalization, activation, pooling, reshape };
+
+/// Static description of one layer for reporting and cost modelling.
+struct layer_info {
+    std::string name;
+    op_kind kind = op_kind::activation;
+    std::size_t parameter_count = 0;
+    std::size_t macs_per_sample = 0;       // multiply-accumulates, forward
+    std::size_t activations_per_sample = 0;  // output elements
+};
+
+class layer {
+public:
+    virtual ~layer() = default;
+
+    /// `training` toggles batch-stat collection (batch norm).
+    virtual tensor forward(const tensor& input, bool training) = 0;
+
+    /// dL/dinput from dL/doutput; must be called after forward on the
+    /// same input. Accumulates into parameter gradients.
+    virtual tensor backward(const tensor& grad_output) = 0;
+
+    /// Trainable parameters (empty for stateless layers).
+    virtual std::vector<parameter*> parameters() { return {}; }
+
+    /// Non-trainable state that must be serialized (e.g. BN running stats).
+    virtual std::vector<tensor*> buffers() { return {}; }
+
+    virtual layer_info info() const = 0;
+
+    /// Output shape for a given input shape (batch dim preserved).
+    virtual std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const = 0;
+};
+
+using layer_ptr = std::unique_ptr<layer>;
+
+}  // namespace hawc

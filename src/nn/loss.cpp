@@ -1,0 +1,76 @@
+#include "nn/loss.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+tensor softmax(const tensor& logits) {
+    HAWC_REQUIRE(logits.rank() == 2, "softmax expects (N, K) logits");
+    const std::size_t batch = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+    tensor probs{logits.shape()};
+    for (std::size_t n = 0; n < batch; ++n) {
+        const float* row = logits.data() + n * classes;
+        float* out = probs.data() + n * classes;
+        const float m = *std::max_element(row, row + classes);
+        float sum = 0.0f;
+        for (std::size_t k = 0; k < classes; ++k) {
+            out[k] = std::exp(row[k] - m);
+            sum += out[k];
+        }
+        for (std::size_t k = 0; k < classes; ++k) out[k] /= sum;
+    }
+    return probs;
+}
+
+loss_result softmax_cross_entropy(const tensor& logits, std::span<const std::uint8_t> labels) {
+    HAWC_REQUIRE(logits.rank() == 2, "loss expects (N, K) logits");
+    HAWC_REQUIRE(labels.size() == logits.dim(0), "one label per sample required");
+    const std::size_t batch = logits.dim(0);
+    const std::size_t classes = logits.dim(1);
+
+    loss_result result;
+    result.grad_logits = softmax(logits);
+    const float inv_batch = 1.0f / static_cast<float>(batch);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        const std::size_t label = labels[n];
+        HAWC_REQUIRE(label < classes, "label out of range");
+        float* row = result.grad_logits.data() + n * classes;
+
+        const float p = std::max(row[label], 1e-12f);
+        result.loss -= std::log(p);
+
+        std::size_t argmax = 0;
+        for (std::size_t k = 1; k < classes; ++k) {
+            if (row[k] > row[argmax]) argmax = k;
+        }
+        if (argmax == label) ++result.correct;
+
+        // dL/dlogit = (softmax - onehot) / N.
+        row[label] -= 1.0f;
+        for (std::size_t k = 0; k < classes; ++k) row[k] *= inv_batch;
+    }
+    result.loss /= static_cast<double>(batch);
+    return result;
+}
+
+mse_result mean_squared_error(const tensor& prediction, const tensor& target) {
+    HAWC_REQUIRE(prediction.shape() == target.shape(), "MSE shapes must match");
+    mse_result result;
+    result.grad = tensor{prediction.shape()};
+    const std::size_t batch = std::max<std::size_t>(prediction.batch(), 1);
+    const float scale = 2.0f / static_cast<float>(batch * prediction.sample_size());
+    for (std::size_t i = 0; i < prediction.size(); ++i) {
+        const float d = prediction[i] - target[i];
+        result.loss += static_cast<double>(d) * static_cast<double>(d);
+        result.grad[i] = scale * d;
+    }
+    result.loss /= static_cast<double>(prediction.size());
+    return result;
+}
+
+}  // namespace hawc

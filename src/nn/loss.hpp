@@ -1,0 +1,32 @@
+#pragma once
+
+// Softmax cross-entropy loss for classification heads.
+
+#include <cstdint>
+#include <span>
+
+#include "nn/tensor.hpp"
+
+namespace hawc {
+
+struct loss_result {
+    double loss = 0.0;       // mean over the batch
+    tensor grad_logits;      // dL/dlogits, already divided by batch size
+    std::size_t correct = 0; // argmax == label count
+};
+
+/// logits: (N, K); labels: N class indices in [0, K).
+loss_result softmax_cross_entropy(const tensor& logits, std::span<const std::uint8_t> labels);
+
+/// Softmax probabilities of a logits tensor (N, K) -> (N, K).
+tensor softmax(const tensor& logits);
+
+/// Mean squared error against targets of identical shape (autoencoder
+/// reconstruction loss). grad is dL/dprediction, divided by batch size.
+struct mse_result {
+    double loss = 0.0;
+    tensor grad;
+};
+mse_result mean_squared_error(const tensor& prediction, const tensor& target);
+
+}  // namespace hawc

@@ -1,0 +1,127 @@
+#include "nn/pooling.hpp"
+
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+max_pool2d::max_pool2d(std::size_t window) : window_{window} {
+    HAWC_REQUIRE(window >= 1, "pool window must be at least 1");
+}
+
+std::vector<std::size_t> max_pool2d::output_shape(std::vector<std::size_t> input) const {
+    HAWC_REQUIRE(input.size() == 4, "max_pool2d input must be rank 4");
+    input[1] /= window_;
+    input[2] /= window_;
+    return input;
+}
+
+tensor max_pool2d::forward(const tensor& input, bool /*training*/) {
+    cached_input_shape_ = input.shape();
+    const auto out_shape = output_shape(input.shape());
+    tensor out{out_shape};
+    cached_argmax_.assign(out.size(), 0);
+
+    const std::size_t channels = input.dim(3);
+    for (std::size_t n = 0; n < input.dim(0); ++n) {
+        for (std::size_t oh = 0; oh < out_shape[1]; ++oh) {
+            for (std::size_t ow = 0; ow < out_shape[2]; ++ow) {
+                for (std::size_t c = 0; c < channels; ++c) {
+                    float best = -std::numeric_limits<float>::infinity();
+                    std::size_t best_index = 0;
+                    for (std::size_t kh = 0; kh < window_; ++kh) {
+                        for (std::size_t kw = 0; kw < window_; ++kw) {
+                            const std::size_t ih = oh * window_ + kh;
+                            const std::size_t iw = ow * window_ + kw;
+                            const std::size_t flat =
+                                ((n * input.dim(1) + ih) * input.dim(2) + iw) * channels + c;
+                            if (input[flat] > best) {
+                                best = input[flat];
+                                best_index = flat;
+                            }
+                        }
+                    }
+                    const std::size_t out_flat =
+                        ((n * out_shape[1] + oh) * out_shape[2] + ow) * channels + c;
+                    out[out_flat] = best;
+                    cached_argmax_[out_flat] = best_index;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+tensor max_pool2d::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(!cached_input_shape_.empty(), "backward before forward");
+    tensor grad_input{cached_input_shape_};
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        grad_input[cached_argmax_[i]] += grad_output[i];
+    }
+    return grad_input;
+}
+
+layer_info max_pool2d::info() const {
+    layer_info li;
+    li.name = "max_pool2d(" + std::to_string(window_) + ")";
+    li.kind = op_kind::pooling;
+    li.activations_per_sample = cached_argmax_.empty()
+                                    ? 0
+                                    : cached_argmax_.size() /
+                                          (cached_input_shape_.empty() ? 1 : cached_input_shape_[0]);
+    return li;
+}
+
+std::vector<std::size_t> global_max_pool::output_shape(std::vector<std::size_t> input) const {
+    HAWC_REQUIRE(input.size() == 4, "global_max_pool input must be rank 4");
+    input[1] = 1;
+    input[2] = 1;
+    return input;
+}
+
+tensor global_max_pool::forward(const tensor& input, bool /*training*/) {
+    cached_input_shape_ = input.shape();
+    const auto out_shape = output_shape(input.shape());
+    tensor out{out_shape};
+    cached_argmax_.assign(out.size(), 0);
+
+    const std::size_t channels = input.dim(3);
+    const std::size_t spatial = input.dim(1) * input.dim(2);
+    for (std::size_t n = 0; n < input.dim(0); ++n) {
+        for (std::size_t c = 0; c < channels; ++c) {
+            float best = -std::numeric_limits<float>::infinity();
+            std::size_t best_index = 0;
+            for (std::size_t s = 0; s < spatial; ++s) {
+                const std::size_t flat = (n * spatial + s) * channels + c;
+                if (input[flat] > best) {
+                    best = input[flat];
+                    best_index = flat;
+                }
+            }
+            out[n * channels + c] = best;
+            cached_argmax_[n * channels + c] = best_index;
+        }
+    }
+    return out;
+}
+
+tensor global_max_pool::backward(const tensor& grad_output) {
+    HAWC_REQUIRE(!cached_input_shape_.empty(), "backward before forward");
+    tensor grad_input{cached_input_shape_};
+    for (std::size_t i = 0; i < grad_output.size(); ++i) {
+        grad_input[cached_argmax_[i]] += grad_output[i];
+    }
+    return grad_input;
+}
+
+layer_info global_max_pool::info() const {
+    layer_info li;
+    li.name = "global_max_pool";
+    li.kind = op_kind::pooling;
+    li.activations_per_sample =
+        cached_input_shape_.empty() ? 0 : cached_input_shape_.back();
+    return li;
+}
+
+}  // namespace hawc

@@ -1,0 +1,42 @@
+#pragma once
+
+// Pooling layers: 2x2 max pooling (HAWC's CNN) and global max pooling
+// over the spatial grid (PointNet's permutation-invariant aggregation).
+
+#include "nn/layer.hpp"
+
+namespace hawc {
+
+/// Max pooling with square window and stride equal to the window size.
+/// Trailing rows/columns that do not fill a window are dropped (floor).
+class max_pool2d final : public layer {
+public:
+    explicit max_pool2d(std::size_t window = 2);
+
+    std::size_t window() const { return window_; }
+
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
+
+private:
+    std::size_t window_;
+    std::vector<std::size_t> cached_argmax_;  // flat input index per output element
+    std::vector<std::size_t> cached_input_shape_;
+};
+
+/// Global max over H and W: (N, H, W, C) -> (N, 1, 1, C).
+class global_max_pool final : public layer {
+public:
+    tensor forward(const tensor& input, bool training) override;
+    tensor backward(const tensor& grad_output) override;
+    layer_info info() const override;
+    std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
+
+private:
+    std::vector<std::size_t> cached_argmax_;
+    std::vector<std::size_t> cached_input_shape_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,65 @@
+#include "nn/tensor.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+namespace {
+
+std::size_t element_count(const std::vector<std::size_t>& shape) {
+    return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                           std::multiplies<std::size_t>{});
+}
+
+}  // namespace
+
+tensor::tensor(std::vector<std::size_t> shape) : shape_{std::move(shape)} {
+    HAWC_REQUIRE(!shape_.empty() && shape_.size() <= 4, "tensor rank must be 1..4");
+    data_.assign(element_count(shape_), 0.0f);
+}
+
+void tensor::fill(float value) { std::fill(data_.begin(), data_.end(), value); }
+
+tensor tensor::reshaped(std::vector<std::size_t> new_shape) const {
+    HAWC_REQUIRE(element_count(new_shape) == size(), "reshape must preserve element count");
+    tensor out{std::move(new_shape)};
+    std::copy(data_.begin(), data_.end(), out.data_.begin());
+    return out;
+}
+
+std::size_t tensor::sample_size() const {
+    if (shape_.empty()) return 0;
+    return size() / shape_[0];
+}
+
+tensor tensor::slice_sample(std::size_t n) const {
+    HAWC_REQUIRE(n < batch(), "sample index out of range");
+    std::vector<std::size_t> shape = shape_;
+    shape[0] = 1;
+    tensor out{shape};
+    const std::size_t stride = sample_size();
+    std::copy(data_.begin() + static_cast<std::ptrdiff_t>(n * stride),
+              data_.begin() + static_cast<std::ptrdiff_t>((n + 1) * stride), out.data_.begin());
+    return out;
+}
+
+tensor tensor::stack(const std::vector<tensor>& samples) {
+    HAWC_REQUIRE(!samples.empty(), "cannot stack zero tensors");
+    std::vector<std::size_t> shape = samples.front().shape();
+    HAWC_REQUIRE(shape[0] == 1, "stack expects batch-1 samples");
+    shape[0] = samples.size();
+    tensor out{shape};
+    const std::size_t stride = samples.front().size();
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+        HAWC_REQUIRE(samples[i].shape() == samples.front().shape(),
+                     "all stacked samples must share a shape");
+        std::copy(samples[i].data_.begin(), samples[i].data_.end(),
+                  out.data_.begin() + static_cast<std::ptrdiff_t>(i * stride));
+    }
+    return out;
+}
+
+}  // namespace hawc

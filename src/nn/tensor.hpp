@@ -1,0 +1,71 @@
+#pragma once
+
+// Dense float tensor in NHWC layout — the data type flowing through the
+// neural-network library. Kept deliberately small: shape + contiguous
+// storage + indexing; all math lives in the layers.
+
+#include <cstddef>
+#include <initializer_list>
+#include <vector>
+
+namespace hawc {
+
+/// Tensor shape: up to 4 dimensions; rank-2 tensors are (N, F), rank-4
+/// are (N, H, W, C). Stored row-major (C fastest).
+class tensor {
+public:
+    tensor() = default;
+    explicit tensor(std::vector<std::size_t> shape);
+    tensor(std::initializer_list<std::size_t> shape)
+        : tensor(std::vector<std::size_t>{shape}) {}
+
+    const std::vector<std::size_t>& shape() const { return shape_; }
+    std::size_t rank() const { return shape_.size(); }
+    std::size_t dim(std::size_t i) const { return shape_[i]; }
+    std::size_t size() const { return data_.size(); }
+
+    float* data() { return data_.data(); }
+    const float* data() const { return data_.data(); }
+
+    float& operator[](std::size_t i) { return data_[i]; }
+    float operator[](std::size_t i) const { return data_[i]; }
+
+    /// 4-D accessors (N, H, W, C).
+    float& at(std::size_t n, std::size_t h, std::size_t w, std::size_t c) {
+        return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+    }
+    const float& at(std::size_t n, std::size_t h, std::size_t w, std::size_t c) const {
+        return data_[((n * shape_[1] + h) * shape_[2] + w) * shape_[3] + c];
+    }
+
+    /// 2-D accessors (N, F).
+    float& at(std::size_t n, std::size_t f) { return data_[n * shape_[1] + f]; }
+    const float& at(std::size_t n, std::size_t f) const { return data_[n * shape_[1] + f]; }
+
+    void fill(float value);
+    void zero() { fill(0.0f); }
+
+    /// Reinterpret with a new shape of identical element count.
+    tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+    /// Elements per sample (product of non-batch dimensions).
+    std::size_t sample_size() const;
+
+    /// Batch dimension (first axis); 0 for an empty tensor.
+    std::size_t batch() const { return shape_.empty() ? 0 : shape_[0]; }
+
+    /// Copy a contiguous sample slice [i] into a rank-(r-1)... kept as a
+    /// same-rank tensor with batch 1 for simplicity.
+    tensor slice_sample(std::size_t n) const;
+
+    /// Stack same-shaped single-sample tensors into one batch.
+    static tensor stack(const std::vector<tensor>& samples);
+
+    bool operator==(const tensor&) const = default;
+
+private:
+    std::vector<std::size_t> shape_;
+    std::vector<float> data_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,156 @@
+#include "nn/trainer.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "nn/loss.hpp"
+
+namespace hawc {
+
+labelled_dataset labelled_dataset::stratified_fraction(double fraction, rng& random) const {
+    HAWC_REQUIRE(fraction > 0.0 && fraction <= 1.0, "fraction must be in (0, 1]");
+    // Group indices by class.
+    std::vector<std::vector<std::size_t>> by_class;
+    for (std::size_t i = 0; i < size(); ++i) {
+        const std::size_t c = labels[i];
+        if (c >= by_class.size()) by_class.resize(c + 1);
+        by_class[c].push_back(i);
+    }
+
+    labelled_dataset out;
+    for (auto& members : by_class) {
+        if (members.empty()) continue;
+        // Shuffle members deterministically, keep ceil(fraction * n), min 1.
+        for (std::size_t i = members.size(); i > 1; --i) {
+            std::swap(members[i - 1], members[random.uniform_index(i)]);
+        }
+        const auto keep = std::max<std::size_t>(
+            1, static_cast<std::size_t>(fraction * static_cast<double>(members.size()) + 0.5));
+        for (std::size_t i = 0; i < std::min(keep, members.size()); ++i) {
+            out.samples.push_back(samples[members[i]]);
+            out.labels.push_back(labels[members[i]]);
+        }
+    }
+    return out;
+}
+
+namespace {
+
+tensor make_batch(const labelled_dataset& data, std::span<const std::size_t> indices,
+                  std::vector<std::uint8_t>& batch_labels) {
+    std::vector<tensor> slice;
+    slice.reserve(indices.size());
+    batch_labels.clear();
+    for (auto i : indices) {
+        slice.push_back(data.samples[i]);
+        batch_labels.push_back(data.labels[i]);
+    }
+    return tensor::stack(slice);
+}
+
+}  // namespace
+
+eval_metrics evaluate(sequential& model, const labelled_dataset& data, std::size_t batch_size) {
+    HAWC_REQUIRE(data.size() > 0, "cannot evaluate on an empty dataset");
+    eval_metrics m;
+    std::vector<std::size_t> indices(data.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    std::vector<std::uint8_t> batch_labels;
+
+    for (std::size_t begin = 0; begin < indices.size(); begin += batch_size) {
+        const std::size_t end = std::min(begin + batch_size, indices.size());
+        const std::span<const std::size_t> chunk{indices.data() + begin, end - begin};
+        const tensor batch = make_batch(data, chunk, batch_labels);
+        const tensor logits = model.forward(batch, /*training=*/false);
+        for (std::size_t n = 0; n < logits.dim(0); ++n) {
+            std::size_t argmax = 0;
+            for (std::size_t k = 1; k < logits.dim(1); ++k) {
+                if (logits.at(n, k) > logits.at(n, argmax)) argmax = k;
+            }
+            const bool predicted_positive = argmax == 1;
+            const bool actually_positive = batch_labels[n] == 1;
+            if (predicted_positive && actually_positive) ++m.true_positive;
+            if (predicted_positive && !actually_positive) ++m.false_positive;
+            if (!predicted_positive && actually_positive) ++m.false_negative;
+            if (!predicted_positive && !actually_positive) ++m.true_negative;
+        }
+    }
+
+    const double total = static_cast<double>(data.size());
+    m.accuracy = static_cast<double>(m.true_positive + m.true_negative) / total;
+    const double tp = static_cast<double>(m.true_positive);
+    m.precision = tp + m.false_positive > 0
+                      ? tp / static_cast<double>(m.true_positive + m.false_positive)
+                      : 0.0;
+    m.recall = tp + m.false_negative > 0
+                   ? tp / static_cast<double>(m.true_positive + m.false_negative)
+                   : 0.0;
+    m.f1 = m.precision + m.recall > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    return m;
+}
+
+std::vector<epoch_report> train_classifier(sequential& model, const labelled_dataset& train_in,
+                                           const labelled_dataset* test,
+                                           const train_config& config, rng& random,
+                                           const epoch_refresh_fn& refresh) {
+    HAWC_REQUIRE(train_in.size() > 0, "cannot train on an empty dataset");
+    labelled_dataset refreshed;  // working copy when refresh is active
+    const labelled_dataset* train_ptr = &train_in;
+    if (refresh) {
+        refreshed = train_in;
+        train_ptr = &refreshed;
+    }
+
+    adam opt{config.adam};
+    opt.attach(model.parameters());
+
+    std::vector<std::size_t> order(train_in.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::vector<std::uint8_t> batch_labels;
+    std::vector<epoch_report> reports;
+
+    for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+        if (refresh && epoch > 0) refresh(refreshed, random);
+        if (config.lr_decay_period > 0 && epoch > 0 && epoch % config.lr_decay_period == 0) {
+            opt.set_learning_rate(opt.learning_rate() * config.lr_decay_factor);
+        }
+        const labelled_dataset& train = *train_ptr;
+        // Shuffle.
+        for (std::size_t i = order.size(); i > 1; --i) {
+            std::swap(order[i - 1], order[random.uniform_index(i)]);
+        }
+
+        double loss_sum = 0.0;
+        std::size_t correct = 0;
+        std::size_t batches = 0;
+        for (std::size_t begin = 0; begin < order.size(); begin += config.batch_size) {
+            const std::size_t end = std::min(begin + config.batch_size, order.size());
+            const std::span<const std::size_t> chunk{order.data() + begin, end - begin};
+            const tensor batch = make_batch(train, chunk, batch_labels);
+
+            const tensor logits = model.forward(batch, /*training=*/true);
+            auto loss = softmax_cross_entropy(logits, batch_labels);
+            model.backward(loss.grad_logits);
+            opt.step();
+
+            loss_sum += loss.loss;
+            correct += loss.correct;
+            ++batches;
+        }
+
+        epoch_report report;
+        report.epoch = epoch;
+        report.train_loss = loss_sum / static_cast<double>(std::max<std::size_t>(batches, 1));
+        report.train_accuracy = static_cast<double>(correct) / static_cast<double>(train.size());
+        if (test != nullptr && test->size() > 0) {
+            report.test_accuracy = evaluate(model, *test).accuracy;
+        }
+        reports.push_back(report);
+    }
+    return reports;
+}
+
+}  // namespace hawc

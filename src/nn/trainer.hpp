@@ -1,0 +1,72 @@
+#pragma once
+
+// Minibatch training loop for classification models, with per-epoch
+// evaluation hooks (used to regenerate the paper's training curves).
+
+#include <cstdint>
+#include <functional>
+
+#include "common/rng.hpp"
+#include "nn/optimizer.hpp"
+#include "nn/sequential.hpp"
+
+namespace hawc {
+
+/// In-memory labelled dataset: one tensor per sample (batch dim 1).
+struct labelled_dataset {
+    std::vector<tensor> samples;
+    std::vector<std::uint8_t> labels;
+
+    std::size_t size() const { return samples.size(); }
+
+    /// Deterministic stratified fraction of the dataset (keeps at least
+    /// one sample per present class) — the Figure 8b limited-data sweep.
+    labelled_dataset stratified_fraction(double fraction, rng& random) const;
+};
+
+struct train_config {
+    std::size_t epochs = 10;
+    std::size_t batch_size = 32;
+    adam_config adam{};
+    /// Step learning-rate decay: lr *= lr_decay_factor every
+    /// lr_decay_period epochs (0 disables).
+    double lr_decay_factor = 1.0;
+    std::size_t lr_decay_period = 0;
+};
+
+struct epoch_report {
+    std::size_t epoch = 0;
+    double train_loss = 0.0;
+    double train_accuracy = 0.0;
+    double test_accuracy = 0.0;  // populated when a test set is supplied
+};
+
+/// Binary/zero-one evaluation metrics (Table I columns).
+struct eval_metrics {
+    double accuracy = 0.0;
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    std::size_t true_positive = 0;
+    std::size_t true_negative = 0;
+    std::size_t false_positive = 0;
+    std::size_t false_negative = 0;
+};
+
+/// Evaluate a classifier on a dataset (positive class = 1).
+eval_metrics evaluate(sequential& model, const labelled_dataset& data,
+                      std::size_t batch_size = 64);
+
+/// Regenerates the training samples in place at the start of an epoch —
+/// used by models whose featurization is stochastic (noise-controlled
+/// up-sampling) so each epoch sees fresh noise draws (augmentation).
+using epoch_refresh_fn = std::function<void(labelled_dataset&, rng&)>;
+
+/// Train with Adam + softmax cross entropy. Returns one report per epoch;
+/// when `test` is non-null its accuracy is evaluated every epoch.
+std::vector<epoch_report> train_classifier(sequential& model, const labelled_dataset& train,
+                                           const labelled_dataset* test,
+                                           const train_config& config, rng& random,
+                                           const epoch_refresh_fn& refresh = {});
+
+}  // namespace hawc

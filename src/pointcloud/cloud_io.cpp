@@ -1,0 +1,46 @@
+#include "pointcloud/cloud_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+void write_xyz(std::ostream& out, const point_cloud& cloud) {
+    out.precision(6);
+    for (const auto& p : cloud) out << p.x << ' ' << p.y << ' ' << p.z << '\n';
+}
+
+void write_xyz_file(const std::filesystem::path& path, const point_cloud& cloud) {
+    std::ofstream out{path};
+    if (!out) throw io_error{"cannot open for writing: " + path.string()};
+    write_xyz(out, cloud);
+    if (!out) throw io_error{"write failed: " + path.string()};
+}
+
+point_cloud read_xyz(std::istream& in) {
+    point_cloud cloud;
+    std::string line;
+    std::size_t line_number = 0;
+    while (std::getline(in, line)) {
+        ++line_number;
+        if (line.empty() || line[0] == '#') continue;
+        std::istringstream fields{line};
+        vec3 p;
+        if (!(fields >> p.x >> p.y >> p.z)) {
+            throw io_error{"malformed XYZ line " + std::to_string(line_number) + ": " + line};
+        }
+        cloud.push_back(p);
+    }
+    return cloud;
+}
+
+point_cloud read_xyz_file(const std::filesystem::path& path) {
+    std::ifstream in{path};
+    if (!in) throw io_error{"cannot open for reading: " + path.string()};
+    return read_xyz(in);
+}
+
+}  // namespace hawc

@@ -1,0 +1,22 @@
+#pragma once
+
+// Plain-text XYZ point cloud serialization: one "x y z" line per point.
+// Used to persist generated datasets and to inspect captures offline.
+
+#include <filesystem>
+#include <iosfwd>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// Write one point per line ("x y z", 6 significant digits).
+void write_xyz(std::ostream& out, const point_cloud& cloud);
+void write_xyz_file(const std::filesystem::path& path, const point_cloud& cloud);
+
+/// Parse an XYZ stream; blank lines and '#' comment lines are skipped.
+/// Throws io_error on malformed content.
+point_cloud read_xyz(std::istream& in);
+point_cloud read_xyz_file(const std::filesystem::path& path);
+
+}  // namespace hawc

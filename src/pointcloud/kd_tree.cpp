@@ -1,0 +1,166 @@
+#include "pointcloud/kd_tree.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <queue>
+
+namespace hawc {
+
+namespace {
+
+double axis_value(const vec3& p, std::uint8_t axis) {
+    switch (axis) {
+        case 0: return p.x;
+        case 1: return p.y;
+        default: return p.z;
+    }
+}
+
+}  // namespace
+
+kd_tree::kd_tree(const point_cloud& cloud) {
+    const auto n = static_cast<std::int32_t>(cloud.size());
+    points_.reserve(cloud.size());
+    for (const auto& p : cloud) points_.push_back(p);
+    order_.resize(cloud.size());
+    std::iota(order_.begin(), order_.end(), 0);
+    if (n > 0) {
+        nodes_.reserve(static_cast<std::size_t>(2 * n / leaf_size + 4));
+        root_ = build(0, n, 0);
+    }
+}
+
+std::int32_t kd_tree::build(std::int32_t begin, std::int32_t end, int depth) {
+    node nd;
+    if (end - begin <= leaf_size) {
+        nd.leaf = true;
+        nd.begin = begin;
+        nd.end = end;
+        nodes_.push_back(nd);
+        return static_cast<std::int32_t>(nodes_.size() - 1);
+    }
+
+    // Pick the widest-spread axis for better balance on anisotropic data
+    // (LiDAR walkway scenes are much longer in x than tall in z).
+    vec3 lo = points_[static_cast<std::size_t>(order_[begin])];
+    vec3 hi = lo;
+    for (std::int32_t i = begin + 1; i < end; ++i) {
+        const auto& p = points_[static_cast<std::size_t>(order_[i])];
+        lo.x = std::min(lo.x, p.x);
+        lo.y = std::min(lo.y, p.y);
+        lo.z = std::min(lo.z, p.z);
+        hi.x = std::max(hi.x, p.x);
+        hi.y = std::max(hi.y, p.y);
+        hi.z = std::max(hi.z, p.z);
+    }
+    const vec3 spread = hi - lo;
+    std::uint8_t axis = 0;
+    if (spread.y > spread.x) axis = 1;
+    if (spread.z > axis_value(spread, axis)) axis = 2;
+
+    const std::int32_t mid = begin + (end - begin) / 2;
+    std::nth_element(order_.begin() + begin, order_.begin() + mid, order_.begin() + end,
+                     [&](std::int32_t a, std::int32_t b) {
+                         return axis_value(points_[static_cast<std::size_t>(a)], axis) <
+                                axis_value(points_[static_cast<std::size_t>(b)], axis);
+                     });
+
+    nd.axis = axis;
+    nd.split = axis_value(points_[static_cast<std::size_t>(order_[mid])], axis);
+    nodes_.push_back(nd);
+    const auto index = static_cast<std::int32_t>(nodes_.size() - 1);
+    const auto left = build(begin, mid, depth + 1);
+    const auto right = build(mid, end, depth + 1);
+    nodes_[static_cast<std::size_t>(index)].left = left;
+    nodes_[static_cast<std::size_t>(index)].right = right;
+    return index;
+}
+
+std::vector<neighbor> kd_tree::nearest(const vec3& query, std::size_t k) const {
+    std::vector<neighbor> result;
+    if (k == 0 || points_.empty()) return result;
+    k = std::min(k, points_.size());
+
+    // Max-heap of the best k candidates seen so far, keyed by distance.
+    auto cmp = [](const neighbor& a, const neighbor& b) { return a.distance < b.distance; };
+    std::priority_queue<neighbor, std::vector<neighbor>, decltype(cmp)> heap{cmp};
+
+    auto consider = [&](std::int32_t tree_pos) {
+        const auto cloud_index = order_[static_cast<std::size_t>(tree_pos)];
+        const double d_sq = points_[static_cast<std::size_t>(cloud_index)].distance_sq_to(query);
+        if (heap.size() < k) {
+            heap.push({static_cast<std::size_t>(cloud_index), d_sq});
+        } else if (d_sq < heap.top().distance) {
+            heap.pop();
+            heap.push({static_cast<std::size_t>(cloud_index), d_sq});
+        }
+    };
+
+    // Iterative depth-first traversal with pruning against the current
+    // k-th best distance.
+    std::vector<std::int32_t> stack;
+    stack.push_back(root_);
+    while (!stack.empty()) {
+        const auto ni = stack.back();
+        stack.pop_back();
+        if (ni < 0) continue;
+        const node& nd = nodes_[static_cast<std::size_t>(ni)];
+        if (nd.leaf) {
+            for (std::int32_t i = nd.begin; i < nd.end; ++i) consider(i);
+            continue;
+        }
+        const double delta = axis_value(query, nd.axis) - nd.split;
+        const auto near_child = delta <= 0.0 ? nd.left : nd.right;
+        const auto far_child = delta <= 0.0 ? nd.right : nd.left;
+        // Visit far side only if the splitting plane is closer than the
+        // current worst retained distance (or we have fewer than k yet).
+        if (heap.size() < k || delta * delta <= heap.top().distance) stack.push_back(far_child);
+        stack.push_back(near_child);
+    }
+
+    result.resize(heap.size());
+    for (auto it = result.rbegin(); it != result.rend(); ++it) {
+        *it = heap.top();
+        heap.pop();
+    }
+    for (auto& nb : result) nb.distance = std::sqrt(nb.distance);
+    return result;
+}
+
+template <typename Visitor>
+void kd_tree::visit_radius(std::int32_t node_index, const vec3& query, double radius_sq,
+                           Visitor&& visit) const {
+    if (node_index < 0) return;
+    const node& nd = nodes_[static_cast<std::size_t>(node_index)];
+    if (nd.leaf) {
+        for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+            const auto cloud_index = order_[static_cast<std::size_t>(i)];
+            if (points_[static_cast<std::size_t>(cloud_index)].distance_sq_to(query) <= radius_sq) {
+                visit(static_cast<std::size_t>(cloud_index));
+            }
+        }
+        return;
+    }
+    const double delta = axis_value(query, nd.axis) - nd.split;
+    const auto near_child = delta <= 0.0 ? nd.left : nd.right;
+    const auto far_child = delta <= 0.0 ? nd.right : nd.left;
+    visit_radius(near_child, query, radius_sq, visit);
+    if (delta * delta <= radius_sq) visit_radius(far_child, query, radius_sq, visit);
+}
+
+std::vector<std::size_t> kd_tree::radius_search(const vec3& query, double radius) const {
+    std::vector<std::size_t> found;
+    if (points_.empty() || radius < 0.0) return found;
+    visit_radius(root_, query, radius * radius, [&](std::size_t i) { found.push_back(i); });
+    return found;
+}
+
+std::size_t kd_tree::count_within(const vec3& query, double radius) const {
+    if (points_.empty() || radius < 0.0) return 0;
+    std::size_t count = 0;
+    visit_radius(root_, query, radius * radius, [&](std::size_t) { ++count; });
+    return count;
+}
+
+}  // namespace hawc

@@ -1,0 +1,67 @@
+#pragma once
+
+// Static KD-tree over a point cloud. Supports the two queries the paper's
+// pipeline needs: k-nearest-neighbour search (adaptive-eps selection and
+// height-aware projection) and fixed-radius search (DBSCAN region queries).
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// Result of a nearest-neighbour query: point index plus distance.
+struct neighbor {
+    std::size_t index = 0;
+    double distance = 0.0;
+};
+
+/// Balanced KD-tree built once over an immutable cloud. The tree stores
+/// indices into the cloud passed at construction; the caller must keep
+/// that cloud alive and unmodified for the tree's lifetime.
+class kd_tree {
+public:
+    explicit kd_tree(const point_cloud& cloud);
+
+    std::size_t size() const { return points_.size(); }
+
+    /// The k nearest neighbours of `query`, sorted by ascending distance.
+    /// Includes the query point itself if it is a member of the cloud.
+    /// Returns fewer than k results when the cloud is smaller than k.
+    std::vector<neighbor> nearest(const vec3& query, std::size_t k) const;
+
+    /// Indices of all points within `radius` (inclusive) of `query`.
+    std::vector<std::size_t> radius_search(const vec3& query, double radius) const;
+
+    /// Number of points within `radius` of `query` (no allocation beyond
+    /// the recursion stack); used by DBSCAN core-point tests.
+    std::size_t count_within(const vec3& query, double radius) const;
+
+private:
+    struct node {
+        std::int32_t left = -1;
+        std::int32_t right = -1;
+        std::int32_t begin = 0;   // leaf: range into order_
+        std::int32_t end = 0;
+        std::uint8_t axis = 0;
+        double split = 0.0;
+        bool leaf = false;
+    };
+
+    std::int32_t build(std::int32_t begin, std::int32_t end, int depth);
+
+    template <typename Visitor>
+    void visit_radius(std::int32_t node_index, const vec3& query, double radius_sq,
+                      Visitor&& visit) const;
+
+    static constexpr std::int32_t leaf_size = 16;
+
+    std::vector<vec3> points_;        // copy for cache-friendly traversal
+    std::vector<std::int32_t> order_; // permutation: tree position -> cloud index
+    std::vector<node> nodes_;
+    std::int32_t root_ = -1;
+};
+
+}  // namespace hawc

@@ -1,0 +1,47 @@
+#include "pointcloud/point_cloud.hpp"
+
+#include <cmath>
+
+namespace hawc {
+
+vec3 point_cloud::centroid() const {
+    if (points_.empty()) return {};
+    vec3 sum;
+    for (const auto& p : points_) sum += p;
+    return sum / static_cast<double>(points_.size());
+}
+
+aabb point_cloud::bounds() const {
+    aabb box;
+    for (const auto& p : points_) box.expand(p);
+    return box;
+}
+
+point_cloud point_cloud::translated(const vec3& offset) const {
+    point_cloud out;
+    out.reserve(points_.size());
+    for (const auto& p : points_) out.push_back(p + offset);
+    return out;
+}
+
+point_cloud point_cloud::rotated_z(const vec3& center, double angle) const {
+    const double c = std::cos(angle);
+    const double s = std::sin(angle);
+    point_cloud out;
+    out.reserve(points_.size());
+    for (const auto& p : points_) {
+        const double dx = p.x - center.x;
+        const double dy = p.y - center.y;
+        out.push_back({center.x + c * dx - s * dy, center.y + s * dx + c * dy, p.z});
+    }
+    return out;
+}
+
+point_cloud point_cloud::subset(std::span<const std::size_t> indices) const {
+    point_cloud out;
+    out.reserve(indices.size());
+    for (auto i : indices) out.push_back(points_[i]);
+    return out;
+}
+
+}  // namespace hawc

@@ -1,0 +1,77 @@
+#pragma once
+
+// The central data type of the framework: an unordered set of 3D points
+// as produced by one LiDAR capture (or one cluster of one).
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace hawc {
+
+/// Value-semantic 3D point cloud. Points are stored contiguously; the
+/// container deliberately mirrors std::vector's interface for the common
+/// operations and adds geometric queries used across the pipeline.
+class point_cloud {
+public:
+    point_cloud() = default;
+    explicit point_cloud(std::vector<vec3> points) : points_{std::move(points)} {}
+
+    std::size_t size() const { return points_.size(); }
+    bool empty() const { return points_.empty(); }
+    void reserve(std::size_t n) { points_.reserve(n); }
+    void clear() { points_.clear(); }
+
+    void push_back(const vec3& p) { points_.push_back(p); }
+    void append(const point_cloud& other) {
+        points_.insert(points_.end(), other.points_.begin(), other.points_.end());
+    }
+
+    const vec3& operator[](std::size_t i) const { return points_[i]; }
+    vec3& operator[](std::size_t i) { return points_[i]; }
+
+    auto begin() const { return points_.begin(); }
+    auto end() const { return points_.end(); }
+    auto begin() { return points_.begin(); }
+    auto end() { return points_.end(); }
+
+    std::span<const vec3> points() const { return points_; }
+    std::vector<vec3>& mutable_points() { return points_; }
+
+    /// Arithmetic mean of all points; zero vector for an empty cloud.
+    vec3 centroid() const;
+
+    /// Tight axis-aligned bounds (empty box for an empty cloud).
+    aabb bounds() const;
+
+    /// New cloud containing only points for which pred(p) is true.
+    template <typename Pred>
+    point_cloud filtered(Pred&& pred) const {
+        point_cloud out;
+        out.reserve(points_.size());
+        for (const auto& p : points_) {
+            if (pred(p)) out.push_back(p);
+        }
+        return out;
+    }
+
+    /// New cloud translated by `offset`.
+    point_cloud translated(const vec3& offset) const;
+
+    /// New cloud rotated by `angle` radians around the vertical axis
+    /// through `center` (z unchanged). Used for yaw augmentation.
+    point_cloud rotated_z(const vec3& center, double angle) const;
+
+    /// Cloud built from the points at the given indices.
+    point_cloud subset(std::span<const std::size_t> indices) const;
+
+    bool operator==(const point_cloud&) const = default;
+
+private:
+    std::vector<vec3> points_;
+};
+
+}  // namespace hawc

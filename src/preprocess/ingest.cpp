@@ -1,0 +1,21 @@
+#include "preprocess/ingest.hpp"
+
+namespace hawc {
+
+point_cloud crop_roi(const point_cloud& raw, const roi_config& roi) {
+    return raw.filtered([&](const vec3& p) {
+        return p.x >= roi.x_min_m && p.x <= roi.x_max_m && p.y >= roi.y_min_m &&
+               p.y <= roi.y_max_m && p.z >= roi.z_min_m && p.z <= roi.z_max_m;
+    });
+}
+
+point_cloud remove_ground(const point_cloud& cloud, const ground_filter_config& config) {
+    return cloud.filtered([&](const vec3& p) { return p.z >= config.z_min_m; });
+}
+
+point_cloud ingest(const point_cloud& raw, const roi_config& roi,
+                   const ground_filter_config& ground) {
+    return remove_ground(crop_roi(raw, roi), ground);
+}
+
+}  // namespace hawc

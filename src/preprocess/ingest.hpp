@@ -1,0 +1,39 @@
+#pragma once
+
+// Point cloud ingestion: the ROI crop and rule-based ground segmentation
+// HAWC-CC applies to every raw capture before clustering (paper Sec. III).
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc {
+
+/// Region-of-interest crop. Defaults are the paper's deployment: targets
+/// between 12 m and 35 m from the sensor in x (closer points fall in the
+/// pole's shadow, farther ones reflect too weakly) and the full 5 m-wide
+/// walkway in y.
+struct roi_config {
+    double x_min_m = 12.0;
+    double x_max_m = 35.0;
+    double y_min_m = -2.5;
+    double y_max_m = 2.5;
+    double z_min_m = -3.0;   // sensor detection floor (ground level)
+    double z_max_m = 0.5;
+};
+
+/// Keep only points inside the ROI box.
+point_cloud crop_roi(const point_cloud& raw, const roi_config& roi = {});
+
+/// Rule-based ground segmentation (paper Sec. III): ground noise extends
+/// about 0.4 m above the ground plane at z = -3, so points with
+/// z < z_min = -2.6 are discarded.
+struct ground_filter_config {
+    double z_min_m = -2.6;
+};
+
+point_cloud remove_ground(const point_cloud& cloud, const ground_filter_config& config = {});
+
+/// Full ingestion: ROI crop then ground removal.
+point_cloud ingest(const point_cloud& raw, const roi_config& roi = {},
+                   const ground_filter_config& ground = {});
+
+}  // namespace hawc

@@ -1,0 +1,230 @@
+#include "quant/q_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+namespace {
+
+std::int8_t requantize(float real, const quant_params& out_q, bool fused_relu) {
+    if (fused_relu && real < 0.0f) real = 0.0f;
+    return out_q.quantize(real);
+}
+
+q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
+    HAWC_REQUIRE(in.shape.size() == 4, "q_conv expects rank-4 input");
+    const std::size_t batch = in.shape[0];
+    const std::size_t in_h = in.shape[1];
+    const std::size_t in_w = in.shape[2];
+    HAWC_REQUIRE(in.shape[3] == op.in_channels, "q_conv channel mismatch");
+    const std::size_t out_h = in_h + 2 * op.pad - op.kernel + 1;
+    const std::size_t out_w = in_w + 2 * op.pad - op.kernel + 1;
+
+    q_tensor out;
+    out.shape = {batch, out_h, out_w, op.out_channels};
+    out.params = op.out_q;
+    out.data.resize(batch * out_h * out_w * op.out_channels);
+
+    const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
+    std::vector<std::int32_t> acc(op.out_channels);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+                std::fill(acc.begin(), acc.end(), 0);
+                for (std::size_t kh = 0; kh < op.kernel; ++kh) {
+                    const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
+                                              static_cast<std::ptrdiff_t>(op.pad);
+                    if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(in_h)) continue;
+                    for (std::size_t kw = 0; kw < op.kernel; ++kw) {
+                        const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow + kw) -
+                                                  static_cast<std::ptrdiff_t>(op.pad);
+                        if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(in_w)) continue;
+                        const std::int8_t* in_px =
+                            &in.data[((n * in_h + static_cast<std::size_t>(ih)) * in_w +
+                                      static_cast<std::size_t>(iw)) *
+                                     op.in_channels];
+                        const std::int8_t* w_px =
+                            &op.weights[(kh * op.kernel + kw) * op.in_channels * op.out_channels];
+                        for (std::size_t ic = 0; ic < op.in_channels; ++ic) {
+                            const std::int32_t x = static_cast<std::int32_t>(in_px[ic]) - zp_in;
+                            if (x == 0) continue;
+                            const std::int8_t* w_row = &w_px[ic * op.out_channels];
+                            for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
+                                acc[oc] += x * static_cast<std::int32_t>(w_row[oc]);
+                            }
+                        }
+                    }
+                }
+                std::int8_t* out_px =
+                    &out.data[((n * out_h + oh) * out_w + ow) * op.out_channels];
+                for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
+                    const float real = static_cast<float>(acc[oc]) * op.in_q.scale *
+                                           op.weight_scales[oc] +
+                                       op.bias[oc];
+                    out_px[oc] = requantize(real, op.out_q, op.fused_relu);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+q_tensor run_dense(const q_dense_op& op, const q_tensor& in) {
+    HAWC_REQUIRE(in.shape.size() == 2, "q_dense expects rank-2 input");
+    HAWC_REQUIRE(in.shape[1] == op.in_features, "q_dense feature mismatch");
+    const std::size_t batch = in.shape[0];
+
+    q_tensor out;
+    out.shape = {batch, op.out_features};
+    out.params = op.out_q;
+    out.data.resize(batch * op.out_features);
+
+    const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
+    std::vector<std::int32_t> acc(op.out_features);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        std::fill(acc.begin(), acc.end(), 0);
+        const std::int8_t* in_row = &in.data[n * op.in_features];
+        for (std::size_t i = 0; i < op.in_features; ++i) {
+            const std::int32_t x = static_cast<std::int32_t>(in_row[i]) - zp_in;
+            if (x == 0) continue;
+            const std::int8_t* w_row = &op.weights[i * op.out_features];
+            for (std::size_t o = 0; o < op.out_features; ++o) {
+                acc[o] += x * static_cast<std::int32_t>(w_row[o]);
+            }
+        }
+        std::int8_t* out_row = &out.data[n * op.out_features];
+        for (std::size_t o = 0; o < op.out_features; ++o) {
+            const float real =
+                static_cast<float>(acc[o]) * op.in_q.scale * op.weight_scales[o] + op.bias[o];
+            out_row[o] = requantize(real, op.out_q, op.fused_relu);
+        }
+    }
+    return out;
+}
+
+q_tensor run_pool(const q_pool_op& op, const q_tensor& in) {
+    HAWC_REQUIRE(in.shape.size() == 4, "q_pool expects rank-4 input");
+    const std::size_t batch = in.shape[0];
+    const std::size_t channels = in.shape[3];
+    const std::size_t out_h = in.shape[1] / op.window;
+    const std::size_t out_w = in.shape[2] / op.window;
+
+    q_tensor out;
+    out.shape = {batch, out_h, out_w, channels};
+    out.params = in.params;  // max pooling preserves scale
+    out.data.resize(batch * out_h * out_w * channels);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t oh = 0; oh < out_h; ++oh) {
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+                for (std::size_t c = 0; c < channels; ++c) {
+                    std::int8_t best = -128;
+                    for (std::size_t kh = 0; kh < op.window; ++kh) {
+                        for (std::size_t kw = 0; kw < op.window; ++kw) {
+                            const std::size_t ih = oh * op.window + kh;
+                            const std::size_t iw = ow * op.window + kw;
+                            best = std::max(
+                                best,
+                                in.data[((n * in.shape[1] + ih) * in.shape[2] + iw) * channels + c]);
+                        }
+                    }
+                    out.data[((n * out_h + oh) * out_w + ow) * channels + c] = best;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+q_tensor run_global_pool(const q_tensor& in) {
+    HAWC_REQUIRE(in.shape.size() == 4, "q_global_pool expects rank-4 input");
+    const std::size_t batch = in.shape[0];
+    const std::size_t spatial = in.shape[1] * in.shape[2];
+    const std::size_t channels = in.shape[3];
+
+    q_tensor out;
+    out.shape = {batch, 1, 1, channels};
+    out.params = in.params;
+    out.data.assign(batch * channels, -128);
+
+    for (std::size_t n = 0; n < batch; ++n) {
+        for (std::size_t s = 0; s < spatial; ++s) {
+            const std::int8_t* px = &in.data[(n * spatial + s) * channels];
+            std::int8_t* out_px = &out.data[n * channels];
+            for (std::size_t c = 0; c < channels; ++c) out_px[c] = std::max(out_px[c], px[c]);
+        }
+    }
+    return out;
+}
+
+q_tensor run_flatten(const q_tensor& in) {
+    q_tensor out = in;
+    std::size_t features = 1;
+    for (std::size_t d = 1; d < in.shape.size(); ++d) features *= in.shape[d];
+    out.shape = {in.shape[0], features};
+    return out;
+}
+
+}  // namespace
+
+tensor quantized_model::forward(const tensor& input) const {
+    q_tensor x = quantize_tensor(input, input_params_);
+    for (const auto& op : ops_) {
+        x = std::visit(
+            [&](const auto& concrete) -> q_tensor {
+                using T = std::decay_t<decltype(concrete)>;
+                if constexpr (std::is_same_v<T, q_conv_op>) return run_conv(concrete, x);
+                else if constexpr (std::is_same_v<T, q_dense_op>) return run_dense(concrete, x);
+                else if constexpr (std::is_same_v<T, q_pool_op>) return run_pool(concrete, x);
+                else if constexpr (std::is_same_v<T, q_global_pool_op>) return run_global_pool(x);
+                else return run_flatten(x);
+            },
+            op);
+    }
+    return dequantize_tensor(x);
+}
+
+std::vector<q_op_info> quantized_model::op_infos(std::vector<std::size_t> sample_shape) const {
+    std::vector<q_op_info> infos;
+    std::vector<std::size_t> shape = std::move(sample_shape);  // without batch dim
+    for (const auto& op : ops_) {
+        q_op_info info;
+        std::visit(
+            [&](const auto& concrete) {
+                using T = std::decay_t<decltype(concrete)>;
+                if constexpr (std::is_same_v<T, q_conv_op>) {
+                    const std::size_t out_h = shape[0] + 2 * concrete.pad - concrete.kernel + 1;
+                    const std::size_t out_w = shape[1] + 2 * concrete.pad - concrete.kernel + 1;
+                    info.kind = op_kind::convolution;
+                    info.macs = out_h * out_w * concrete.out_channels * concrete.kernel *
+                                concrete.kernel * concrete.in_channels;
+                    shape = {out_h, out_w, concrete.out_channels};
+                } else if constexpr (std::is_same_v<T, q_dense_op>) {
+                    info.kind = op_kind::dense;
+                    info.macs = concrete.in_features * concrete.out_features;
+                    shape = {concrete.out_features};
+                } else if constexpr (std::is_same_v<T, q_pool_op>) {
+                    info.kind = op_kind::pooling;
+                    shape = {shape[0] / concrete.window, shape[1] / concrete.window, shape[2]};
+                } else if constexpr (std::is_same_v<T, q_global_pool_op>) {
+                    info.kind = op_kind::pooling;
+                    shape = {1, 1, shape[2]};
+                } else {
+                    info.kind = op_kind::reshape;
+                    std::size_t features = 1;
+                    for (auto d : shape) features *= d;
+                    shape = {features};
+                }
+            },
+            op);
+        infos.push_back(info);
+    }
+    return infos;
+}
+
+}  // namespace hawc

@@ -1,0 +1,82 @@
+#pragma once
+
+// Quantized model representation and int8 inference path. Ops are built
+// from a trained fp32 sequential by the calibrator (calibrate.hpp):
+// batch-norm folds into the preceding conv/dense, ReLU fuses into the
+// output clamp, weights are symmetric per-output-channel int8, and every
+// activation tensor carries per-tensor affine parameters.
+
+#include <variant>
+
+#include "nn/layer.hpp"
+#include "quant/q_types.hpp"
+
+namespace hawc {
+
+/// Quantized convolution (stride 1). Weight layout (k,k,Cin,Cout).
+struct q_conv_op {
+    std::size_t kernel = 3;
+    std::size_t in_channels = 0;
+    std::size_t out_channels = 0;
+    std::size_t pad = 0;
+    std::vector<std::int8_t> weights;
+    std::vector<float> weight_scales;  // per output channel
+    std::vector<float> bias;           // real-valued, folded
+    quant_params in_q;
+    quant_params out_q;
+    bool fused_relu = false;
+};
+
+/// Quantized fully-connected layer. Weight layout (Fin, Fout).
+struct q_dense_op {
+    std::size_t in_features = 0;
+    std::size_t out_features = 0;
+    std::vector<std::int8_t> weights;
+    std::vector<float> weight_scales;  // per output feature
+    std::vector<float> bias;
+    quant_params in_q;
+    quant_params out_q;
+    bool fused_relu = false;
+};
+
+struct q_pool_op {
+    std::size_t window = 2;
+};
+
+struct q_global_pool_op {};
+
+struct q_flatten_op {};
+
+using q_op = std::variant<q_conv_op, q_dense_op, q_pool_op, q_global_pool_op, q_flatten_op>;
+
+/// Cost-model view of one quantized op.
+struct q_op_info {
+    op_kind kind = op_kind::reshape;
+    std::size_t macs = 0;
+};
+
+/// An int8 network: ops plus the input quantization parameters.
+class quantized_model {
+public:
+    quantized_model() = default;
+
+    void set_input_params(const quant_params& p) { input_params_ = p; }
+    void add_op(q_op op) { ops_.push_back(std::move(op)); }
+
+    std::size_t op_count() const { return ops_.size(); }
+    const q_op& op_at(std::size_t i) const { return ops_[i]; }
+    const quant_params& input_params() const { return input_params_; }
+
+    /// Quantize `input` (batch supported), run the int8 pipeline, and
+    /// dequantize the final activation (logits) to float.
+    tensor forward(const tensor& input) const;
+
+    /// Per-op MAC counts for an input of the given single-sample shape.
+    std::vector<q_op_info> op_infos(std::vector<std::size_t> sample_shape) const;
+
+private:
+    std::vector<q_op> ops_;
+    quant_params input_params_;
+};
+
+}  // namespace hawc

@@ -1,0 +1,58 @@
+#include "quant/q_types.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hawc {
+
+quant_params quant_params::from_range(float lo, float hi) {
+    // Always include zero so that zero padding / ReLU cutoffs are exact,
+    // as TFLite requires.
+    lo = std::min(lo, 0.0f);
+    hi = std::max(hi, 0.0f);
+    quant_params p;
+    const float span = hi - lo;
+    p.scale = span > 0.0f ? span / 255.0f : 1.0f;
+    const float zp = -128.0f - lo / p.scale;
+    p.zero_point = static_cast<std::int32_t>(std::lround(std::clamp(zp, -128.0f, 127.0f)));
+    return p;
+}
+
+std::int8_t quant_params::quantize(float real) const {
+    const float q = std::round(real / scale + static_cast<float>(zero_point));
+    return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+}
+
+q_tensor quantize_tensor(const tensor& real, const quant_params& params) {
+    q_tensor out;
+    out.shape = real.shape();
+    out.params = params;
+    out.data.resize(real.size());
+    for (std::size_t i = 0; i < real.size(); ++i) out.data[i] = params.quantize(real[i]);
+    return out;
+}
+
+tensor dequantize_tensor(const q_tensor& quantized) {
+    tensor out{quantized.shape};
+    for (std::size_t i = 0; i < quantized.size(); ++i) {
+        out[i] = quantized.params.dequantize(quantized.data[i]);
+    }
+    return out;
+}
+
+void range_observer::observe(const tensor& t) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        const float v = t[i];
+        if (!seen) {
+            lo = hi = v;
+            seen = true;
+        } else {
+            lo = std::min(lo, v);
+            hi = std::max(hi, v);
+        }
+    }
+}
+
+quant_params range_observer::params() const { return quant_params::from_range(lo, hi); }
+
+}  // namespace hawc

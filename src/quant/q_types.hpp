@@ -1,0 +1,52 @@
+#pragma once
+
+// Core quantization types: affine (scale, zero-point) parameters and the
+// int8 tensor, following the TFLite post-training quantization scheme the
+// paper applies (int8 asymmetric activations, symmetric per-channel
+// weights, int32 accumulators).
+
+#include <cstdint>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace hawc {
+
+/// Affine quantization: real = scale * (q - zero_point).
+struct quant_params {
+    float scale = 1.0f;
+    std::int32_t zero_point = 0;
+
+    /// Derive parameters covering [lo, hi] with int8 range [-128, 127].
+    static quant_params from_range(float lo, float hi);
+
+    std::int8_t quantize(float real) const;
+    float dequantize(std::int8_t q) const { return scale * (static_cast<float>(q) - static_cast<float>(zero_point)); }
+};
+
+/// Dense int8 tensor with a single (per-tensor) quantization parameter.
+struct q_tensor {
+    std::vector<std::size_t> shape;
+    std::vector<std::int8_t> data;
+    quant_params params;
+
+    std::size_t size() const { return data.size(); }
+};
+
+/// Quantize a float tensor with the given parameters.
+q_tensor quantize_tensor(const tensor& real, const quant_params& params);
+
+/// Dequantize back to float (for the final logits).
+tensor dequantize_tensor(const q_tensor& quantized);
+
+/// Track min/max over observed activations (per-tensor calibration).
+struct range_observer {
+    float lo = 0.0f;
+    float hi = 0.0f;
+    bool seen = false;
+
+    void observe(const tensor& t);
+    quant_params params() const;
+};
+
+}  // namespace hawc

@@ -1,0 +1,78 @@
+#include "sim/human_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+namespace hawc {
+
+double height_distribution::sample(rng& random) const {
+    return std::clamp(random.normal(mean_m, stddev_m), min_m, max_m);
+}
+
+human_params sample_human_params(rng& random, const height_distribution& heights) {
+    human_params p;
+    p.height_m = heights.sample(random);
+    p.shoulder_width_m = 0.24 * p.height_m + random.normal(0.0, 0.015);
+    p.stride_phase = random.uniform();
+    p.heading_rad = random.uniform(0.0, 2.0 * std::numbers::pi);
+    p.reflectivity = random.uniform(0.55, 0.9);
+    return p;
+}
+
+std::vector<scene_primitive> make_human(const human_params& params, const vec3& feet,
+                                        int entity_id) {
+    const double h = params.height_m;
+    // Anthropometric landmark heights as fractions of stature.
+    const double hip_z = 0.53 * h;
+    const double shoulder_z = 0.82 * h;
+    const double head_center_z = 0.93 * h;
+    const double head_radius = 0.065 * h;
+    const double torso_radius = 0.5 * params.shoulder_width_m * 0.55;
+    const double limb_radius = 0.045 * h;
+
+    const double cos_h = std::cos(params.heading_rad);
+    const double sin_h = std::sin(params.heading_rad);
+    // Forward/back leg swing from the walking cycle.
+    const double swing =
+        0.18 * h * std::sin(2.0 * std::numbers::pi * params.stride_phase);
+    const vec3 forward{cos_h, sin_h, 0.0};
+    const vec3 side{-sin_h, cos_h, 0.0};
+    const double hip_half = 0.09 * h;
+
+    std::vector<scene_primitive> body;
+    body.reserve(8);
+    auto add = [&](shape geom) {
+        body.push_back({std::move(geom), entity_id, params.reflectivity});
+    };
+
+    const vec3 up{0.0, 0.0, 1.0};
+    const vec3 hip_center = feet + up * hip_z;
+    const vec3 shoulder_center = feet + up * shoulder_z;
+
+    // Legs: two capsules from feet (swung) to hips.
+    add(capsule{feet + side * hip_half + forward * swing,
+                hip_center + side * hip_half, limb_radius});
+    add(capsule{feet - side * hip_half - forward * swing,
+                hip_center - side * hip_half, limb_radius});
+
+    // Torso: hip to shoulder, thicker.
+    add(capsule{hip_center, shoulder_center, torso_radius});
+
+    // Arms: hang from the shoulders with opposite swing to the legs.
+    const double shoulder_half = 0.5 * params.shoulder_width_m;
+    const double arm_drop = 0.30 * h;
+    add(capsule{shoulder_center + side * shoulder_half,
+                shoulder_center + side * shoulder_half - up * arm_drop - forward * (0.5 * swing),
+                limb_radius * 0.85});
+    add(capsule{shoulder_center - side * shoulder_half,
+                shoulder_center - side * shoulder_half - up * arm_drop + forward * (0.5 * swing),
+                limb_radius * 0.85});
+
+    // Head.
+    add(sphere{feet + up * head_center_z, head_radius});
+
+    return body;
+}
+
+}  // namespace hawc

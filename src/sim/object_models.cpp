@@ -1,0 +1,112 @@
+#include "sim/object_models.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+const char* to_string(object_kind kind) {
+    switch (kind) {
+        case object_kind::trash_bin: return "trash_bin";
+        case object_kind::bush: return "bush";
+        case object_kind::sign_pole: return "sign_pole";
+        case object_kind::bench: return "bench";
+        case object_kind::bicycle: return "bicycle";
+        case object_kind::ground_clutter: return "ground_clutter";
+    }
+    return "unknown";
+}
+
+object_kind sample_object_kind(rng& random) {
+    // Weighted draw: bushes/bins dominate campus walkway edges.
+    const double u = random.uniform();
+    if (u < 0.28) return object_kind::bush;
+    if (u < 0.50) return object_kind::trash_bin;
+    if (u < 0.65) return object_kind::sign_pole;
+    if (u < 0.80) return object_kind::bench;
+    if (u < 0.90) return object_kind::bicycle;
+    return object_kind::ground_clutter;
+}
+
+std::vector<scene_primitive> make_object(object_kind kind, const vec3& base, int entity_id,
+                                         rng& random) {
+    std::vector<scene_primitive> prims;
+    auto add = [&](shape geom, double reflectivity) {
+        prims.push_back({std::move(geom), entity_id, reflectivity});
+    };
+    const vec3 up{0.0, 0.0, 1.0};
+
+    switch (kind) {
+        case object_kind::trash_bin: {
+            const double height = random.uniform(0.8, 1.2);
+            const double radius = random.uniform(0.25, 0.4);
+            add(vertical_cylinder{base, height, radius}, 0.7);
+            break;
+        }
+        case object_kind::bush: {
+            // 2-4 overlapping foliage blobs; total height 0.6..1.9 m, so
+            // tall bushes overlap the human height range — these are the
+            // hard negatives for the classifier.
+            const int blobs = 2 + static_cast<int>(random.uniform_index(3));
+            const double total_height = random.uniform(0.6, 1.8);
+            for (int i = 0; i < blobs; ++i) {
+                const double frac = (static_cast<double>(i) + 0.5) / static_cast<double>(blobs);
+                const double radius =
+                    random.uniform(0.35, 0.6) * (1.0 - 0.25 * frac);
+                vec3 center = base + up * (frac * total_height);
+                center.x += random.normal(0.0, 0.08);
+                center.y += random.normal(0.0, 0.08);
+                add(sphere{center, radius}, random.uniform(0.35, 0.55));
+            }
+            break;
+        }
+        case object_kind::sign_pole: {
+            const double height = random.uniform(2.2, 3.0);
+            add(vertical_cylinder{base, height, 0.04}, 0.85);
+            // Sign panel near the top.
+            const double panel_w = random.uniform(0.3, 0.6);
+            aabb panel{{base.x - 0.02, base.y - panel_w / 2, base.z + height - 0.7},
+                       {base.x + 0.02, base.y + panel_w / 2, base.z + height - 0.1}};
+            add(box{panel}, 0.9);
+            break;
+        }
+        case object_kind::bench: {
+            const double length = random.uniform(1.2, 1.8);
+            aabb seat{{base.x - 0.25, base.y - length / 2, base.z + 0.35},
+                      {base.x + 0.25, base.y + length / 2, base.z + 0.5}};
+            add(box{seat}, 0.65);
+            aabb back{{base.x + 0.18, base.y - length / 2, base.z + 0.5},
+                      {base.x + 0.25, base.y + length / 2, base.z + 0.95}};
+            add(box{back}, 0.65);
+            break;
+        }
+        case object_kind::bicycle: {
+            const double length = random.uniform(1.5, 1.8);
+            const double wheel_r = 0.34;
+            const vec3 front = base + vec3{length / 2, 0.0, wheel_r};
+            const vec3 rear = base + vec3{-length / 2, 0.0, wheel_r};
+            add(sphere{front, wheel_r}, 0.4);
+            add(sphere{rear, wheel_r}, 0.4);
+            add(capsule{rear + up * 0.2, front + up * 0.45, 0.05}, 0.6);  // frame
+            add(capsule{base + vec3{0.1, 0.0, wheel_r}, base + vec3{0.1, 0.0, 1.0}, 0.04},
+                0.6);  // seat post
+            break;
+        }
+        case object_kind::ground_clutter: {
+            // Pulley/debris boxes hugging the ground: the z-noise source
+            // the paper's ground segmentation rule (z_min = -2.6) targets.
+            const int pieces = 1 + static_cast<int>(random.uniform_index(3));
+            for (int i = 0; i < pieces; ++i) {
+                const double w = random.uniform(0.15, 0.45);
+                const double h = random.uniform(0.1, 0.35);
+                vec3 corner = base + vec3{random.normal(0.0, 0.3), random.normal(0.0, 0.3), 0.0};
+                add(box{{corner, corner + vec3{w, w, h}}}, 0.5);
+            }
+            break;
+        }
+    }
+    return prims;
+}
+
+}  // namespace hawc

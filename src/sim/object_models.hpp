@@ -1,0 +1,40 @@
+#pragma once
+
+// Campus clutter objects: everything on a walkway that is *not* a person.
+// These populate the "Object" class of the datasets and the noise pool
+// used by HAWC's noise-controlled up-sampling.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "geom/vec3.hpp"
+#include "lidar/primitives.hpp"
+
+namespace hawc {
+
+/// The object taxonomy found on the paper's walkways.
+enum class object_kind {
+    trash_bin,     // squat cylinder
+    bush,          // blobby sphere cluster, can reach human height
+    sign_pole,     // thin tall cylinder with a panel
+    bench,         // low box
+    bicycle,       // capsule frame + wheel spheres
+    ground_clutter // pulley-like low boxes (the paper's ground-noise source)
+};
+
+inline constexpr object_kind all_object_kinds[] = {
+    object_kind::trash_bin, object_kind::bush,    object_kind::sign_pole,
+    object_kind::bench,     object_kind::bicycle, object_kind::ground_clutter};
+
+const char* to_string(object_kind kind);
+
+/// Build the primitives of one object standing at `base` (ground contact
+/// point), with dimensions randomized within the kind's realistic range.
+std::vector<scene_primitive> make_object(object_kind kind, const vec3& base, int entity_id,
+                                         rng& random);
+
+/// Sample a kind with campus-plausible frequencies (bushes and bins are
+/// common; bicycles less so).
+object_kind sample_object_kind(rng& random);
+
+}  // namespace hawc

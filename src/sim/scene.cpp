@@ -1,0 +1,106 @@
+#include "sim/scene.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+std::size_t scene::human_count() const {
+    return static_cast<std::size_t>(
+        std::count_if(entities_.begin(), entities_.end(),
+                      [](const scene_entity& e) { return e.kind == entity_kind::human; }));
+}
+
+int scene::add_human(const human_params& params, const vec3& feet) {
+    const int id = next_id_++;
+    auto body = make_human(params, feet, id);
+    primitives_.insert(primitives_.end(), body.begin(), body.end());
+    entities_.push_back({id, entity_kind::human, feet, params.height_m, object_kind::trash_bin});
+    return id;
+}
+
+int scene::add_object(object_kind kind, const vec3& base, rng& random) {
+    const int id = next_id_++;
+    auto prims = make_object(kind, base, id, random);
+    aabb box;
+    for (const auto& p : prims) box.expand(shape_bounds(p.geometry));
+    primitives_.insert(primitives_.end(), prims.begin(), prims.end());
+    entities_.push_back({id, entity_kind::object, base, box.size().z, kind});
+    return id;
+}
+
+vec3 sample_walkway_position(rng& random, const walkway_config& walkway) {
+    return {random.uniform(walkway.x_min_m, walkway.x_max_m),
+            random.uniform(-walkway.y_half_width_m, walkway.y_half_width_m),
+            walkway.ground_z()};
+}
+
+namespace {
+
+/// Sample a position at least `min_separation` from all of `taken`;
+/// falls back to the last candidate after a bounded number of attempts
+/// so that very dense scenes still fill up.
+vec3 sample_separated(rng& random, const walkway_config& walkway,
+                      const std::vector<vec3>& taken, double min_separation) {
+    vec3 candidate;
+    for (int attempt = 0; attempt < 40; ++attempt) {
+        candidate = sample_walkway_position(random, walkway);
+        const bool clear =
+            std::all_of(taken.begin(), taken.end(), [&](const vec3& p) {
+                const double dx = p.x - candidate.x;
+                const double dy = p.y - candidate.y;
+                return dx * dx + dy * dy >= min_separation * min_separation;
+            });
+        if (clear) break;
+    }
+    return candidate;
+}
+
+}  // namespace
+
+scene make_single_person_scene(rng& random, const walkway_config& walkway,
+                               std::size_t clutter_objects) {
+    scene s;
+    s.add_human(sample_human_params(random), sample_walkway_position(random, walkway));
+    for (std::size_t i = 0; i < clutter_objects; ++i) {
+        // Edge clutter: push objects toward the walkway borders.
+        vec3 base = sample_walkway_position(random, walkway);
+        base.y = (base.y < 0.0 ? -1.0 : 1.0) * random.uniform(walkway.y_half_width_m * 0.7,
+                                                              walkway.y_half_width_m * 1.3);
+        s.add_object(sample_object_kind(random), base, random);
+    }
+    return s;
+}
+
+scene make_object_scene(rng& random, std::size_t object_count, const walkway_config& walkway) {
+    HAWC_REQUIRE(object_count > 0, "object scene needs at least one object");
+    scene s;
+    std::vector<vec3> taken;
+    for (std::size_t i = 0; i < object_count; ++i) {
+        const vec3 base = sample_separated(random, walkway, taken, 1.0);
+        taken.push_back(base);
+        s.add_object(sample_object_kind(random), base, random);
+    }
+    return s;
+}
+
+scene make_crowd_scene(rng& random, std::size_t human_count, std::size_t object_count,
+                       const walkway_config& walkway, double min_separation_m) {
+    scene s;
+    std::vector<vec3> taken;
+    taken.reserve(human_count + object_count);
+    for (std::size_t i = 0; i < human_count; ++i) {
+        const vec3 feet = sample_separated(random, walkway, taken, min_separation_m);
+        taken.push_back(feet);
+        s.add_human(sample_human_params(random), feet);
+    }
+    for (std::size_t i = 0; i < object_count; ++i) {
+        const vec3 base = sample_separated(random, walkway, taken, min_separation_m);
+        taken.push_back(base);
+        s.add_object(sample_object_kind(random), base, random);
+    }
+    return s;
+}
+
+}  // namespace hawc

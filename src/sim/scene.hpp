@@ -1,0 +1,76 @@
+#pragma once
+
+// Scene assembly: composes humans and objects into the primitive lists
+// the scanner consumes, and records ground-truth entities.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/human_model.hpp"
+#include "sim/object_models.hpp"
+
+namespace hawc {
+
+/// Geometry of the deployment the paper describes: sensor atop a 3 m
+/// pole, watching a 5 m-wide walkway that runs 12-35 m away in x.
+struct walkway_config {
+    double x_min_m = 12.0;
+    double x_max_m = 35.0;
+    double y_half_width_m = 2.5;
+    double mount_height_m = 3.0;  // ground plane sits at z = -mount_height
+
+    double ground_z() const { return -mount_height_m; }
+};
+
+/// What one scene entity is.
+enum class entity_kind { human, object };
+
+/// Ground-truth record for one placed entity.
+struct scene_entity {
+    int id = -1;
+    entity_kind kind = entity_kind::object;
+    vec3 ground_position;       // feet/base contact point
+    double height_m = 0.0;      // humans: stature; objects: bounding height
+    object_kind object_type = object_kind::trash_bin;  // objects only
+};
+
+/// A complete simulated scene: primitives plus its entity registry.
+class scene {
+public:
+    const std::vector<scene_primitive>& primitives() const { return primitives_; }
+    const std::vector<scene_entity>& entities() const { return entities_; }
+
+    std::size_t human_count() const;
+    std::size_t object_count() const { return entities_.size() - human_count(); }
+
+    /// Place a sampled pedestrian at `feet`; returns its entity id.
+    int add_human(const human_params& params, const vec3& feet);
+
+    /// Place an object of the given kind at `base`; returns its entity id.
+    int add_object(object_kind kind, const vec3& base, rng& random);
+
+private:
+    std::vector<scene_primitive> primitives_;
+    std::vector<scene_entity> entities_;
+    int next_id_ = 0;
+};
+
+/// Uniform random position on the walkway ground.
+vec3 sample_walkway_position(rng& random, const walkway_config& walkway);
+
+/// Scene containing exactly one pedestrian (plus optional edge clutter)
+/// — the positive class of the single-person dataset.
+scene make_single_person_scene(rng& random, const walkway_config& walkway = {},
+                               std::size_t clutter_objects = 0);
+
+/// Scene containing only objects — the negative class and the source of
+/// the noise pool for noise-controlled up-sampling.
+scene make_object_scene(rng& random, std::size_t object_count,
+                        const walkway_config& walkway = {});
+
+/// Scene with `human_count` pedestrians and `object_count` clutter
+/// objects, all placed with at least `min_separation_m` spacing.
+scene make_crowd_scene(rng& random, std::size_t human_count, std::size_t object_count,
+                       const walkway_config& walkway = {}, double min_separation_m = 0.7);
+
+}  // namespace hawc

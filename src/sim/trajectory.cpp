@@ -1,0 +1,74 @@
+#include "sim/trajectory.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace hawc {
+
+traffic_schedule::traffic_schedule(rng& random, double duration_s, double arrivals_per_minute,
+                                   const walkway_config& walkway)
+    : duration_s_{duration_s}, walkway_{walkway} {
+    HAWC_REQUIRE(duration_s > 0.0, "schedule duration must be positive");
+    HAWC_REQUIRE(arrivals_per_minute >= 0.0, "arrival rate must be non-negative");
+
+    // Poisson arrivals: exponential inter-arrival gaps.
+    const double rate_per_s = arrivals_per_minute / 60.0;
+    double t = 0.0;
+    while (rate_per_s > 0.0) {
+        const double gap = -std::log(1.0 - random.uniform()) / rate_per_s;
+        t += gap;
+        if (t >= duration_s) break;
+
+        walk_trajectory walk;
+        walk.params = sample_human_params(random);
+        const double speed = random.uniform(1.1, 1.7);
+        const bool northbound = random.chance(0.5);
+        const double x = random.uniform(walkway.x_min_m, walkway.x_max_m);
+        const double y0 = northbound ? -walkway.y_half_width_m : walkway.y_half_width_m;
+        walk.start = {x, y0, walkway.ground_z()};
+        walk.velocity = {0.0, northbound ? speed : -speed, 0.0};
+        walk.enter_time_s = t;
+        walk.exit_time_s = t + 2.0 * walkway.y_half_width_m / speed;
+        walk.params.heading_rad = northbound ? std::numbers::pi / 2 : -std::numbers::pi / 2;
+        walks_.push_back(walk);
+    }
+
+    // Fixed installations along the walkway edges.
+    const std::size_t clutter_count = 3;
+    for (std::size_t i = 0; i < clutter_count; ++i) {
+        fixed_object obj;
+        obj.kind = sample_object_kind(random);
+        obj.base = {random.uniform(walkway.x_min_m, walkway.x_max_m),
+                    (random.chance(0.5) ? 1.0 : -1.0) * walkway.y_half_width_m * 1.1,
+                    walkway.ground_z()};
+        obj.seed = random();
+        clutter_.push_back(obj);
+    }
+}
+
+std::size_t traffic_schedule::count_at(double t) const {
+    return static_cast<std::size_t>(std::count_if(
+        walks_.begin(), walks_.end(), [&](const walk_trajectory& w) { return w.active_at(t); }));
+}
+
+scene traffic_schedule::scene_at(double t, rng& random) const {
+    scene s;
+    for (const auto& walk : walks_) {
+        if (!walk.active_at(t)) continue;
+        human_params params = walk.params;
+        // Stride phase advances with distance walked (stride ~ 0.75 * height).
+        const double walked = walk.velocity.norm() * (t - walk.enter_time_s);
+        params.stride_phase = std::fmod(walked / (0.75 * params.height_m), 1.0);
+        s.add_human(params, walk.position_at(t));
+    }
+    for (const auto& obj : clutter_) {
+        rng geometry_rng{obj.seed};  // same geometry every frame
+        s.add_object(obj.kind, obj.base, geometry_rng);
+    }
+    (void)random;
+    return s;
+}
+
+}  // namespace hawc

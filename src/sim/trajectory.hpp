@@ -1,0 +1,55 @@
+#pragma once
+
+// Simple pedestrian trajectories so example applications can simulate
+// traffic over time (streams of scans) rather than isolated captures.
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sim/scene.hpp"
+
+namespace hawc {
+
+/// Straight-line walk across the walkway at constant speed.
+struct walk_trajectory {
+    vec3 start;
+    vec3 velocity;       // m/s in the xy plane
+    double enter_time_s = 0.0;
+    double exit_time_s = 0.0;
+    human_params params;
+
+    bool active_at(double t) const { return t >= enter_time_s && t <= exit_time_s; }
+    vec3 position_at(double t) const { return start + velocity * (t - enter_time_s); }
+};
+
+/// A schedule of pedestrians crossing the walkway over a time window.
+/// Arrival times follow a Poisson process with the given rate; each
+/// pedestrian walks lengthwise (along y) at 1.1-1.7 m/s.
+class traffic_schedule {
+public:
+    traffic_schedule(rng& random, double duration_s, double arrivals_per_minute,
+                     const walkway_config& walkway = {});
+
+    const std::vector<walk_trajectory>& walks() const { return walks_; }
+    double duration_s() const { return duration_s_; }
+
+    /// Number of pedestrians present at time t (scene ground truth).
+    std::size_t count_at(double t) const;
+
+    /// Materialize the scene at time t (active pedestrians only, plus the
+    /// fixed clutter installed at construction).
+    scene scene_at(double t, rng& random) const;
+
+private:
+    double duration_s_;
+    walkway_config walkway_;
+    std::vector<walk_trajectory> walks_;
+    struct fixed_object {
+        object_kind kind;
+        vec3 base;
+        std::uint64_t seed;  // deterministic per-object geometry
+    };
+    std::vector<fixed_object> clutter_;
+};
+
+}  // namespace hawc

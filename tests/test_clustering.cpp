@@ -1,0 +1,345 @@
+// Tests for DBSCAN, adaptive eps selection, hierarchical clustering,
+// k-means, and the Gaussian mixture.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "clustering/adaptive_eps.hpp"
+#include "clustering/dbscan.hpp"
+#include "clustering/gmm.hpp"
+#include "clustering/hierarchical.hpp"
+#include "clustering/kmeans.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace hawc {
+namespace {
+
+/// Two tight gaussian blobs plus scattered far-away noise.
+point_cloud two_blobs_with_noise(rng& r, std::size_t per_blob = 60, std::size_t noise = 8) {
+    point_cloud cloud;
+    const vec3 centers[] = {{0.0, 0.0, 0.0}, {5.0, 0.0, 0.0}};
+    for (const auto& c : centers) {
+        for (std::size_t i = 0; i < per_blob; ++i) {
+            cloud.push_back(c + vec3{r.normal(0.0, 0.15), r.normal(0.0, 0.15),
+                                     r.normal(0.0, 0.15)});
+        }
+    }
+    for (std::size_t i = 0; i < noise; ++i) {
+        cloud.push_back({r.uniform(-30.0, 30.0), r.uniform(15.0, 40.0), r.uniform(5.0, 9.0)});
+    }
+    return cloud;
+}
+
+cluster_metric identity_metric() { return cluster_metric{1.0}; }
+
+TEST(dbscan, separates_two_blobs) {
+    rng r{1};
+    const point_cloud cloud = two_blobs_with_noise(r);
+    dbscan_config cfg;
+    cfg.eps = 0.6;
+    cfg.min_points = 5;
+    cfg.metric = identity_metric();
+    const cluster_result result = dbscan(cloud, cfg);
+    EXPECT_EQ(result.cluster_count, 2u);
+    // Points of the same blob share a label.
+    EXPECT_EQ(result.labels[0], result.labels[30]);
+    EXPECT_NE(result.labels[0], result.labels[80]);
+}
+
+TEST(dbscan, noise_points_labelled_noise) {
+    rng r{2};
+    const point_cloud cloud = two_blobs_with_noise(r, 60, 10);
+    dbscan_config cfg;
+    cfg.eps = 0.6;
+    cfg.metric = identity_metric();
+    const cluster_result result = dbscan(cloud, cfg);
+    EXPECT_EQ(result.noise_count(), 10u);
+    for (std::size_t i = 120; i < 130; ++i) EXPECT_EQ(result.labels[i], noise_label);
+}
+
+TEST(dbscan, labels_are_contiguous_and_valid) {
+    rng r{3};
+    const point_cloud cloud = two_blobs_with_noise(r);
+    dbscan_config cfg;
+    cfg.eps = 0.5;
+    cfg.metric = identity_metric();
+    const cluster_result result = dbscan(cloud, cfg);
+    std::set<int> labels;
+    for (int label : result.labels) {
+        EXPECT_GE(label, noise_label);
+        EXPECT_LT(label, static_cast<int>(result.cluster_count));
+        if (label != noise_label) labels.insert(label);
+    }
+    EXPECT_EQ(labels.size(), result.cluster_count);
+}
+
+TEST(dbscan, tiny_eps_all_noise) {
+    rng r{4};
+    const point_cloud cloud = two_blobs_with_noise(r);
+    dbscan_config cfg;
+    cfg.eps = 1e-6;
+    cfg.metric = identity_metric();
+    const cluster_result result = dbscan(cloud, cfg);
+    EXPECT_EQ(result.cluster_count, 0u);
+    EXPECT_EQ(result.noise_count(), cloud.size());
+}
+
+TEST(dbscan, huge_eps_single_cluster) {
+    rng r{5};
+    const point_cloud cloud = two_blobs_with_noise(r, 60, 0);
+    dbscan_config cfg;
+    cfg.eps = 100.0;
+    cfg.metric = identity_metric();
+    EXPECT_EQ(dbscan(cloud, cfg).cluster_count, 1u);
+}
+
+TEST(dbscan, empty_cloud) {
+    const cluster_result result = dbscan(point_cloud{}, dbscan_config{});
+    EXPECT_EQ(result.cluster_count, 0u);
+    EXPECT_TRUE(result.labels.empty());
+}
+
+TEST(dbscan, rejects_bad_config) {
+    point_cloud cloud{{{0.0, 0.0, 0.0}}};
+    dbscan_config cfg;
+    cfg.eps = -1.0;
+    EXPECT_THROW(dbscan(cloud, cfg), invalid_argument_error);
+    cfg.eps = 1.0;
+    cfg.min_points = 0;
+    EXPECT_THROW(dbscan(cloud, cfg), invalid_argument_error);
+}
+
+TEST(dbscan, metric_z_weight_bridges_vertical_gaps) {
+    // Two stacked rings 0.5 apart vertically: with full z weight and a
+    // small eps they split; with the LiDAR metric they merge.
+    point_cloud cloud;
+    for (int i = 0; i < 30; ++i) {
+        cloud.push_back({0.1 * i, 0.0, 0.0});
+        cloud.push_back({0.1 * i, 0.0, 0.5});
+    }
+    dbscan_config split;
+    split.eps = 0.3;
+    split.metric = identity_metric();
+    EXPECT_EQ(dbscan(cloud, split).cluster_count, 2u);
+
+    dbscan_config merged;
+    merged.eps = 0.3;
+    merged.metric = cluster_metric{0.15};
+    EXPECT_EQ(dbscan(cloud, merged).cluster_count, 1u);
+}
+
+TEST(cluster_result, extract_clusters) {
+    point_cloud cloud{{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {2.0, 0.0, 0.0}}};
+    cluster_result result;
+    result.labels = {0, noise_label, 1};
+    result.cluster_count = 2;
+    const auto clusters = result.extract_clusters(cloud);
+    ASSERT_EQ(clusters.size(), 2u);
+    EXPECT_EQ(clusters[0].size(), 1u);
+    EXPECT_EQ(clusters[1][0].x, 2.0);
+    EXPECT_EQ(result.cluster_sizes(), (std::vector<std::size_t>{1, 1}));
+}
+
+TEST(knee, locates_sharp_elbow) {
+    // Flat at 0.1 then jumps to 1.0: the knee is the last small value.
+    const std::vector<double> curve{0.1, 0.1, 0.1, 0.1, 0.1, 1.0, 1.1, 1.2};
+    EXPECT_EQ(knee_index(curve), 4u);
+}
+
+TEST(knee, requires_two_samples) {
+    EXPECT_THROW(knee_index(std::vector<double>{0.1}), invalid_argument_error);
+}
+
+TEST(adaptive_eps, knn_curve_sorted_ascending) {
+    rng r{6};
+    const point_cloud cloud = two_blobs_with_noise(r);
+    const auto curve = knn_distance_curve(cloud, 4, identity_metric());
+    ASSERT_EQ(curve.size(), cloud.size());
+    EXPECT_TRUE(std::is_sorted(curve.begin(), curve.end()));
+}
+
+TEST(adaptive_eps, epsilon_within_clamp) {
+    rng r{7};
+    const point_cloud cloud = two_blobs_with_noise(r);
+    adaptive_eps_config cfg;
+    cfg.metric = identity_metric();
+    const double eps = adaptive_epsilon(cloud, cfg);
+    EXPECT_GE(eps, cfg.min_eps);
+    EXPECT_LE(eps, cfg.max_eps);
+}
+
+TEST(adaptive_eps, tiny_cloud_returns_min) {
+    point_cloud cloud{{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}}};
+    adaptive_eps_config cfg;
+    EXPECT_DOUBLE_EQ(adaptive_epsilon(cloud, cfg), cfg.min_eps);
+}
+
+TEST(adaptive_eps, full_pipeline_clusters_blobs) {
+    rng r{8};
+    const point_cloud cloud = two_blobs_with_noise(r, 80, 6);
+    adaptive_eps_config cfg;
+    cfg.metric = identity_metric();
+    const auto result = adaptive_dbscan(cloud, cfg);
+    EXPECT_GE(result.clusters.cluster_count, 2u);
+    EXPECT_GT(result.chosen_eps, 0.0);
+    // The two blobs must not be merged (they are 5 m apart).
+    EXPECT_NE(result.clusters.labels[0], result.clusters.labels[90]);
+}
+
+TEST(adaptive_eps, denser_cloud_gets_smaller_eps) {
+    rng r{9};
+    point_cloud dense;
+    point_cloud sparse;
+    for (int i = 0; i < 150; ++i) {
+        dense.push_back({r.normal(0.0, 0.1), r.normal(0.0, 0.1), 0.0});
+        sparse.push_back({r.normal(0.0, 1.0), r.normal(0.0, 1.0), 0.0});
+    }
+    adaptive_eps_config cfg;
+    cfg.metric = identity_metric();
+    EXPECT_LT(adaptive_epsilon(dense, cfg), adaptive_epsilon(sparse, cfg));
+}
+
+TEST(hierarchical, single_linkage_merges_chains) {
+    // A chain of points 0.4 apart and an isolated point far away.
+    point_cloud cloud;
+    for (int i = 0; i < 10; ++i) cloud.push_back({0.4 * i, 0.0, 0.0});
+    cloud.push_back({100.0, 0.0, 0.0});
+    hierarchical_config cfg;
+    cfg.link = linkage::single;
+    cfg.cut_distance = 0.5;
+    cfg.metric = identity_metric();
+    const cluster_result result = hierarchical_cluster(cloud, cfg);
+    EXPECT_EQ(result.cluster_count, 2u);
+    EXPECT_EQ(result.labels[0], result.labels[9]);
+    EXPECT_NE(result.labels[0], result.labels[10]);
+}
+
+TEST(hierarchical, complete_linkage_caps_diameter) {
+    // Same chain: complete linkage at 0.5 fragments it because the chain
+    // diameter (3.6) far exceeds the cut.
+    point_cloud cloud;
+    for (int i = 0; i < 10; ++i) cloud.push_back({0.4 * i, 0.0, 0.0});
+    hierarchical_config cfg;
+    cfg.link = linkage::complete;
+    cfg.cut_distance = 0.5;
+    cfg.metric = identity_metric();
+    const cluster_result result = hierarchical_cluster(cloud, cfg);
+    EXPECT_GT(result.cluster_count, 2u);
+}
+
+TEST(hierarchical, cut_k_exact_count) {
+    rng r{10};
+    const point_cloud cloud = two_blobs_with_noise(r, 40, 0);
+    hierarchical_config cfg;
+    cfg.link = linkage::average;
+    cfg.metric = identity_metric();
+    for (std::size_t k : {1u, 2u, 5u}) {
+        const cluster_result result = hierarchical_cluster_k(cloud, k, cfg);
+        EXPECT_EQ(result.cluster_count, k);
+        EXPECT_EQ(result.noise_count(), 0u);
+    }
+}
+
+TEST(hierarchical, dendrogram_has_n_minus_1_merges) {
+    rng r{11};
+    const point_cloud cloud = two_blobs_with_noise(r, 20, 0);
+    hierarchical_config cfg;
+    cfg.metric = identity_metric();
+    EXPECT_EQ(build_dendrogram(cloud, cfg).size(), cloud.size() - 1);
+}
+
+TEST(hierarchical, rejects_oversized_cloud) {
+    hierarchical_config cfg;
+    cfg.max_points = 10;
+    point_cloud cloud;
+    for (int i = 0; i < 20; ++i) cloud.push_back({static_cast<double>(i), 0.0, 0.0});
+    EXPECT_THROW(build_dendrogram(cloud, cfg), invalid_argument_error);
+}
+
+TEST(kmeans, finds_blob_centroids) {
+    rng r{12};
+    const point_cloud cloud = two_blobs_with_noise(r, 80, 0);
+    kmeans_config cfg;
+    cfg.k = 2;
+    cfg.metric = identity_metric();
+    const kmeans_result result = kmeans(cloud, cfg, r);
+    ASSERT_EQ(result.centroids.size(), 2u);
+    std::vector<double> xs{result.centroids[0].x, result.centroids[1].x};
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[0], 0.0, 0.3);
+    EXPECT_NEAR(xs[1], 5.0, 0.3);
+}
+
+TEST(kmeans, inertia_decreases_with_k) {
+    rng r{13};
+    const point_cloud cloud = two_blobs_with_noise(r, 60, 4);
+    kmeans_config cfg;
+    cfg.metric = identity_metric();
+    double last = 1e300;
+    for (std::size_t k = 1; k <= 4; ++k) {
+        cfg.k = k;
+        rng local{99};
+        const double inertia = kmeans(cloud, cfg, local).inertia;
+        EXPECT_LE(inertia, last * 1.05);  // allow tiny local-minimum slack
+        last = inertia;
+    }
+}
+
+TEST(kmeans, elbow_selects_two_for_two_blobs) {
+    rng r{14};
+    const point_cloud cloud = two_blobs_with_noise(r, 100, 0);
+    kmeans_config cfg;
+    cfg.metric = identity_metric();
+    EXPECT_EQ(kmeans_elbow_k(cloud, 6, cfg, r), 2u);
+}
+
+TEST(kmeans, k_capped_by_cloud_size) {
+    point_cloud cloud{{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}}};
+    kmeans_config cfg;
+    cfg.k = 10;
+    rng r{15};
+    const auto result = kmeans(cloud, cfg, r);
+    EXPECT_EQ(result.centroids.size(), 2u);
+}
+
+TEST(gmm, recovers_two_components) {
+    rng r{16};
+    const point_cloud cloud = two_blobs_with_noise(r, 120, 0);
+    gmm_config cfg;
+    cfg.components = 2;
+    cfg.metric = identity_metric();
+    const gmm_result result = gmm_cluster(cloud, cfg, r);
+    ASSERT_EQ(result.components.size(), 2u);
+    std::vector<double> xs{result.components[0].mean.x, result.components[1].mean.x};
+    std::sort(xs.begin(), xs.end());
+    EXPECT_NEAR(xs[0], 0.0, 0.4);
+    EXPECT_NEAR(xs[1], 5.0, 0.4);
+    EXPECT_NEAR(result.components[0].weight + result.components[1].weight, 1.0, 1e-6);
+}
+
+TEST(gmm, hard_assignment_separates_blobs) {
+    rng r{17};
+    const point_cloud cloud = two_blobs_with_noise(r, 60, 0);
+    gmm_config cfg;
+    cfg.components = 2;
+    cfg.metric = identity_metric();
+    const gmm_result result = gmm_cluster(cloud, cfg, r);
+    EXPECT_EQ(result.clusters.labels[0], result.clusters.labels[30]);
+    EXPECT_NE(result.clusters.labels[0], result.clusters.labels[80]);
+}
+
+TEST(gmm, variance_floor_enforced) {
+    point_cloud cloud;
+    for (int i = 0; i < 30; ++i) cloud.push_back({1.0, 2.0, 3.0});  // degenerate
+    gmm_config cfg;
+    cfg.components = 1;
+    rng r{18};
+    const gmm_result result = gmm_cluster(cloud, cfg, r);
+    EXPECT_GE(result.components[0].variance.x, cfg.min_variance);
+}
+
+}  // namespace
+}  // namespace hawc

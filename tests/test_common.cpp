@@ -1,0 +1,224 @@
+// Tests for the common substrate: RNG, statistics, tables, errors.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace hawc {
+namespace {
+
+TEST(rng, deterministic_given_seed) {
+    rng a{123};
+    rng b{123};
+    for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(rng, different_seeds_diverge) {
+    rng a{1};
+    rng b{2};
+    int same = 0;
+    for (int i = 0; i < 64; ++i) {
+        if (a() == b()) ++same;
+    }
+    EXPECT_LT(same, 2);
+}
+
+TEST(rng, uniform_in_unit_interval) {
+    rng r{7};
+    double sum = 0.0;
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        ASSERT_GE(u, 0.0);
+        ASSERT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(rng, uniform_range_respects_bounds) {
+    rng r{9};
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-3.0, 5.0);
+        ASSERT_GE(u, -3.0);
+        ASSERT_LT(u, 5.0);
+    }
+}
+
+TEST(rng, uniform_index_unbiased_small_n) {
+    rng r{11};
+    int counts[5] = {0};
+    for (int i = 0; i < 50000; ++i) ++counts[r.uniform_index(5)];
+    for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(rng, normal_moments) {
+    rng r{13};
+    running_stats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.normal());
+    EXPECT_NEAR(s.mean(), 0.0, 0.03);
+    EXPECT_NEAR(s.stddev(), 1.0, 0.03);
+}
+
+TEST(rng, normal_with_params) {
+    rng r{17};
+    running_stats s;
+    for (int i = 0; i < 20000; ++i) s.add(r.normal(5.0, 2.0));
+    EXPECT_NEAR(s.mean(), 5.0, 0.1);
+    EXPECT_NEAR(s.stddev(), 2.0, 0.1);
+}
+
+TEST(rng, chance_frequency) {
+    rng r{19};
+    int hits = 0;
+    for (int i = 0; i < 10000; ++i) {
+        if (r.chance(0.3)) ++hits;
+    }
+    EXPECT_NEAR(hits, 3000, 200);
+}
+
+TEST(rng, fork_produces_independent_stream) {
+    rng a{23};
+    rng child = a.fork();
+    EXPECT_NE(a(), child());
+}
+
+TEST(running_stats, matches_direct_computation) {
+    const double values[] = {1.0, 2.5, -3.0, 7.25, 0.0, 4.5};
+    running_stats s;
+    double sum = 0.0;
+    for (double v : values) {
+        s.add(v);
+        sum += v;
+    }
+    const double mean = sum / 6.0;
+    double var = 0.0;
+    for (double v : values) var += (v - mean) * (v - mean);
+    var /= 5.0;  // sample variance
+    EXPECT_DOUBLE_EQ(s.mean(), mean);
+    EXPECT_NEAR(s.variance(), var, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), -3.0);
+    EXPECT_DOUBLE_EQ(s.max(), 7.25);
+    EXPECT_EQ(s.count(), 6u);
+}
+
+TEST(running_stats, empty_is_zero) {
+    running_stats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(running_stats, merge_equals_combined) {
+    rng r{29};
+    running_stats all;
+    running_stats a;
+    running_stats b;
+    for (int i = 0; i < 500; ++i) {
+        const double v = r.normal(2.0, 3.0);
+        all.add(v);
+        (i % 2 == 0 ? a : b).add(v);
+    }
+    a.merge(b);
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_EQ(a.count(), all.count());
+}
+
+TEST(histogram, bins_and_clamping) {
+    histogram h{0.0, 10.0, 10};
+    h.add(0.5);   // bin 0
+    h.add(9.99);  // bin 9
+    h.add(-5.0);  // clamps to bin 0
+    h.add(42.0);  // clamps to bin 9
+    EXPECT_EQ(h.count(0), 2u);
+    EXPECT_EQ(h.count(9), 2u);
+    EXPECT_EQ(h.total(), 4u);
+}
+
+TEST(histogram, mode_bin) {
+    histogram h{0.0, 3.0, 3};
+    h.add(0.1);
+    h.add(1.5);
+    h.add(1.6);
+    EXPECT_EQ(h.mode_bin(), 1u);
+    EXPECT_NEAR(h.bin_center(1), 1.5, 1e-12);
+}
+
+TEST(histogram, rejects_bad_config) {
+    EXPECT_THROW(histogram(1.0, 1.0, 4), invalid_argument_error);
+    EXPECT_THROW(histogram(0.0, 1.0, 0), invalid_argument_error);
+}
+
+TEST(percentile, interpolates) {
+    std::vector<double> v{1.0, 2.0, 3.0, 4.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 4.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 2.5);
+}
+
+TEST(percentile, rejects_empty_and_bad_p) {
+    EXPECT_THROW(percentile({}, 50.0), invalid_argument_error);
+    EXPECT_THROW(percentile({1.0}, 101.0), invalid_argument_error);
+}
+
+TEST(text_table, renders_aligned) {
+    text_table t{{"a", "long-header"}};
+    t.add_row({"xx", "1"});
+    std::ostringstream out;
+    t.print(out);
+    const std::string s = out.str();
+    EXPECT_NE(s.find("long-header"), std::string::npos);
+    EXPECT_NE(s.find("xx"), std::string::npos);
+    EXPECT_NE(s.find("|---"), std::string::npos);
+}
+
+TEST(text_table, rejects_wrong_arity) {
+    text_table t{{"a", "b"}};
+    EXPECT_THROW(t.add_row({"only-one"}), invalid_argument_error);
+}
+
+TEST(text_table, number_formatting) {
+    EXPECT_EQ(text_table::num(3.14159, 2), "3.14");
+    EXPECT_EQ(text_table::pm(1.5, 0.25, 2), "1.50 +/- 0.25");
+}
+
+TEST(stopwatch, measures_elapsed_time) {
+    stopwatch sw;
+    volatile double x = 0.0;
+    for (int i = 0; i < 100000; ++i) x = x + std::sqrt(static_cast<double>(i));
+    EXPECT_GT(sw.elapsed_ms(), 0.0);
+}
+
+TEST(latency_recorder, accumulates) {
+    latency_recorder rec;
+    rec.add_ms(1.0);
+    rec.add_ms(3.0);
+    EXPECT_DOUBLE_EQ(rec.mean_ms(), 2.0);
+    EXPECT_EQ(rec.count(), 2u);
+}
+
+TEST(error, require_macro_throws_with_context) {
+    try {
+        HAWC_REQUIRE(1 == 2, "numbers disagree");
+        FAIL() << "should have thrown";
+    } catch (const invalid_argument_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("numbers disagree"), std::string::npos);
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    }
+}
+
+TEST(error, hierarchy) {
+    EXPECT_THROW(throw io_error{"x"}, error);
+    EXPECT_THROW(throw not_ready_error{"x"}, error);
+}
+
+}  // namespace
+}  // namespace hawc

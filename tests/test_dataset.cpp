@@ -1,0 +1,188 @@
+// Tests for dataset builders and the capture pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dataset/builders.hpp"
+
+namespace hawc {
+namespace {
+
+/// Small configs keep these tests fast; the builders are the same code
+/// paths the benches use at full size.
+single_person_dataset_config small_config() {
+    single_person_dataset_config cfg;
+    cfg.human_samples = 30;
+    cfg.object_samples = 30;
+    return cfg;
+}
+
+TEST(capture_pipeline, single_person_scene_produces_clusters) {
+    rng r{1};
+    const capture_config cfg;
+    const scene s = make_single_person_scene(r);
+    const capture cap = run_capture(s, cfg, r);
+    EXPECT_FALSE(cap.raw.empty());
+    EXPECT_FALSE(cap.ingested.empty());
+    EXPECT_GE(cap.clusters.size(), 1u);
+    EXPECT_GT(cap.chosen_eps, 0.0);
+    for (const auto& cluster : cap.clusters) {
+        EXPECT_GE(cluster.size(), cfg.min_cluster_points);
+    }
+}
+
+TEST(capture_pipeline, ingested_points_inside_roi) {
+    rng r{2};
+    const capture_config cfg;
+    const scene s = make_crowd_scene(r, 3, 2);
+    const capture cap = run_capture(s, cfg, r);
+    for (const auto& p : cap.ingested) {
+        EXPECT_GE(p.x, cfg.roi.x_min_m);
+        EXPECT_LE(p.x, cfg.roi.x_max_m);
+        EXPECT_GE(p.z, cfg.ground.z_min_m);
+    }
+}
+
+TEST(capture_pipeline, process_cloud_equivalent_to_run_capture_backend) {
+    rng r{3};
+    const capture_config cfg;
+    const scene s = make_single_person_scene(r);
+    const scanner sensor{cfg.sensor};
+    rng scan_rng{77};
+    const auto scan_data = sensor.scan(s.primitives(), scan_rng, cfg.scan);
+    const capture cap = process_cloud(scan_data.to_cloud(), cfg);
+    EXPECT_FALSE(cap.clusters.empty());
+}
+
+TEST(capture_pipeline, visible_human_count_respects_threshold) {
+    rng r{4};
+    const capture_config cfg;
+    const scene s = make_crowd_scene(r, 4, 0);
+    const scanner sensor{cfg.sensor};
+    const auto scan_data = sensor.scan(s.primitives(), r, cfg.scan);
+    const std::size_t lenient = visible_human_count(s, scan_data, cfg, 1);
+    const std::size_t strict = visible_human_count(s, scan_data, cfg, 1000);
+    EXPECT_LE(strict, lenient);
+    EXPECT_LE(lenient, 4u);
+    EXPECT_EQ(strict, 0u);
+}
+
+TEST(single_person_dataset_builder, deterministic_given_seed) {
+    const auto a = build_single_person_dataset(small_config());
+    const auto b = build_single_person_dataset(small_config());
+    ASSERT_EQ(a.train.size(), b.train.size());
+    ASSERT_EQ(a.test.size(), b.test.size());
+    EXPECT_EQ(a.target_points, b.target_points);
+    for (std::size_t i = 0; i < a.train.size(); ++i) {
+        EXPECT_EQ(a.train.labels[i], b.train.labels[i]);
+        EXPECT_EQ(a.train.clusters[i].size(), b.train.clusters[i].size());
+    }
+}
+
+TEST(single_person_dataset_builder, different_seed_differs) {
+    auto cfg = small_config();
+    cfg.seed = 4321;
+    const auto a = build_single_person_dataset(small_config());
+    const auto b = build_single_person_dataset(cfg);
+    // Same sizes of request but different content (first cluster point).
+    ASSERT_FALSE(a.train.clusters.empty());
+    ASSERT_FALSE(b.train.clusters.empty());
+    EXPECT_NE(a.train.clusters[0].centroid(), b.train.clusters[0].centroid());
+}
+
+TEST(single_person_dataset_builder, split_and_balance) {
+    const auto ds = build_single_person_dataset(small_config());
+    // Both classes present in both splits.
+    EXPECT_GT(ds.train.count_label(label_human), 0u);
+    EXPECT_GT(ds.train.count_label(label_object), 0u);
+    EXPECT_GT(ds.test.count_label(label_human), 0u);
+    EXPECT_GT(ds.test.count_label(label_object), 0u);
+    // Roughly 80:20.
+    const double total = static_cast<double>(ds.train.size() + ds.test.size());
+    EXPECT_NEAR(static_cast<double>(ds.test.size()) / total, 0.2, 0.08);
+}
+
+TEST(single_person_dataset_builder, target_is_perfect_square_covering_max) {
+    const auto ds = build_single_person_dataset(small_config());
+    const auto root = static_cast<std::size_t>(
+        std::llround(std::sqrt(static_cast<double>(ds.target_points))));
+    EXPECT_EQ(root * root, ds.target_points);
+    for (const auto& cluster : ds.train.clusters) {
+        EXPECT_LE(cluster.size(), ds.target_points);
+    }
+}
+
+TEST(single_person_dataset_builder, pool_populated) {
+    const auto ds = build_single_person_dataset(small_config());
+    EXPECT_GT(ds.pool.size(), 100u);
+}
+
+TEST(crowd_dataset_builder, sizes_and_ground_truth_bounds) {
+    crowd_dataset_config cfg;
+    cfg.scenes = 12;
+    cfg.max_people = 5;
+    const auto samples = build_crowd_dataset(cfg);
+    ASSERT_EQ(samples.size(), 12u);
+    for (const auto& s : samples) {
+        EXPECT_LE(s.ground_truth, 5u);
+        EXPECT_FALSE(s.raw.empty());
+    }
+}
+
+TEST(crowd_dataset_builder, deterministic) {
+    crowd_dataset_config cfg;
+    cfg.scenes = 5;
+    const auto a = build_crowd_dataset(cfg);
+    const auto b = build_crowd_dataset(cfg);
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].ground_truth, b[i].ground_truth);
+        EXPECT_EQ(a[i].raw.size(), b[i].raw.size());
+    }
+}
+
+TEST(density_scene_builder, offsets_within_range_and_gt) {
+    rng r{5};
+    std::vector<point_cloud> humans;
+    std::vector<point_cloud> objects;
+    for (int i = 0; i < 5; ++i) {
+        point_cloud h;
+        for (int j = 0; j < 30; ++j) {
+            h.push_back({20.0 + 0.01 * j, 0.0, -2.0 + 0.05 * j});
+        }
+        humans.push_back(h);
+        point_cloud o;
+        for (int j = 0; j < 20; ++j) o.push_back({25.0, 1.0, -2.5 + 0.01 * j});
+        objects.push_back(o);
+    }
+    density_scene_config cfg;
+    cfg.pedestrians = 30;
+    const density_scene scene = build_density_scene(cfg, humans, objects, r);
+    EXPECT_EQ(scene.ground_truth, 30u);
+    EXPECT_EQ(scene.x_offsets.size(), 30u);
+    for (double d : scene.x_offsets) {
+        EXPECT_GE(d, -cfg.offset_range_m);
+        EXPECT_LE(d, cfg.offset_range_m);
+    }
+    // Cloud contains pedestrians plus pedestrians/2 objects worth of points.
+    EXPECT_EQ(scene.cloud.size(), 30u * 30 + 15u * 20);
+}
+
+TEST(density_scene_builder, requires_donors) {
+    rng r{6};
+    density_scene_config cfg;
+    EXPECT_THROW(build_density_scene(cfg, {}, {}, r), invalid_argument_error);
+}
+
+TEST(density_levels, names_match_paper_bands) {
+    EXPECT_STREQ(density_level_name(20), "Low");
+    EXPECT_STREQ(density_level_name(90), "Low");
+    EXPECT_STREQ(density_level_name(100), "Moderate");
+    EXPECT_STREQ(density_level_name(150), "Moderate");
+    EXPECT_STREQ(density_level_name(200), "High");
+    EXPECT_STREQ(density_level_name(250), "High");
+}
+
+}  // namespace
+}  // namespace hawc

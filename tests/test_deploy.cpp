@@ -1,0 +1,86 @@
+// Tests for the pole thermal simulation (Figure 10 substitution).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "deploy/thermal.hpp"
+
+namespace hawc {
+namespace {
+
+TEST(thermal, sample_cadence_matches_config) {
+    thermal_config cfg;
+    cfg.days = 2.0;
+    const thermal_series series = simulate_pole_temperature(cfg);
+    // ~2500 samples per day at a 1.7-minute interval.
+    const double per_day = static_cast<double>(series.samples.size()) / 2.0;
+    EXPECT_NEAR(per_day, 24.0 * 60.0 / 1.7, 30.0);
+}
+
+TEST(thermal, deterministic_given_seed) {
+    thermal_config cfg;
+    cfg.days = 1.0;
+    const auto a = simulate_pole_temperature(cfg);
+    const auto b = simulate_pole_temperature(cfg);
+    ASSERT_EQ(a.samples.size(), b.samples.size());
+    EXPECT_DOUBLE_EQ(a.samples.back().pole_c, b.samples.back().pole_c);
+}
+
+TEST(thermal, pole_statistics_in_paper_regime) {
+    // The paper reports max 57.81, min 21.00, mean 41.95 over the window.
+    const thermal_series series = simulate_pole_temperature();
+    const running_stats stats = series.pole_stats();
+    EXPECT_NEAR(stats.max(), 57.8, 5.0);
+    EXPECT_NEAR(stats.min(), 21.0, 6.0);
+    EXPECT_NEAR(stats.mean(), 42.0, 4.0);
+}
+
+TEST(thermal, pole_hotter_than_weather_on_average) {
+    const thermal_series series = simulate_pole_temperature();
+    EXPECT_GT(series.pole_stats().mean(), series.weather_stats().mean());
+}
+
+TEST(thermal, peak_offset_larger_than_night_offset) {
+    // Paper: ~10 degC hotter at peak heat, < 5 degC in cool periods.
+    const thermal_series series = simulate_pole_temperature();
+    const double peak = series.mean_peak_offset_c();
+    const double night = series.mean_night_offset_c();
+    EXPECT_GT(peak, night);
+    EXPECT_NEAR(peak, 10.0, 4.0);
+    EXPECT_LT(night, 5.0);
+    EXPECT_GT(night, 0.0);
+}
+
+TEST(thermal, exceeds_coral_limit_occasionally) {
+    // The deployment observation: the enclosure exceeds the Coral's
+    // 50 degC recommended maximum during summer peaks, yet not always.
+    const thermal_series series = simulate_pole_temperature();
+    const double above = series.fraction_above(50.0);
+    EXPECT_GT(above, 0.0);
+    EXPECT_LT(above, 0.5);
+}
+
+TEST(thermal, diurnal_cycle_visible) {
+    thermal_config cfg;
+    cfg.days = 3.0;
+    const thermal_series series = simulate_pole_temperature(cfg);
+    // Afternoon samples hotter than pre-dawn samples on average.
+    running_stats afternoon;
+    running_stats predawn;
+    for (const auto& s : series.samples) {
+        const double hour = std::fmod(s.time_hours, 24.0);
+        if (hour >= 14.0 && hour <= 17.0) afternoon.add(s.pole_c);
+        if (hour >= 3.0 && hour <= 5.0) predawn.add(s.pole_c);
+    }
+    EXPECT_GT(afternoon.mean(), predawn.mean() + 5.0);
+}
+
+TEST(thermal, fraction_above_bounds) {
+    const thermal_series series = simulate_pole_temperature();
+    EXPECT_DOUBLE_EQ(series.fraction_above(-100.0), 1.0);
+    EXPECT_DOUBLE_EQ(series.fraction_above(200.0), 0.0);
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,140 @@
+// Tests for the edge-device cost models and host latency measurement.
+
+#include <gtest/gtest.h>
+
+#include "classifiers/hawc_model.hpp"
+#include "classifiers/pointnet_model.hpp"
+#include "edge/device_model.hpp"
+#include "edge/measure.hpp"
+#include "nn/activations.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+
+namespace hawc {
+namespace {
+
+layer_info conv_info(std::size_t macs) {
+    layer_info li;
+    li.kind = op_kind::convolution;
+    li.macs_per_sample = macs;
+    return li;
+}
+
+layer_info dense_info(std::size_t macs) {
+    layer_info li;
+    li.kind = op_kind::dense;
+    li.macs_per_sample = macs;
+    return li;
+}
+
+TEST(device_model, more_macs_cost_more) {
+    const auto jetson = device_profile::jetson_nano();
+    const std::vector<layer_info> small{conv_info(100000)};
+    const std::vector<layer_info> large{conv_info(10000000)};
+    EXPECT_LT(predict_fp32_latency_ms(jetson, small), predict_fp32_latency_ms(jetson, large));
+}
+
+TEST(device_model, coral_fp32_slower_than_jetson) {
+    // No accelerator for fp32 on the Coral: CPU fallback dominates.
+    const std::vector<layer_info> net{conv_info(5000000), dense_info(500000)};
+    EXPECT_GT(predict_fp32_latency_ms(device_profile::coral_dev_board(), net),
+              predict_fp32_latency_ms(device_profile::jetson_nano(), net));
+}
+
+TEST(device_model, coral_int8_conv_fast_dense_slow) {
+    const auto coral = device_profile::coral_dev_board();
+    std::vector<q_op_info> conv_heavy{{op_kind::convolution, 5000000}};
+    std::vector<q_op_info> dense_heavy{{op_kind::dense, 50000},
+                                       {op_kind::dense, 50000},
+                                       {op_kind::dense, 50000},
+                                       {op_kind::dense, 50000}};
+    // 5M conv MACs run faster than 200k dense MACs on the TPU model.
+    EXPECT_LT(predict_int8_latency_ms(coral, conv_heavy),
+              predict_int8_latency_ms(coral, dense_heavy));
+}
+
+TEST(device_model, coral_dense_int8_slower_than_fp32_paper_effect) {
+    // The paper's Table II: the dense-only AutoEncoder got SLOWER after
+    // quantization on the Coral. The cost model reproduces that.
+    const auto coral = device_profile::coral_dev_board();
+    const std::vector<layer_info> fp32_net{dense_info(12000), dense_info(6000),
+                                           dense_info(3000), dense_info(1500)};
+    const std::vector<q_op_info> int8_net{{op_kind::dense, 12000},
+                                          {op_kind::dense, 6000},
+                                          {op_kind::dense, 3000},
+                                          {op_kind::dense, 1500}};
+    EXPECT_GT(predict_int8_latency_ms(coral, int8_net),
+              predict_fp32_latency_ms(coral, fp32_net));
+}
+
+TEST(device_model, jetson_int8_speedup_modest) {
+    const auto jetson = device_profile::jetson_nano();
+    const std::vector<layer_info> fp32_net{conv_info(2000000)};
+    const std::vector<q_op_info> int8_net{{op_kind::convolution, 2000000}};
+    const double fp32 = predict_fp32_latency_ms(jetson, fp32_net);
+    const double int8 = predict_int8_latency_ms(jetson, int8_net);
+    EXPECT_LT(int8, fp32);
+    EXPECT_GT(int8, fp32 / 4.0);  // not a TPU-style cliff
+}
+
+TEST(device_model, hawc_vs_pointnet_ordering) {
+    // HAWC is a far smaller network: it must be predicted faster than
+    // paper-scale PointNet on both devices and precisions.
+    rng r{1};
+    object_pool pool;
+    point_cloud dummy;
+    for (int i = 0; i < 50; ++i) dummy.push_back({20.0, 0.0, -2.0});
+    pool.add_cloud(dummy);
+
+    hawc_config hc;
+    hc.features.upsample.target_points = 324;
+    hc.features.projection.target_points = 324;
+    hawc_model hawc{hc, pool, r};
+
+    pointnet_model pointnet{pointnet_config::paper_scale(), pool, r};
+
+    const auto hawc_layers = hawc.network().summarize({18, 18, 7});
+    const auto pn_layers = pointnet.network().summarize({324, 1, 3});
+
+    for (const auto& device :
+         {device_profile::jetson_nano(), device_profile::coral_dev_board()}) {
+        EXPECT_LT(predict_fp32_latency_ms(device, hawc_layers),
+                  predict_fp32_latency_ms(device, pn_layers))
+            << device.name;
+    }
+}
+
+TEST(measure, fp32_latency_positive_and_stable) {
+    rng r{2};
+    sequential net;
+    net.emplace<conv2d>(3, 8, 3, padding::same, r);
+    net.emplace<relu>();
+    net.emplace<flatten>();
+    net.emplace<dense>(8 * 8 * 8, 2, r);
+    tensor sample{{1, 8, 8, 3}};
+    const auto lat = measure_fp32_latency(net, sample, 10, 2);
+    EXPECT_GT(lat.mean_ms, 0.0);
+    EXPECT_EQ(lat.iterations, 10u);
+}
+
+TEST(measure, int8_latency_positive) {
+    rng r{3};
+    sequential net;
+    net.emplace<dense>(16, 8, r);
+    net.emplace<relu>();
+    net.emplace<dense>(8, 2, r);
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 4; ++i) {
+        tensor t{{1, 16}};
+        for (std::size_t j = 0; j < t.size(); ++j) t[j] = static_cast<float>(r.normal());
+        calibration.push_back(t);
+    }
+    const quantized_model q = quantize_model(net, calibration);
+    tensor sample{{1, 16}};
+    const auto lat = measure_int8_latency(q, sample, 10, 2);
+    EXPECT_GT(lat.mean_ms, 0.0);
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,130 @@
+// Tests for vec3 and aabb.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "geom/aabb.hpp"
+#include "geom/vec3.hpp"
+
+namespace hawc {
+namespace {
+
+TEST(vec3, arithmetic) {
+    const vec3 a{1.0, 2.0, 3.0};
+    const vec3 b{-1.0, 0.5, 2.0};
+    EXPECT_EQ(a + b, (vec3{0.0, 2.5, 5.0}));
+    EXPECT_EQ(a - b, (vec3{2.0, 1.5, 1.0}));
+    EXPECT_EQ(a * 2.0, (vec3{2.0, 4.0, 6.0}));
+    EXPECT_EQ(2.0 * a, a * 2.0);
+    EXPECT_EQ(a / 2.0, (vec3{0.5, 1.0, 1.5}));
+    EXPECT_EQ(-a, (vec3{-1.0, -2.0, -3.0}));
+}
+
+TEST(vec3, compound_assignment) {
+    vec3 v{1.0, 1.0, 1.0};
+    v += vec3{1.0, 2.0, 3.0};
+    EXPECT_EQ(v, (vec3{2.0, 3.0, 4.0}));
+    v -= vec3{1.0, 1.0, 1.0};
+    EXPECT_EQ(v, (vec3{1.0, 2.0, 3.0}));
+    v *= 3.0;
+    EXPECT_EQ(v, (vec3{3.0, 6.0, 9.0}));
+}
+
+TEST(vec3, dot_and_cross) {
+    const vec3 x{1.0, 0.0, 0.0};
+    const vec3 y{0.0, 1.0, 0.0};
+    EXPECT_DOUBLE_EQ(x.dot(y), 0.0);
+    EXPECT_EQ(x.cross(y), (vec3{0.0, 0.0, 1.0}));
+    EXPECT_EQ(y.cross(x), (vec3{0.0, 0.0, -1.0}));
+    EXPECT_DOUBLE_EQ((vec3{3.0, 4.0, 0.0}).norm(), 5.0);
+}
+
+TEST(vec3, normalized) {
+    const vec3 v{0.0, 3.0, 4.0};
+    const vec3 n = v.normalized();
+    EXPECT_NEAR(n.norm(), 1.0, 1e-12);
+    EXPECT_NEAR(n.y, 0.6, 1e-12);
+    // Zero vector stays zero.
+    EXPECT_EQ((vec3{}).normalized(), vec3{});
+}
+
+TEST(vec3, distances) {
+    const vec3 a{0.0, 0.0, 0.0};
+    const vec3 b{1.0, 2.0, 2.0};
+    EXPECT_DOUBLE_EQ(a.distance_to(b), 3.0);
+    EXPECT_DOUBLE_EQ(a.distance_sq_to(b), 9.0);
+}
+
+TEST(vec3, lerp_endpoints_and_middle) {
+    const vec3 a{0.0, 0.0, 0.0};
+    const vec3 b{2.0, 4.0, 6.0};
+    EXPECT_EQ(lerp(a, b, 0.0), a);
+    EXPECT_EQ(lerp(a, b, 1.0), b);
+    EXPECT_EQ(lerp(a, b, 0.5), (vec3{1.0, 2.0, 3.0}));
+}
+
+TEST(vec3, stream_output) {
+    std::ostringstream out;
+    out << vec3{1.0, -2.0, 3.5};
+    EXPECT_EQ(out.str(), "(1, -2, 3.5)");
+}
+
+TEST(aabb, default_is_empty) {
+    const aabb box;
+    EXPECT_TRUE(box.empty());
+    EXPECT_FALSE(box.contains({0.0, 0.0, 0.0}));
+    EXPECT_EQ(box.size(), vec3{});
+}
+
+TEST(aabb, expand_points) {
+    aabb box;
+    box.expand({1.0, 2.0, 3.0});
+    EXPECT_FALSE(box.empty());
+    EXPECT_TRUE(box.contains({1.0, 2.0, 3.0}));
+    box.expand({-1.0, 0.0, 5.0});
+    EXPECT_EQ(box.lo, (vec3{-1.0, 0.0, 3.0}));
+    EXPECT_EQ(box.hi, (vec3{1.0, 2.0, 5.0}));
+    EXPECT_EQ(box.center(), (vec3{0.0, 1.0, 4.0}));
+    EXPECT_EQ(box.size(), (vec3{2.0, 2.0, 2.0}));
+}
+
+TEST(aabb, contains_boundary) {
+    const aabb box{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+    EXPECT_TRUE(box.contains({0.0, 0.0, 0.0}));
+    EXPECT_TRUE(box.contains({1.0, 1.0, 1.0}));
+    EXPECT_FALSE(box.contains({1.0001, 0.5, 0.5}));
+}
+
+TEST(aabb, intersects) {
+    const aabb a{{0.0, 0.0, 0.0}, {2.0, 2.0, 2.0}};
+    const aabb b{{1.0, 1.0, 1.0}, {3.0, 3.0, 3.0}};
+    const aabb c{{5.0, 5.0, 5.0}, {6.0, 6.0, 6.0}};
+    EXPECT_TRUE(a.intersects(b));
+    EXPECT_TRUE(b.intersects(a));
+    EXPECT_FALSE(a.intersects(c));
+    EXPECT_FALSE(aabb{}.intersects(a));
+}
+
+TEST(aabb, expand_with_box) {
+    aabb a{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+    a.expand(aabb{{2.0, -1.0, 0.5}, {3.0, 0.5, 2.0}});
+    EXPECT_EQ(a.lo, (vec3{0.0, -1.0, 0.0}));
+    EXPECT_EQ(a.hi, (vec3{3.0, 1.0, 2.0}));
+    // Expanding with an empty box is a no-op.
+    const aabb before = a;
+    a.expand(aabb{});
+    EXPECT_EQ(a.lo, before.lo);
+    EXPECT_EQ(a.hi, before.hi);
+}
+
+TEST(aabb, distance_sq) {
+    const aabb box{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}};
+    EXPECT_DOUBLE_EQ(box.distance_sq({0.5, 0.5, 0.5}), 0.0);  // inside
+    EXPECT_DOUBLE_EQ(box.distance_sq({2.0, 0.5, 0.5}), 1.0);  // off one face
+    EXPECT_DOUBLE_EQ(box.distance_sq({2.0, 2.0, 0.5}), 2.0);  // off an edge
+    EXPECT_DOUBLE_EQ(box.distance_sq({2.0, 2.0, 2.0}), 3.0);  // off a corner
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,107 @@
+// End-to-end integration tests: simulator -> dataset -> training ->
+// quantization -> crowd counting, at reduced scale.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "classifiers/hawc_model.hpp"
+#include "classifiers/quantized_classifier.hpp"
+#include "counting/crowd_counter.hpp"
+
+namespace hawc {
+namespace {
+
+hawc_config model_config(const single_person_dataset& ds) {
+    hawc_config cfg;
+    cfg.features.upsample.target_points = ds.target_points;
+    cfg.features.projection.target_points = ds.target_points;
+    cfg.training.epochs = 24;
+    cfg.training.lr_decay_factor = 0.3;
+    cfg.training.lr_decay_period = 10;
+    return cfg;
+}
+
+struct fixture {
+    single_person_dataset ds;
+    crowd_dataset_config crowd_cfg;
+    std::vector<crowd_sample> crowd;
+    std::unique_ptr<hawc_model> model;  // trained once, shared by tests
+
+    fixture() {
+        single_person_dataset_config cfg;
+        cfg.human_samples = 250;
+        cfg.object_samples = 250;
+        cfg.capture.min_cluster_points = 20;
+        ds = build_single_person_dataset(cfg);
+
+        crowd_cfg.scenes = 10;
+        crowd_cfg.max_people = 4;
+        crowd = build_crowd_dataset(crowd_cfg);
+
+        rng r{1};
+        model = std::make_unique<hawc_model>(model_config(ds), ds.pool, r);
+        model->train(ds.train, nullptr, r);
+    }
+};
+
+fixture& shared_fixture() {
+    static fixture f;
+    return f;
+}
+
+TEST(integration, dataset_is_learnable_by_hawc) {
+    auto& f = shared_fixture();
+    rng r{1};
+    const auto metrics = f.model->evaluate(f.ds.test, r);
+    EXPECT_GT(metrics.accuracy, 0.75);
+}
+
+TEST(integration, end_to_end_crowd_counting) {
+    auto& f = shared_fixture();
+    rng r{2};
+    const crowd_counter counter{f.crowd_cfg.capture, *f.model};
+    const auto eval = counter.evaluate(f.crowd, r);
+    // Small training budget: just require counting to be clearly better
+    // than a trivial always-zero counter.
+    double zero_mae = 0.0;
+    for (const auto& s : f.crowd) zero_mae += static_cast<double>(s.ground_truth);
+    zero_mae /= static_cast<double>(f.crowd.size());
+    EXPECT_LT(eval.metrics.mae, zero_mae);
+    EXPECT_GT(eval.mean_latency_ms, 0.0);
+}
+
+TEST(integration, quantized_pipeline_end_to_end) {
+    auto& f = shared_fixture();
+    rng r{3};
+    auto q = f.model->quantize(f.ds.train, r);
+    const auto& extractor = f.model->extractor();
+    quantized_classifier int8{std::move(q),
+                              [&extractor](const point_cloud& c, rng& rr) {
+                                  return extractor.extract(c, rr);
+                              },
+                              "HAWC-int8"};
+    const auto fp = f.model->evaluate(f.ds.test, r);
+    const auto qm = int8.evaluate(f.ds.test, r);
+    EXPECT_NEAR(qm.accuracy, fp.accuracy, 0.1);
+
+    const crowd_counter counter{f.crowd_cfg.capture, int8};
+    const auto eval = counter.evaluate(f.crowd, r);
+    EXPECT_LE(eval.metrics.mae, 4.0);
+}
+
+TEST(integration, adaptive_beats_bad_fixed_eps) {
+    auto& f = shared_fixture();
+    rng r{4};
+    crowd_counter adaptive{f.crowd_cfg.capture, *f.model};
+    crowd_counter fixed_tiny{f.crowd_cfg.capture, *f.model};
+    fixed_tiny.set_clusterer(make_fixed_eps_clusterer(0.02, f.crowd_cfg.capture));
+
+    const auto a = adaptive.evaluate(f.crowd, r);
+    const auto t = fixed_tiny.evaluate(f.crowd, r);
+    // eps far below point spacing destroys clusters; adaptive must win.
+    EXPECT_LE(a.metrics.mae, t.metrics.mae);
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,303 @@
+// Tests for primitives (ray intersection), the sensor model, and scanner.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "lidar/primitives.hpp"
+#include "lidar/scanner.hpp"
+#include "lidar/sensor_model.hpp"
+
+namespace hawc {
+namespace {
+
+constexpr double tol = 1e-9;
+
+TEST(primitives, sphere_head_on) {
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const sphere s{{5.0, 0.0, 0.0}, 1.0};
+    const auto t = intersect(r, s);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.0, tol);
+}
+
+TEST(primitives, sphere_miss) {
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    EXPECT_FALSE(intersect(r, sphere{{5.0, 3.0, 0.0}, 1.0}).has_value());
+}
+
+TEST(primitives, sphere_from_inside) {
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const auto t = intersect(r, sphere{{0.0, 0.0, 0.0}, 2.0});
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 2.0, tol);
+}
+
+TEST(primitives, sphere_behind_ray) {
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    EXPECT_FALSE(intersect(r, sphere{{-5.0, 0.0, 0.0}, 1.0}).has_value());
+}
+
+TEST(primitives, box_head_on_and_miss) {
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const box b{{{2.0, -1.0, -1.0}, {3.0, 1.0, 1.0}}};
+    const auto t = intersect(r, b);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 2.0, tol);
+    const ray miss{{0.0, 5.0, 0.0}, {1.0, 0.0, 0.0}};
+    EXPECT_FALSE(intersect(miss, b).has_value());
+}
+
+TEST(primitives, box_axis_parallel_inside_slab) {
+    // Ray parallel to y within the box's y-extent.
+    const ray r{{2.5, -5.0, 0.0}, {0.0, 1.0, 0.0}};
+    const box b{{{2.0, -1.0, -1.0}, {3.0, 1.0, 1.0}}};
+    const auto t = intersect(r, b);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.0, tol);
+}
+
+TEST(primitives, capsule_cylinder_body) {
+    const capsule c{{5.0, 0.0, -1.0}, {5.0, 0.0, 1.0}, 0.5};
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const auto t = intersect(r, c);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.5, tol);
+}
+
+TEST(primitives, capsule_end_cap) {
+    const capsule c{{5.0, 0.0, 0.0}, {5.0, 0.0, 3.0}, 0.5};
+    // Ray aimed below the segment start: must hit the spherical cap.
+    const ray r{{0.0, 0.0, -0.4}, vec3{1.0, 0.0, 0.0}};
+    const auto t = intersect(r, c);
+    ASSERT_TRUE(t.has_value());
+    const vec3 hit = r.at(*t);
+    EXPECT_NEAR(hit.distance_to({5.0, 0.0, 0.0}), 0.5, 1e-6);
+}
+
+TEST(primitives, degenerate_capsule_is_sphere) {
+    const capsule c{{5.0, 0.0, 0.0}, {5.0, 0.0, 0.0}, 1.0};
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const auto t = intersect(r, c);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.0, tol);
+}
+
+TEST(primitives, vertical_cylinder_side) {
+    const vertical_cylinder c{{5.0, 0.0, -1.0}, 2.0, 0.5};
+    const ray r{{0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}};
+    const auto t = intersect(r, c);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.5, tol);
+}
+
+TEST(primitives, vertical_cylinder_height_limits) {
+    const vertical_cylinder c{{5.0, 0.0, 0.0}, 1.0, 0.5};
+    // Ray passes above the cylinder.
+    const ray r{{0.0, 0.0, 2.0}, {1.0, 0.0, 0.0}};
+    EXPECT_FALSE(intersect(r, c).has_value());
+}
+
+TEST(primitives, vertical_cylinder_top_disk) {
+    const vertical_cylinder c{{5.0, 0.0, 0.0}, 1.0, 0.5};
+    const ray down{{5.0, 0.0, 5.0}, {0.0, 0.0, -1.0}};
+    const auto t = intersect(down, c);
+    ASSERT_TRUE(t.has_value());
+    EXPECT_NEAR(*t, 4.0, tol);
+}
+
+TEST(primitives, hit_point_lies_on_surface_property) {
+    rng r{99};
+    for (int trial = 0; trial < 200; ++trial) {
+        const sphere s{{r.uniform(-5.0, 5.0), r.uniform(-5.0, 5.0), r.uniform(-5.0, 5.0)},
+                       r.uniform(0.2, 2.0)};
+        const vec3 dir =
+            vec3{r.normal(), r.normal(), r.normal()}.normalized();
+        const ray beam{{r.uniform(-20.0, -10.0), 0.0, 0.0}, dir};
+        if (const auto t = intersect(beam, s)) {
+            EXPECT_NEAR(beam.at(*t).distance_to(s.center), s.radius, 1e-6);
+        }
+    }
+}
+
+TEST(primitives, shape_bounds_contain_hits) {
+    rng r{123};
+    const shape shapes[] = {
+        sphere{{1.0, 2.0, 3.0}, 0.7},
+        capsule{{0.0, 0.0, 0.0}, {1.0, 1.0, 1.0}, 0.3},
+        box{{{-1.0, -1.0, -1.0}, {1.0, 1.0, 1.0}}},
+        vertical_cylinder{{2.0, 2.0, 0.0}, 1.5, 0.4},
+    };
+    for (const auto& s : shapes) {
+        const aabb bounds = shape_bounds(s);
+        for (int trial = 0; trial < 100; ++trial) {
+            const vec3 dir = vec3{r.normal(), r.normal(), r.normal()}.normalized();
+            const ray beam{{r.uniform(-8.0, 8.0), r.uniform(-8.0, 8.0), r.uniform(-8.0, 8.0)},
+                           dir};
+            if (const auto t = intersect(beam, s)) {
+                const vec3 hit = beam.at(*t);
+                EXPECT_LE(bounds.distance_sq(hit), 1e-9);
+            }
+        }
+    }
+}
+
+TEST(sensor_model, beam_count_and_directions) {
+    sensor_config cfg;
+    cfg.channels = 8;
+    cfg.azimuth_steps = 16;
+    const beam_table table{cfg};
+    EXPECT_EQ(table.size(), 8u * 16u);
+    for (const auto& b : table.beams()) {
+        EXPECT_NEAR(b.direction.norm(), 1.0, 1e-12);
+        EXPECT_LT(b.channel, 8u);
+        EXPECT_LT(b.azimuth_step, 16u);
+    }
+}
+
+TEST(sensor_model, elevation_band_respected) {
+    sensor_config cfg;
+    cfg.channels = 16;
+    cfg.azimuth_steps = 4;
+    cfg.vertical_fov_deg = 20.0;
+    cfg.vertical_center_deg = -10.0;
+    const beam_table table{cfg};
+    for (const auto& b : table.beams()) {
+        const double elevation_deg = std::asin(b.direction.z) * 180.0 / std::numbers::pi;
+        EXPECT_GE(elevation_deg, -20.0 - 1e-9);
+        EXPECT_LE(elevation_deg, 0.0 + 1e-9);
+    }
+}
+
+TEST(sensor_model, azimuth_sector_respected) {
+    sensor_config cfg;
+    cfg.azimuth_start_deg = -45.0;
+    cfg.azimuth_fov_deg = 90.0;
+    cfg.channels = 4;
+    cfg.azimuth_steps = 32;
+    const beam_table table{cfg};
+    for (const auto& b : table.beams()) {
+        const double azimuth_deg =
+            std::atan2(b.direction.y, b.direction.x) * 180.0 / std::numbers::pi;
+        EXPECT_GE(azimuth_deg, -45.0 - 1e-9);
+        EXPECT_LE(azimuth_deg, 45.0 + 1e-9);
+    }
+}
+
+TEST(sensor_model, rejects_degenerate_configs) {
+    sensor_config cfg;
+    cfg.channels = 1;
+    EXPECT_THROW(beam_table{cfg}, invalid_argument_error);
+}
+
+TEST(sensor_model, return_probability_decreases_with_range) {
+    const sensor_config cfg;
+    const double near = return_probability(cfg, 10.0, 0.8);
+    const double mid = return_probability(cfg, 25.0, 0.8);
+    const double far = return_probability(cfg, 45.0, 0.8);
+    EXPECT_GT(near, mid);
+    EXPECT_GT(mid, far);
+    EXPECT_GE(far, 0.0);
+    EXPECT_LE(near, 1.0);
+}
+
+TEST(sensor_model, return_probability_scales_with_reflectivity) {
+    const sensor_config cfg;
+    EXPECT_GT(return_probability(cfg, 20.0, 0.9), return_probability(cfg, 20.0, 0.3));
+}
+
+TEST(scanner, ground_returns_at_mount_height) {
+    sensor_config cfg;
+    cfg.channels = 8;
+    cfg.azimuth_steps = 64;
+    cfg.range_noise_sigma_m = 0.0;
+    const scanner s{cfg};
+    rng r{1};
+    scan_options opts;
+    opts.ground_noise_sigma_m = 0.0;
+    const auto result = s.scan({}, r, opts);
+    ASSERT_FALSE(result.returns.empty());
+    for (const auto& ret : result.returns) {
+        EXPECT_EQ(ret.entity_id, ground_entity_id);
+        EXPECT_NEAR(ret.position.z, -cfg.mount_height_m, 1e-6);
+    }
+}
+
+TEST(scanner, no_ground_when_disabled) {
+    sensor_config cfg;
+    cfg.channels = 8;
+    cfg.azimuth_steps = 32;
+    const scanner s{cfg};
+    rng r{2};
+    scan_options opts;
+    opts.include_ground = false;
+    EXPECT_TRUE(s.scan({}, r, opts).returns.empty());
+}
+
+TEST(scanner, entity_attribution_and_occlusion) {
+    sensor_config cfg;
+    cfg.channels = 32;
+    cfg.azimuth_steps = 256;
+    cfg.range_noise_sigma_m = 0.0;
+    const scanner s{cfg};
+    rng r{3};
+
+    // A wall in front of a sphere: the sphere must receive no returns.
+    std::vector<scene_primitive> scene;
+    scene.push_back({box{{{10.0, -3.0, -3.0}, {10.2, 3.0, 3.0}}}, 1, 1.0});
+    scene.push_back({sphere{{20.0, 0.0, 0.0}, 1.0}, 2, 1.0});
+
+    scan_options opts;
+    opts.include_ground = false;
+    const auto result = s.scan(scene, r, opts);
+    ASSERT_FALSE(result.returns.empty());
+    for (const auto& ret : result.returns) EXPECT_EQ(ret.entity_id, 1);
+    EXPECT_TRUE(result.entity_cloud(2).empty());
+    EXPECT_FALSE(result.entity_cloud(1).empty());
+}
+
+TEST(scanner, deterministic_given_seed) {
+    const scanner s{sensor_config{}};
+    std::vector<scene_primitive> scene;
+    scene.push_back({sphere{{20.0, 0.0, -1.0}, 0.8}, 7, 0.9});
+    rng r1{42};
+    rng r2{42};
+    const auto a = s.scan(scene, r1);
+    const auto b = s.scan(scene, r2);
+    ASSERT_EQ(a.returns.size(), b.returns.size());
+    for (std::size_t i = 0; i < a.returns.size(); ++i) {
+        EXPECT_EQ(a.returns[i].position, b.returns[i].position);
+    }
+}
+
+TEST(scanner, far_targets_return_fewer_points) {
+    sensor_config cfg;
+    cfg.range_noise_sigma_m = 0.0;
+    const scanner s{cfg};
+    scan_options opts;
+    opts.include_ground = false;
+
+    auto count_for = [&](double distance) {
+        std::vector<scene_primitive> scene;
+        scene.push_back({sphere{{distance, 0.0, -1.5}, 0.5}, 1, 0.8});
+        rng r{11};
+        return s.scan(scene, r, opts).returns.size();
+    };
+    // Angular shrinkage plus dropout: returns fall sharply with range.
+    EXPECT_GT(count_for(13.0), 2 * count_for(30.0));
+}
+
+TEST(scan_result, to_cloud_matches_returns) {
+    scan_result result;
+    result.returns.push_back({{1.0, 2.0, 3.0}, 3.7, 5, 0});
+    result.returns.push_back({{4.0, 5.0, 6.0}, 8.8, 6, 1});
+    const point_cloud cloud = result.to_cloud();
+    ASSERT_EQ(cloud.size(), 2u);
+    EXPECT_EQ(cloud[0], (vec3{1.0, 2.0, 3.0}));
+}
+
+}  // namespace
+}  // namespace hawc

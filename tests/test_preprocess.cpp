@@ -1,0 +1,77 @@
+// Tests for ROI cropping and ground segmentation.
+
+#include <gtest/gtest.h>
+
+#include "preprocess/ingest.hpp"
+
+namespace hawc {
+namespace {
+
+TEST(roi, crops_outside_x_range) {
+    point_cloud raw{{{5.0, 0.0, -1.0}, {20.0, 0.0, -1.0}, {40.0, 0.0, -1.0}}};
+    const point_cloud cropped = crop_roi(raw);
+    ASSERT_EQ(cropped.size(), 1u);
+    EXPECT_DOUBLE_EQ(cropped[0].x, 20.0);
+}
+
+TEST(roi, crops_outside_y_range) {
+    point_cloud raw{{{20.0, -3.0, -1.0}, {20.0, 0.0, -1.0}, {20.0, 3.0, -1.0}}};
+    EXPECT_EQ(crop_roi(raw).size(), 1u);
+}
+
+TEST(roi, boundary_points_kept) {
+    const roi_config roi;
+    point_cloud raw{{{roi.x_min_m, roi.y_min_m, roi.z_min_m},
+                     {roi.x_max_m, roi.y_max_m, roi.z_max_m}}};
+    EXPECT_EQ(crop_roi(raw, roi).size(), 2u);
+}
+
+TEST(roi, custom_config) {
+    roi_config roi;
+    roi.x_min_m = 0.0;
+    roi.x_max_m = 100.0;
+    roi.y_min_m = -50.0;
+    roi.y_max_m = 50.0;
+    point_cloud raw{{{50.0, 20.0, -1.0}}};
+    EXPECT_EQ(crop_roi(raw, roi).size(), 1u);
+}
+
+TEST(ground_filter, removes_low_points) {
+    // The paper's rule: ground noise extends ~0.4 m above the ground at
+    // z = -3, so everything below z = -2.6 is dropped.
+    point_cloud cloud{{{20.0, 0.0, -2.9}, {20.0, 0.0, -2.61}, {20.0, 0.0, -2.6},
+                       {20.0, 0.0, -1.0}}};
+    const point_cloud filtered = remove_ground(cloud);
+    ASSERT_EQ(filtered.size(), 2u);
+    EXPECT_DOUBLE_EQ(filtered[0].z, -2.6);
+}
+
+TEST(ground_filter, custom_threshold) {
+    ground_filter_config cfg;
+    cfg.z_min_m = -1.0;
+    point_cloud cloud{{{20.0, 0.0, -2.0}, {20.0, 0.0, -0.5}}};
+    EXPECT_EQ(remove_ground(cloud, cfg).size(), 1u);
+}
+
+TEST(ingest, composition_of_crop_and_ground) {
+    point_cloud raw;
+    raw.push_back({20.0, 0.0, -2.9});   // ground noise inside ROI
+    raw.push_back({20.0, 0.0, -1.5});   // valid
+    raw.push_back({50.0, 0.0, -1.5});   // outside ROI
+    raw.push_back({20.0, 4.0, -1.5});   // outside walkway width
+    const point_cloud result = ingest(raw);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_DOUBLE_EQ(result[0].z, -1.5);
+}
+
+TEST(ingest, empty_input) {
+    EXPECT_TRUE(ingest(point_cloud{}).empty());
+}
+
+TEST(ingest, all_filtered) {
+    point_cloud raw{{{1.0, 0.0, -1.0}, {20.0, 0.0, -2.99}}};
+    EXPECT_TRUE(ingest(raw).empty());
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,251 @@
+// Tests for int8 post-training quantization: parameter math, calibration,
+// and fp32-vs-int8 agreement of full model conversions.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "nn/activations.hpp"
+#include "nn/batch_norm.hpp"
+#include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
+#include "nn/pooling.hpp"
+#include "nn/sequential.hpp"
+#include "quant/calibrate.hpp"
+#include "quant/q_model.hpp"
+#include "quant/q_types.hpp"
+
+namespace hawc {
+namespace {
+
+tensor random_tensor(std::vector<std::size_t> shape, rng& r, double scale = 1.0) {
+    tensor t{std::move(shape)};
+    for (std::size_t i = 0; i < t.size(); ++i) {
+        t[i] = static_cast<float>(r.normal(0.0, scale));
+    }
+    return t;
+}
+
+TEST(quant_params, from_range_covers_zero) {
+    const auto p = quant_params::from_range(0.5f, 2.0f);  // lo pushed to 0
+    EXPECT_EQ(p.quantize(0.0f), p.zero_point);
+    EXPECT_NEAR(p.dequantize(p.quantize(2.0f)), 2.0f, p.scale);
+}
+
+TEST(quant_params, symmetric_range) {
+    const auto p = quant_params::from_range(-1.0f, 1.0f);
+    EXPECT_NEAR(p.dequantize(p.quantize(0.7f)), 0.7f, p.scale);
+    EXPECT_NEAR(p.dequantize(p.quantize(-0.7f)), -0.7f, p.scale);
+}
+
+TEST(quant_params, clamps_out_of_range) {
+    const auto p = quant_params::from_range(-1.0f, 1.0f);
+    EXPECT_EQ(p.quantize(100.0f), 127);
+    EXPECT_EQ(p.quantize(-100.0f), -128);
+}
+
+TEST(quant_params, quantization_error_bounded_by_scale) {
+    rng r{1};
+    const auto p = quant_params::from_range(-3.0f, 5.0f);
+    for (int i = 0; i < 500; ++i) {
+        const float v = static_cast<float>(r.uniform(-3.0, 5.0));
+        EXPECT_LE(std::abs(p.dequantize(p.quantize(v)) - v), p.scale * 0.5f + 1e-6f);
+    }
+}
+
+TEST(quant_params, degenerate_range) {
+    const auto p = quant_params::from_range(0.0f, 0.0f);
+    EXPECT_GT(p.scale, 0.0f);
+    EXPECT_EQ(p.quantize(0.0f), p.zero_point);
+}
+
+TEST(range_observer, tracks_min_max) {
+    range_observer obs;
+    tensor t{{3}};
+    t[0] = -2.0f;
+    t[1] = 0.5f;
+    t[2] = 7.0f;
+    obs.observe(t);
+    EXPECT_FLOAT_EQ(obs.lo, -2.0f);
+    EXPECT_FLOAT_EQ(obs.hi, 7.0f);
+    tensor t2{{1}};
+    t2[0] = -5.0f;
+    obs.observe(t2);
+    EXPECT_FLOAT_EQ(obs.lo, -5.0f);
+}
+
+TEST(q_tensor, roundtrip) {
+    rng r{2};
+    const tensor original = random_tensor({2, 3}, r, 2.0);
+    const auto params = quant_params::from_range(-6.0f, 6.0f);
+    const q_tensor q = quantize_tensor(original, params);
+    const tensor back = dequantize_tensor(q);
+    for (std::size_t i = 0; i < original.size(); ++i) {
+        EXPECT_NEAR(back[i], original[i], params.scale);
+    }
+}
+
+/// Build, calibrate, and compare a conv net's int8 path to fp32.
+TEST(quantize_model, conv_net_agreement) {
+    rng r{3};
+    sequential net;
+    net.emplace<conv2d>(3, 8, 3, padding::same, r);
+    net.emplace<batch_norm>(8);
+    net.emplace<relu>();
+    net.emplace<max_pool2d>(2);
+    net.emplace<conv2d>(8, 12, 3, padding::same, r);
+    net.emplace<batch_norm>(12);
+    net.emplace<relu>();
+    net.emplace<flatten>();
+    net.emplace<dense>(12 * 4 * 4, 16, r);
+    net.emplace<relu>();
+    net.emplace<dense>(16, 2, r);
+
+    // Put BN stats somewhere realistic.
+    for (int i = 0; i < 20; ++i) (void)net.forward(random_tensor({8, 8, 8, 3}, r), true);
+
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 32; ++i) calibration.push_back(random_tensor({1, 8, 8, 3}, r));
+    const quantized_model q = quantize_model(net, calibration);
+
+    // Argmax agreement on fresh inputs.
+    std::size_t agree = 0;
+    const std::size_t trials = 60;
+    for (std::size_t i = 0; i < trials; ++i) {
+        const tensor x = random_tensor({1, 8, 8, 3}, r);
+        const tensor fp = net.forward(x, false);
+        const tensor qo = q.forward(x);
+        const bool fp_pos = fp.at(0, 1) > fp.at(0, 0);
+        const bool q_pos = qo.at(0, 1) > qo.at(0, 0);
+        if (fp_pos == q_pos) ++agree;
+        // Logits stay in the same ballpark.
+        EXPECT_NEAR(qo.at(0, 0), fp.at(0, 0), 0.6f + 0.3f * std::abs(fp.at(0, 0)));
+    }
+    EXPECT_GE(agree, trials * 9 / 10);
+}
+
+TEST(quantize_model, pointnet_style_net) {
+    rng r{4};
+    sequential net;
+    net.emplace<conv2d>(3, 16, 1, padding::valid, r);
+    net.emplace<batch_norm>(16);
+    net.emplace<relu>();
+    net.emplace<conv2d>(16, 32, 1, padding::valid, r);
+    net.emplace<batch_norm>(32);
+    net.emplace<relu>();
+    net.emplace<global_max_pool>();
+    net.emplace<flatten>();
+    net.emplace<dense>(32, 2, r);
+    for (int i = 0; i < 10; ++i) (void)net.forward(random_tensor({4, 20, 1, 3}, r), true);
+
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 16; ++i) calibration.push_back(random_tensor({1, 20, 1, 3}, r));
+    const quantized_model q = quantize_model(net, calibration);
+
+    std::size_t agree = 0;
+    for (int i = 0; i < 40; ++i) {
+        const tensor x = random_tensor({1, 20, 1, 3}, r);
+        const tensor fp = net.forward(x, false);
+        const tensor qo = q.forward(x);
+        if ((fp.at(0, 1) > fp.at(0, 0)) == (qo.at(0, 1) > qo.at(0, 0))) ++agree;
+    }
+    EXPECT_GE(agree, 34);
+}
+
+TEST(quantize_model, dense_only_net) {
+    rng r{5};
+    sequential net;
+    net.emplace<dense>(10, 24, r);
+    net.emplace<relu>();
+    net.emplace<dense>(24, 8, r);
+    net.emplace<relu>();
+    net.emplace<dense>(8, 2, r);
+
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 16; ++i) calibration.push_back(random_tensor({1, 10}, r));
+    const quantized_model q = quantize_model(net, calibration);
+    EXPECT_EQ(q.op_count(), 3u);
+
+    std::size_t agree = 0;
+    for (int i = 0; i < 40; ++i) {
+        const tensor x = random_tensor({1, 10}, r);
+        const tensor fp = net.forward(x, false);
+        const tensor qo = q.forward(x);
+        if ((fp.at(0, 1) > fp.at(0, 0)) == (qo.at(0, 1) > qo.at(0, 0))) ++agree;
+    }
+    EXPECT_GE(agree, 36);
+}
+
+TEST(quantize_model, batched_inference) {
+    rng r{6};
+    sequential net;
+    net.emplace<dense>(4, 6, r);
+    net.emplace<relu>();
+    net.emplace<dense>(6, 2, r);
+    std::vector<tensor> calibration{random_tensor({1, 4}, r), random_tensor({1, 4}, r)};
+    const quantized_model q = quantize_model(net, calibration);
+    const tensor batch = random_tensor({5, 4}, r);
+    const tensor out = q.forward(batch);
+    EXPECT_EQ(out.dim(0), 5u);
+    EXPECT_EQ(out.dim(1), 2u);
+}
+
+TEST(quantize_model, op_infos_track_shapes) {
+    rng r{7};
+    sequential net;
+    net.emplace<conv2d>(2, 4, 3, padding::same, r);
+    net.emplace<relu>();
+    net.emplace<max_pool2d>(2);
+    net.emplace<flatten>();
+    net.emplace<dense>(4 * 3 * 3, 2, r);
+    std::vector<tensor> calibration{random_tensor({1, 6, 6, 2}, r)};
+    const quantized_model q = quantize_model(net, calibration);
+    const auto infos = q.op_infos({6, 6, 2});
+    ASSERT_EQ(infos.size(), 4u);  // conv(+relu), pool, flatten, dense
+    EXPECT_EQ(infos[0].kind, op_kind::convolution);
+    EXPECT_EQ(infos[0].macs, 6u * 6 * 4 * 3 * 3 * 2);
+    EXPECT_EQ(infos[3].kind, op_kind::dense);
+    EXPECT_EQ(infos[3].macs, 36u * 2);
+}
+
+TEST(quantize_model, relu_fusion_clamps_negative) {
+    rng r{8};
+    sequential net;
+    net.emplace<dense>(2, 4, r);
+    net.emplace<relu>();
+    net.emplace<dense>(4, 2, r);
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 8; ++i) calibration.push_back(random_tensor({1, 2}, r));
+    const quantized_model q = quantize_model(net, calibration);
+    EXPECT_EQ(q.op_count(), 2u);  // relu fused into the first dense
+    const auto& op = std::get<q_dense_op>(q.op_at(0));
+    EXPECT_TRUE(op.fused_relu);
+}
+
+TEST(quantize_model, rejects_empty_calibration) {
+    rng r{9};
+    sequential net;
+    net.emplace<dense>(2, 2, r);
+    EXPECT_THROW(quantize_model(net, {}), invalid_argument_error);
+}
+
+TEST(quantize_model, weight_scales_per_channel) {
+    rng r{10};
+    sequential net;
+    net.emplace<dense>(4, 3, r);
+    // Blow up one output channel's weights: its scale must be larger.
+    auto* fc = dynamic_cast<dense*>(&net.layer_at(0));
+    ASSERT_NE(fc, nullptr);
+    for (std::size_t i = 0; i < 4; ++i) fc->weights().value[i * 3 + 1] *= 50.0f;
+
+    std::vector<tensor> calibration{random_tensor({1, 4}, r)};
+    const quantized_model q = quantize_model(net, calibration);
+    const auto& op = std::get<q_dense_op>(q.op_at(0));
+    EXPECT_GT(op.weight_scales[1], op.weight_scales[0] * 10.0f);
+    EXPECT_GT(op.weight_scales[1], op.weight_scales[2] * 10.0f);
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,188 @@
+// Tests for the scene simulation: human/object models, scene builders,
+// and traffic schedules.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <string>
+
+#include "sim/scene.hpp"
+#include "sim/trajectory.hpp"
+
+namespace hawc {
+namespace {
+
+aabb body_bounds(const std::vector<scene_primitive>& prims) {
+    aabb box;
+    for (const auto& p : prims) box.expand(shape_bounds(p.geometry));
+    return box;
+}
+
+TEST(human_model, height_matches_parameter) {
+    human_params p;
+    p.height_m = 1.80;
+    const auto body = make_human(p, {10.0, 0.0, -3.0}, 1);
+    const aabb box = body_bounds(body);
+    // Top of the head ~ stature; allow for the head sphere radius.
+    EXPECT_NEAR(box.hi.z, -3.0 + 1.80, 0.15);
+    EXPECT_NEAR(box.lo.z, -3.0, 0.15);
+}
+
+TEST(human_model, composed_of_six_parts) {
+    const auto body = make_human(human_params{}, {0.0, 0.0, 0.0}, 3);
+    EXPECT_EQ(body.size(), 6u);  // 2 legs, torso, 2 arms, head
+    for (const auto& part : body) EXPECT_EQ(part.entity_id, 3);
+}
+
+TEST(human_model, height_distribution_clamps) {
+    rng r{1};
+    height_distribution dist;
+    for (int i = 0; i < 2000; ++i) {
+        const double h = dist.sample(r);
+        EXPECT_GE(h, dist.min_m);
+        EXPECT_LE(h, dist.max_m);
+    }
+}
+
+TEST(human_model, sampled_params_plausible) {
+    rng r{2};
+    for (int i = 0; i < 100; ++i) {
+        const human_params p = sample_human_params(r);
+        EXPECT_GT(p.shoulder_width_m, 0.25);
+        EXPECT_LT(p.shoulder_width_m, 0.60);
+        EXPECT_GE(p.stride_phase, 0.0);
+        EXPECT_LT(p.stride_phase, 1.0);
+        EXPECT_GT(p.reflectivity, 0.0);
+        EXPECT_LE(p.reflectivity, 1.0);
+    }
+}
+
+TEST(object_models, every_kind_builds) {
+    rng r{3};
+    for (const auto kind : all_object_kinds) {
+        const auto prims = make_object(kind, {15.0, 0.0, -3.0}, 9, r);
+        EXPECT_FALSE(prims.empty()) << to_string(kind);
+        for (const auto& p : prims) EXPECT_EQ(p.entity_id, 9);
+        const aabb box = body_bounds(prims);
+        EXPECT_FALSE(box.empty());
+        // All objects sit on or near the ground.
+        EXPECT_LT(box.lo.z, -2.0);
+    }
+}
+
+TEST(object_models, kind_names_unique) {
+    std::set<std::string> names;
+    for (const auto kind : all_object_kinds) names.insert(to_string(kind));
+    EXPECT_EQ(names.size(), std::size(all_object_kinds));
+}
+
+TEST(object_models, sampler_covers_kinds) {
+    rng r{4};
+    std::set<object_kind> seen;
+    for (int i = 0; i < 500; ++i) seen.insert(sample_object_kind(r));
+    EXPECT_EQ(seen.size(), std::size(all_object_kinds));
+}
+
+TEST(scene, add_human_and_object_registry) {
+    scene s;
+    rng r{5};
+    const int h = s.add_human(human_params{}, {14.0, 1.0, -3.0});
+    const int o = s.add_object(object_kind::trash_bin, {20.0, -1.0, -3.0}, r);
+    EXPECT_NE(h, o);
+    EXPECT_EQ(s.human_count(), 1u);
+    EXPECT_EQ(s.object_count(), 1u);
+    EXPECT_EQ(s.entities()[0].kind, entity_kind::human);
+    EXPECT_EQ(s.entities()[1].kind, entity_kind::object);
+    EXPECT_FALSE(s.primitives().empty());
+}
+
+TEST(scene, walkway_positions_inside_bounds) {
+    rng r{6};
+    const walkway_config walkway;
+    for (int i = 0; i < 500; ++i) {
+        const vec3 p = sample_walkway_position(r, walkway);
+        EXPECT_GE(p.x, walkway.x_min_m);
+        EXPECT_LE(p.x, walkway.x_max_m);
+        EXPECT_GE(p.y, -walkway.y_half_width_m);
+        EXPECT_LE(p.y, walkway.y_half_width_m);
+        EXPECT_DOUBLE_EQ(p.z, walkway.ground_z());
+    }
+}
+
+TEST(scene, single_person_scene_has_one_human) {
+    rng r{7};
+    const scene s = make_single_person_scene(r);
+    EXPECT_EQ(s.human_count(), 1u);
+}
+
+TEST(scene, object_scene_has_no_humans) {
+    rng r{8};
+    const scene s = make_object_scene(r, 4);
+    EXPECT_EQ(s.human_count(), 0u);
+    EXPECT_EQ(s.object_count(), 4u);
+}
+
+TEST(scene, crowd_scene_counts) {
+    rng r{9};
+    const scene s = make_crowd_scene(r, 5, 3);
+    EXPECT_EQ(s.human_count(), 5u);
+    EXPECT_EQ(s.object_count(), 3u);
+}
+
+TEST(scene, crowd_scene_respects_separation_at_low_density) {
+    rng r{10};
+    const scene s = make_crowd_scene(r, 6, 0, walkway_config{}, 0.9);
+    const auto& entities = s.entities();
+    for (std::size_t i = 0; i < entities.size(); ++i) {
+        for (std::size_t j = i + 1; j < entities.size(); ++j) {
+            const double dx = entities[i].ground_position.x - entities[j].ground_position.x;
+            const double dy = entities[i].ground_position.y - entities[j].ground_position.y;
+            EXPECT_GE(std::hypot(dx, dy), 0.9 * 0.999);
+        }
+    }
+}
+
+TEST(trajectory, schedule_counts_bounded_by_arrivals) {
+    rng r{11};
+    const traffic_schedule schedule{r, 300.0, 12.0};
+    // Counts at any instant cannot exceed total walks.
+    const std::size_t total = schedule.walks().size();
+    EXPECT_GT(total, 0u);
+    for (double t = 0.0; t < 300.0; t += 10.0) {
+        EXPECT_LE(schedule.count_at(t), total);
+    }
+}
+
+TEST(trajectory, scene_at_matches_count) {
+    rng r{12};
+    const traffic_schedule schedule{r, 120.0, 20.0};
+    rng scene_rng{13};
+    for (double t = 5.0; t < 120.0; t += 17.0) {
+        const scene s = schedule.scene_at(t, scene_rng);
+        EXPECT_EQ(s.human_count(), schedule.count_at(t));
+    }
+}
+
+TEST(trajectory, walkers_cross_the_walkway) {
+    rng r{14};
+    const walkway_config walkway;
+    const traffic_schedule schedule{r, 600.0, 6.0, walkway};
+    for (const auto& walk : schedule.walks()) {
+        const vec3 start = walk.position_at(walk.enter_time_s);
+        const vec3 end = walk.position_at(walk.exit_time_s);
+        EXPECT_NEAR(std::abs(start.y), walkway.y_half_width_m, 1e-9);
+        EXPECT_NEAR(std::abs(end.y), walkway.y_half_width_m, 1e-6);
+        EXPECT_LT(start.y * end.y, 0.0);  // opposite sides
+    }
+}
+
+TEST(trajectory, zero_rate_produces_no_walks) {
+    rng r{15};
+    const traffic_schedule schedule{r, 100.0, 0.0};
+    EXPECT_TRUE(schedule.walks().empty());
+    EXPECT_EQ(schedule.count_at(50.0), 0u);
+}
+
+}  // namespace
+}  // namespace hawc
