@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_clusterers"
+  "../bench/bench_ablation_clusterers.pdb"
+  "CMakeFiles/bench_ablation_clusterers.dir/bench_ablation_clusterers.cpp.o"
+  "CMakeFiles/bench_ablation_clusterers.dir/bench_ablation_clusterers.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_clusterers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablation_hawc"
+  "../bench/bench_ablation_hawc.pdb"
+  "CMakeFiles/bench_ablation_hawc.dir/bench_ablation_hawc.cpp.o"
+  "CMakeFiles/bench_ablation_hawc.dir/bench_ablation_hawc.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_hawc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig10_thermal.cpp" "bench_build/CMakeFiles/bench_fig10_thermal.dir/bench_fig10_thermal.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig10_thermal.dir/bench_fig10_thermal.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench_build/CMakeFiles/hawc_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_counting.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_dataset.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_lidar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_classifiers.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_edge.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_deploy.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig4_elbow"
+  "../bench/bench_fig4_elbow.pdb"
+  "CMakeFiles/bench_fig4_elbow.dir/bench_fig4_elbow.cpp.o"
+  "CMakeFiles/bench_fig4_elbow.dir/bench_fig4_elbow.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_elbow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig8_training"
+  "../bench/bench_fig8_training.pdb"
+  "CMakeFiles/bench_fig8_training.dir/bench_fig8_training.cpp.o"
+  "CMakeFiles/bench_fig8_training.dir/bench_fig8_training.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_training.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

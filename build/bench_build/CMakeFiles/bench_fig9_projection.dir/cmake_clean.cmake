@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig9_projection"
+  "../bench/bench_fig9_projection.pdb"
+  "CMakeFiles/bench_fig9_projection.dir/bench_fig9_projection.cpp.o"
+  "CMakeFiles/bench_fig9_projection.dir/bench_fig9_projection.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table2_inference_speed"
+  "../bench/bench_table2_inference_speed.pdb"
+  "CMakeFiles/bench_table2_inference_speed.dir/bench_table2_inference_speed.cpp.o"
+  "CMakeFiles/bench_table2_inference_speed.dir/bench_table2_inference_speed.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_inference_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_table3_upsampling"
+  "../bench/bench_table3_upsampling.pdb"
+  "CMakeFiles/bench_table3_upsampling.dir/bench_table3_upsampling.cpp.o"
+  "CMakeFiles/bench_table3_upsampling.dir/bench_table3_upsampling.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_upsampling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_bench_common.dir/bench_common.cpp.o"
+  "CMakeFiles/hawc_bench_common.dir/bench_common.cpp.o.d"
+  "libhawc_bench_common.a"
+  "libhawc_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/campus_walkway"
+  "../examples/campus_walkway.pdb"
+  "CMakeFiles/campus_walkway.dir/campus_walkway.cpp.o"
+  "CMakeFiles/campus_walkway.dir/campus_walkway.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/campus_walkway.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/dataset_tools"
+  "../examples/dataset_tools.pdb"
+  "CMakeFiles/dataset_tools.dir/dataset_tools.cpp.o"
+  "CMakeFiles/dataset_tools.dir/dataset_tools.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dataset_tools.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/edge_deployment"
+  "../examples/edge_deployment.pdb"
+  "CMakeFiles/edge_deployment.dir/edge_deployment.cpp.o"
+  "CMakeFiles/edge_deployment.dir/edge_deployment.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/edge_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../examples/emergency_density"
+  "../examples/emergency_density.pdb"
+  "CMakeFiles/emergency_density.dir/emergency_density.cpp.o"
+  "CMakeFiles/emergency_density.dir/emergency_density.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/emergency_density.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

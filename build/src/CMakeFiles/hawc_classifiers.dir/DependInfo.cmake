@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/classifiers/autoencoder_model.cpp" "src/CMakeFiles/hawc_classifiers.dir/classifiers/autoencoder_model.cpp.o" "gcc" "src/CMakeFiles/hawc_classifiers.dir/classifiers/autoencoder_model.cpp.o.d"
+  "/root/repo/src/classifiers/feature_scaler.cpp" "src/CMakeFiles/hawc_classifiers.dir/classifiers/feature_scaler.cpp.o" "gcc" "src/CMakeFiles/hawc_classifiers.dir/classifiers/feature_scaler.cpp.o.d"
+  "/root/repo/src/classifiers/hawc_model.cpp" "src/CMakeFiles/hawc_classifiers.dir/classifiers/hawc_model.cpp.o" "gcc" "src/CMakeFiles/hawc_classifiers.dir/classifiers/hawc_model.cpp.o.d"
+  "/root/repo/src/classifiers/ocsvm_model.cpp" "src/CMakeFiles/hawc_classifiers.dir/classifiers/ocsvm_model.cpp.o" "gcc" "src/CMakeFiles/hawc_classifiers.dir/classifiers/ocsvm_model.cpp.o.d"
+  "/root/repo/src/classifiers/pointnet_model.cpp" "src/CMakeFiles/hawc_classifiers.dir/classifiers/pointnet_model.cpp.o" "gcc" "src/CMakeFiles/hawc_classifiers.dir/classifiers/pointnet_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_quant.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

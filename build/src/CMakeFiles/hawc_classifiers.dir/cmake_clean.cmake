@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_classifiers.dir/classifiers/autoencoder_model.cpp.o"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/autoencoder_model.cpp.o.d"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/feature_scaler.cpp.o"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/feature_scaler.cpp.o.d"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/hawc_model.cpp.o"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/hawc_model.cpp.o.d"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/ocsvm_model.cpp.o"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/ocsvm_model.cpp.o.d"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/pointnet_model.cpp.o"
+  "CMakeFiles/hawc_classifiers.dir/classifiers/pointnet_model.cpp.o.d"
+  "libhawc_classifiers.a"
+  "libhawc_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clustering/adaptive_eps.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/adaptive_eps.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/adaptive_eps.cpp.o.d"
+  "/root/repo/src/clustering/cluster_result.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/cluster_result.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/cluster_result.cpp.o.d"
+  "/root/repo/src/clustering/dbscan.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/dbscan.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/dbscan.cpp.o.d"
+  "/root/repo/src/clustering/gmm.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/gmm.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/gmm.cpp.o.d"
+  "/root/repo/src/clustering/hierarchical.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/hierarchical.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/hierarchical.cpp.o.d"
+  "/root/repo/src/clustering/kmeans.cpp" "src/CMakeFiles/hawc_clustering.dir/clustering/kmeans.cpp.o" "gcc" "src/CMakeFiles/hawc_clustering.dir/clustering/kmeans.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

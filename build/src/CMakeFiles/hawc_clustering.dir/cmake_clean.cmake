@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_clustering.dir/clustering/adaptive_eps.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/adaptive_eps.cpp.o.d"
+  "CMakeFiles/hawc_clustering.dir/clustering/cluster_result.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/cluster_result.cpp.o.d"
+  "CMakeFiles/hawc_clustering.dir/clustering/dbscan.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/dbscan.cpp.o.d"
+  "CMakeFiles/hawc_clustering.dir/clustering/gmm.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/gmm.cpp.o.d"
+  "CMakeFiles/hawc_clustering.dir/clustering/hierarchical.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/hierarchical.cpp.o.d"
+  "CMakeFiles/hawc_clustering.dir/clustering/kmeans.cpp.o"
+  "CMakeFiles/hawc_clustering.dir/clustering/kmeans.cpp.o.d"
+  "libhawc_clustering.a"
+  "libhawc_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_common.dir/common/error.cpp.o"
+  "CMakeFiles/hawc_common.dir/common/error.cpp.o.d"
+  "CMakeFiles/hawc_common.dir/common/rng.cpp.o"
+  "CMakeFiles/hawc_common.dir/common/rng.cpp.o.d"
+  "CMakeFiles/hawc_common.dir/common/stats.cpp.o"
+  "CMakeFiles/hawc_common.dir/common/stats.cpp.o.d"
+  "CMakeFiles/hawc_common.dir/common/table.cpp.o"
+  "CMakeFiles/hawc_common.dir/common/table.cpp.o.d"
+  "libhawc_common.a"
+  "libhawc_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_counting.dir/counting/crowd_counter.cpp.o"
+  "CMakeFiles/hawc_counting.dir/counting/crowd_counter.cpp.o.d"
+  "libhawc_counting.a"
+  "libhawc_counting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_counting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dataset/builders.cpp" "src/CMakeFiles/hawc_dataset.dir/dataset/builders.cpp.o" "gcc" "src/CMakeFiles/hawc_dataset.dir/dataset/builders.cpp.o.d"
+  "/root/repo/src/dataset/capture_pipeline.cpp" "src/CMakeFiles/hawc_dataset.dir/dataset/capture_pipeline.cpp.o" "gcc" "src/CMakeFiles/hawc_dataset.dir/dataset/capture_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_lidar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

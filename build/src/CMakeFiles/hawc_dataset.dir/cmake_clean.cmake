@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_dataset.dir/dataset/builders.cpp.o"
+  "CMakeFiles/hawc_dataset.dir/dataset/builders.cpp.o.d"
+  "CMakeFiles/hawc_dataset.dir/dataset/capture_pipeline.cpp.o"
+  "CMakeFiles/hawc_dataset.dir/dataset/capture_pipeline.cpp.o.d"
+  "libhawc_dataset.a"
+  "libhawc_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_deploy.dir/deploy/thermal.cpp.o"
+  "CMakeFiles/hawc_deploy.dir/deploy/thermal.cpp.o.d"
+  "libhawc_deploy.a"
+  "libhawc_deploy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_deploy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

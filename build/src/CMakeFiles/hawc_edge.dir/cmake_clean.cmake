@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_edge.dir/edge/device_model.cpp.o"
+  "CMakeFiles/hawc_edge.dir/edge/device_model.cpp.o.d"
+  "CMakeFiles/hawc_edge.dir/edge/measure.cpp.o"
+  "CMakeFiles/hawc_edge.dir/edge/measure.cpp.o.d"
+  "libhawc_edge.a"
+  "libhawc_edge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/height_features.cpp" "src/CMakeFiles/hawc_features.dir/features/height_features.cpp.o" "gcc" "src/CMakeFiles/hawc_features.dir/features/height_features.cpp.o.d"
+  "/root/repo/src/features/pipeline.cpp" "src/CMakeFiles/hawc_features.dir/features/pipeline.cpp.o" "gcc" "src/CMakeFiles/hawc_features.dir/features/pipeline.cpp.o.d"
+  "/root/repo/src/features/projection.cpp" "src/CMakeFiles/hawc_features.dir/features/projection.cpp.o" "gcc" "src/CMakeFiles/hawc_features.dir/features/projection.cpp.o.d"
+  "/root/repo/src/features/slice_features.cpp" "src/CMakeFiles/hawc_features.dir/features/slice_features.cpp.o" "gcc" "src/CMakeFiles/hawc_features.dir/features/slice_features.cpp.o.d"
+  "/root/repo/src/features/upsampling.cpp" "src/CMakeFiles/hawc_features.dir/features/upsampling.cpp.o" "gcc" "src/CMakeFiles/hawc_features.dir/features/upsampling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_clustering.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_features.dir/features/height_features.cpp.o"
+  "CMakeFiles/hawc_features.dir/features/height_features.cpp.o.d"
+  "CMakeFiles/hawc_features.dir/features/pipeline.cpp.o"
+  "CMakeFiles/hawc_features.dir/features/pipeline.cpp.o.d"
+  "CMakeFiles/hawc_features.dir/features/projection.cpp.o"
+  "CMakeFiles/hawc_features.dir/features/projection.cpp.o.d"
+  "CMakeFiles/hawc_features.dir/features/slice_features.cpp.o"
+  "CMakeFiles/hawc_features.dir/features/slice_features.cpp.o.d"
+  "CMakeFiles/hawc_features.dir/features/upsampling.cpp.o"
+  "CMakeFiles/hawc_features.dir/features/upsampling.cpp.o.d"
+  "libhawc_features.a"
+  "libhawc_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_geom.dir/geom/vec3.cpp.o"
+  "CMakeFiles/hawc_geom.dir/geom/vec3.cpp.o.d"
+  "libhawc_geom.a"
+  "libhawc_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_lidar.dir/lidar/primitives.cpp.o"
+  "CMakeFiles/hawc_lidar.dir/lidar/primitives.cpp.o.d"
+  "CMakeFiles/hawc_lidar.dir/lidar/scanner.cpp.o"
+  "CMakeFiles/hawc_lidar.dir/lidar/scanner.cpp.o.d"
+  "CMakeFiles/hawc_lidar.dir/lidar/sensor_model.cpp.o"
+  "CMakeFiles/hawc_lidar.dir/lidar/sensor_model.cpp.o.d"
+  "libhawc_lidar.a"
+  "libhawc_lidar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_lidar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/CMakeFiles/hawc_nn.dir/nn/activations.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/activations.cpp.o.d"
+  "/root/repo/src/nn/batch_norm.cpp" "src/CMakeFiles/hawc_nn.dir/nn/batch_norm.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/batch_norm.cpp.o.d"
+  "/root/repo/src/nn/conv2d.cpp" "src/CMakeFiles/hawc_nn.dir/nn/conv2d.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/conv2d.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/CMakeFiles/hawc_nn.dir/nn/dense.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/dense.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/CMakeFiles/hawc_nn.dir/nn/loss.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/loss.cpp.o.d"
+  "/root/repo/src/nn/optimizer.cpp" "src/CMakeFiles/hawc_nn.dir/nn/optimizer.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/optimizer.cpp.o.d"
+  "/root/repo/src/nn/pooling.cpp" "src/CMakeFiles/hawc_nn.dir/nn/pooling.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/pooling.cpp.o.d"
+  "/root/repo/src/nn/sequential.cpp" "src/CMakeFiles/hawc_nn.dir/nn/sequential.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/sequential.cpp.o.d"
+  "/root/repo/src/nn/tensor.cpp" "src/CMakeFiles/hawc_nn.dir/nn/tensor.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/tensor.cpp.o.d"
+  "/root/repo/src/nn/trainer.cpp" "src/CMakeFiles/hawc_nn.dir/nn/trainer.cpp.o" "gcc" "src/CMakeFiles/hawc_nn.dir/nn/trainer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

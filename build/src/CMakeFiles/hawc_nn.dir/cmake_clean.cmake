@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_nn.dir/nn/activations.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/activations.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/batch_norm.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/batch_norm.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/conv2d.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/conv2d.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/dense.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/dense.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/loss.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/loss.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/optimizer.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/optimizer.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/pooling.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/pooling.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/sequential.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/sequential.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/tensor.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/tensor.cpp.o.d"
+  "CMakeFiles/hawc_nn.dir/nn/trainer.cpp.o"
+  "CMakeFiles/hawc_nn.dir/nn/trainer.cpp.o.d"
+  "libhawc_nn.a"
+  "libhawc_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

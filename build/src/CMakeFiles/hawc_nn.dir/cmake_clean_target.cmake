@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libhawc_nn.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pointcloud/cloud_io.cpp" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/cloud_io.cpp.o" "gcc" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/cloud_io.cpp.o.d"
+  "/root/repo/src/pointcloud/kd_tree.cpp" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/kd_tree.cpp.o" "gcc" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/kd_tree.cpp.o.d"
+  "/root/repo/src/pointcloud/point_cloud.cpp" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/point_cloud.cpp.o" "gcc" "src/CMakeFiles/hawc_pointcloud.dir/pointcloud/point_cloud.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

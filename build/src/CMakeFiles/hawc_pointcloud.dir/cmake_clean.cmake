@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/cloud_io.cpp.o"
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/cloud_io.cpp.o.d"
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/kd_tree.cpp.o"
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/kd_tree.cpp.o.d"
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/point_cloud.cpp.o"
+  "CMakeFiles/hawc_pointcloud.dir/pointcloud/point_cloud.cpp.o.d"
+  "libhawc_pointcloud.a"
+  "libhawc_pointcloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_pointcloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_preprocess.dir/preprocess/ingest.cpp.o"
+  "CMakeFiles/hawc_preprocess.dir/preprocess/ingest.cpp.o.d"
+  "libhawc_preprocess.a"
+  "libhawc_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/quant/calibrate.cpp" "src/CMakeFiles/hawc_quant.dir/quant/calibrate.cpp.o" "gcc" "src/CMakeFiles/hawc_quant.dir/quant/calibrate.cpp.o.d"
+  "/root/repo/src/quant/q_model.cpp" "src/CMakeFiles/hawc_quant.dir/quant/q_model.cpp.o" "gcc" "src/CMakeFiles/hawc_quant.dir/quant/q_model.cpp.o.d"
+  "/root/repo/src/quant/q_types.cpp" "src/CMakeFiles/hawc_quant.dir/quant/q_types.cpp.o" "gcc" "src/CMakeFiles/hawc_quant.dir/quant/q_types.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

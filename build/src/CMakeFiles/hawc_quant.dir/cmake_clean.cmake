@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_quant.dir/quant/calibrate.cpp.o"
+  "CMakeFiles/hawc_quant.dir/quant/calibrate.cpp.o.d"
+  "CMakeFiles/hawc_quant.dir/quant/q_model.cpp.o"
+  "CMakeFiles/hawc_quant.dir/quant/q_model.cpp.o.d"
+  "CMakeFiles/hawc_quant.dir/quant/q_types.cpp.o"
+  "CMakeFiles/hawc_quant.dir/quant/q_types.cpp.o.d"
+  "libhawc_quant.a"
+  "libhawc_quant.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_quant.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

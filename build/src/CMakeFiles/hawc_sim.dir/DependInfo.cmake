@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/human_model.cpp" "src/CMakeFiles/hawc_sim.dir/sim/human_model.cpp.o" "gcc" "src/CMakeFiles/hawc_sim.dir/sim/human_model.cpp.o.d"
+  "/root/repo/src/sim/object_models.cpp" "src/CMakeFiles/hawc_sim.dir/sim/object_models.cpp.o" "gcc" "src/CMakeFiles/hawc_sim.dir/sim/object_models.cpp.o.d"
+  "/root/repo/src/sim/scene.cpp" "src/CMakeFiles/hawc_sim.dir/sim/scene.cpp.o" "gcc" "src/CMakeFiles/hawc_sim.dir/sim/scene.cpp.o.d"
+  "/root/repo/src/sim/trajectory.cpp" "src/CMakeFiles/hawc_sim.dir/sim/trajectory.cpp.o" "gcc" "src/CMakeFiles/hawc_sim.dir/sim/trajectory.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hawc_lidar.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_pointcloud.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/hawc_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

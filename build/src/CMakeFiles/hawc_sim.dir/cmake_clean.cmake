@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hawc_sim.dir/sim/human_model.cpp.o"
+  "CMakeFiles/hawc_sim.dir/sim/human_model.cpp.o.d"
+  "CMakeFiles/hawc_sim.dir/sim/object_models.cpp.o"
+  "CMakeFiles/hawc_sim.dir/sim/object_models.cpp.o.d"
+  "CMakeFiles/hawc_sim.dir/sim/scene.cpp.o"
+  "CMakeFiles/hawc_sim.dir/sim/scene.cpp.o.d"
+  "CMakeFiles/hawc_sim.dir/sim/trajectory.cpp.o"
+  "CMakeFiles/hawc_sim.dir/sim/trajectory.cpp.o.d"
+  "libhawc_sim.a"
+  "libhawc_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hawc_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
