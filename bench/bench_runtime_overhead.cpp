@@ -1,0 +1,101 @@
+// Supervisor overhead on clean frames: the fault-tolerant runtime wraps
+// the same ingest -> adaptive clustering -> classify -> count pipeline
+// the bare crowd_counter runs, adding sanitization, duplicate removal,
+// plausibility checks, watchdog polls, and health accounting. This bench
+// measures what that armor costs on healthy captures — the acceptance
+// budget is <= 5% over the unsupervised pipeline.
+
+#include <vector>
+
+#include "bench_common.hpp"
+#include "runtime/supervisor.hpp"
+#include "sim/trajectory.hpp"
+
+using namespace hawc;
+
+int main() {
+    bench::print_header("Runtime overhead",
+                        "frame_supervisor vs bare crowd_counter on clean frames");
+
+    // An untrained fp32 HAWC keeps the classification stage realistic
+    // (full feature extraction + forward pass) without minutes of
+    // training; both pipelines share the exact same instance.
+    single_person_dataset_config ds_cfg;
+    ds_cfg.human_samples = 40;
+    ds_cfg.object_samples = 40;
+    ds_cfg.capture.min_cluster_points = 20;
+    const single_person_dataset ds = build_single_person_dataset(ds_cfg);
+
+    rng random{7};
+    hawc_config model_cfg;
+    model_cfg.features.upsample.target_points = ds.target_points;
+    model_cfg.features.projection.target_points = ds.target_points;
+    const hawc_model model{model_cfg, ds.pool, random};
+
+    capture_config capture;
+    capture.min_cluster_points = 20;
+    const crowd_counter bare{capture, model};
+
+    supervisor_config sup_cfg;
+    sup_cfg.capture = capture;
+    frame_supervisor supervised{sup_cfg, model};
+
+    // Pre-generate identical clean frames so both pipelines see the
+    // exact same inputs and the comparison is frame-for-frame.
+    const std::size_t frames = bench::scaled(120, 20);
+    const scanner sensor{capture.sensor};
+    rng traffic_rng{2025};
+    const traffic_schedule traffic{traffic_rng, 600.0, /*arrivals_per_minute=*/12.0};
+    std::vector<point_cloud> captures;
+    captures.reserve(frames);
+    for (std::size_t i = 0; i < frames; ++i) {
+        const double t = 5.0 + static_cast<double>(i) * 4.5;
+        const scene frame = traffic.scene_at(t, traffic_rng);
+        captures.push_back(sensor.scan(frame.primitives(), traffic_rng, capture.scan).to_cloud());
+    }
+
+    // Warm-up pass (allocator, caches), then timed passes. Counting uses
+    // a fixed-seed rng per pass so both pipelines draw identical samples.
+    auto run_bare = [&] {
+        rng r{11};
+        std::size_t total = 0;
+        for (const auto& c : captures) total += bare.count(c, r).count;
+        return total;
+    };
+    auto run_supervised = [&] {
+        rng r{11};
+        std::size_t total = 0;
+        for (const auto& c : captures) total += supervised.process(c, r).count;
+        return total;
+    };
+    run_bare();
+    run_supervised();
+
+    stopwatch sw;
+    const std::size_t bare_total = run_bare();
+    const double bare_ms = sw.elapsed_ms();
+    sw.reset();
+    const std::size_t supervised_total = run_supervised();
+    const double supervised_ms = sw.elapsed_ms();
+
+    const double overhead_pct = 100.0 * (supervised_ms - bare_ms) / bare_ms;
+
+    text_table table{{"Pipeline", "Frames", "Total (ms)", "Per frame (ms)", "Count"}};
+    table.add_row({"crowd_counter (bare)", std::to_string(frames),
+                   text_table::num(bare_ms),
+                   text_table::num(bare_ms / static_cast<double>(frames)),
+                   std::to_string(bare_total)});
+    table.add_row({"frame_supervisor", std::to_string(frames),
+                   text_table::num(supervised_ms),
+                   text_table::num(supervised_ms / static_cast<double>(frames)),
+                   std::to_string(supervised_total)});
+    table.print(std::cout);
+
+    std::cout << "\nSupervisor overhead on clean frames: " << text_table::num(overhead_pct)
+              << "% (budget: <= 5%)\n";
+    const auto& health = supervised.health();
+    std::cout << "Clean-run health check: " << health.frames_ok << "/"
+              << health.frames_total << " frames ok, "
+              << (health.accounted() ? "all accounted" : "ACCOUNTING BROKEN") << "\n";
+    return overhead_pct <= 5.0 ? 0 : 1;
+}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Instrumented test run: builds the suite with AddressSanitizer +
+# UndefinedBehaviorSanitizer and runs ctest. A clean pass means the
+# degenerate-input and chaos-soak tests exercised the pipeline without
+# heap errors or UB. Usage:
+#
+#   scripts/check.sh                  # address,undefined (default)
+#   HAWC_SANITIZE=thread scripts/check.sh
+#   scripts/check.sh -R chaos_soak    # extra args forwarded to ctest
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+sanitize="${HAWC_SANITIZE:-address,undefined}"
+build_dir="${repo_root}/build-sanitize"
+
+cmake -B "${build_dir}" -S "${repo_root}" \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DHAWC_SANITIZE="${sanitize}"
+cmake --build "${build_dir}" -j "$(nproc)"
+
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
+ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"

@@ -4,9 +4,11 @@
 // fp32 model it was converted from. Works for HAWC, PointNet and the
 // AutoEncoder head alike, so every *-CC pipeline has an int8 variant.
 
+#include <cmath>
 #include <functional>
 
 #include "classifiers/classifier.hpp"
+#include "common/error.hpp"
 #include "nn/trainer.hpp"
 #include "quant/calibrate.hpp"
 
@@ -22,7 +24,17 @@ public:
 
     bool is_human(const point_cloud& cluster, rng& random) const override {
         const tensor logits = model_.forward(featurize_(cluster, random));
-        return logits.at(0, 1) > logits.at(0, 0);
+        const float object_logit = logits.at(0, 0);
+        const float human_logit = logits.at(0, 1);
+        // Dequantization validation: corrupted scales or poisoned inputs
+        // surface as non-finite logits. Raising data_integrity_error lets
+        // the streaming runtime fall back to the fp32 model instead of
+        // silently classifying on garbage (NaN comparisons are all false).
+        if (!std::isfinite(object_logit) || !std::isfinite(human_logit)) {
+            throw data_integrity_error{"quantized " + name_ +
+                                       " produced non-finite logits"};
+        }
+        return human_logit > object_logit;
     }
 
     std::string name() const override { return name_; }

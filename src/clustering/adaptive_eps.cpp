@@ -50,8 +50,10 @@ double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& con
     auto lo = static_cast<std::size_t>(config.band_lo * static_cast<double>(curve.size()));
     auto hi = static_cast<std::size_t>(config.band_hi * static_cast<double>(curve.size()));
     while (lo < curve.size() && curve[lo] < config.min_eps) ++lo;
+    // Duplicate-heavy clouds (stuck sensor returns) can push `lo` past the
+    // end of the curve; clamping with inverted bounds would read past it.
+    if (lo + 2 > curve.size()) return std::clamp(curve.back(), config.min_eps, config.max_eps);
     hi = std::clamp<std::size_t>(hi, lo + 2, curve.size());
-    if (hi - lo < 2) return std::clamp(curve.back(), config.min_eps, config.max_eps);
 
     const std::span<const double> band{curve.data() + lo, hi - lo};
     const double eps = band[knee_index(band)];

@@ -24,6 +24,30 @@ private:
     clock::time_point start_;
 };
 
+/// Cooperative deadline on the monotonic clock: long-running stages poll
+/// expired() between work items and bail out early instead of blowing
+/// their frame budget. A default-constructed deadline never expires.
+class deadline {
+public:
+    deadline() = default;
+
+    static deadline after_ms(double ms) {
+        deadline d;
+        d.due_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                                    std::chrono::duration<double, std::milli>(ms));
+        d.armed_ = true;
+        return d;
+    }
+
+    bool armed() const { return armed_; }
+    bool expired() const { return armed_ && clock::now() >= due_; }
+
+private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point due_{};
+    bool armed_ = false;
+};
+
 /// Collects repeated latency measurements (mean ± stddev in ms), matching
 /// how the paper reports inference time.
 class latency_recorder {

@@ -58,9 +58,24 @@ count_result crowd_counter::count(const point_cloud& raw, rng& random) const {
     result.times.clustering_ms = sw.elapsed_ms();
 
     sw.reset();
+    const cluster_count_result counted = count_clusters(clusters, random);
+    result.count = counted.count;
+    result.cluster_count = counted.examined;
+    result.times.classification_ms = sw.elapsed_ms();
+    return result;
+}
+
+cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> clusters,
+                                                   rng& random,
+                                                   const deadline& time_budget) const {
+    cluster_count_result result;
     for (const auto& cluster : clusters) {
         if (cluster.size() < config_.min_cluster_points) continue;
-        ++result.cluster_count;
+        if (time_budget.expired()) {
+            result.truncated = true;
+            break;
+        }
+        ++result.examined;
 
         const std::size_t capacity = estimate_multiplicity(cluster, multiplicity_);
         if (capacity <= 1) {
@@ -93,7 +108,6 @@ count_result crowd_counter::count(const point_cloud& raw, rng& random) const {
             result.count += human_parts;
         }
     }
-    result.times.classification_ms = sw.elapsed_ms();
     return result;
 }
 

@@ -9,6 +9,7 @@
 #include <functional>
 
 #include "classifiers/classifier.hpp"
+#include "common/timer.hpp"
 #include "counting/metrics.hpp"
 #include "dataset/builders.hpp"
 
@@ -54,6 +55,13 @@ struct count_result {
     stage_times times;
 };
 
+/// Result of the classification half of the pipeline alone.
+struct cluster_count_result {
+    std::size_t count = 0;     // clusters (or sub-clusters) classified human
+    std::size_t examined = 0;  // clusters meeting the minimum size
+    bool truncated = false;    // classification stopped at the deadline
+};
+
 class crowd_counter {
 public:
     /// `classifier` must outlive the counter. The default clustering
@@ -71,6 +79,14 @@ public:
 
     /// Count people in one raw capture.
     count_result count(const point_cloud& raw, rng& random) const;
+
+    /// Classification half of count(): size-filter, multiplicity-split and
+    /// classify pre-built clusters. Used by count() and by the streaming
+    /// runtime's frame supervisor, which clusters under its own fallback
+    /// policy. When `time_budget` is armed and expires, the remaining
+    /// clusters are skipped and the result is flagged truncated.
+    cluster_count_result count_clusters(std::span<const point_cloud> clusters, rng& random,
+                                        const deadline& time_budget = {}) const;
 
     /// Evaluate over a crowd dataset; collects MAE/MSE and latency.
     struct evaluation {

@@ -20,8 +20,25 @@ struct roi_config {
     double z_max_m = 0.5;
 };
 
-/// Keep only points inside the ROI box.
+/// Drop points with any non-finite coordinate. Real sensors emit NaN/Inf
+/// returns under fault conditions (saturation, crosstalk, truncated UDP
+/// packets); letting them through would poison kd-tree queries, centroid
+/// and bounds geometry downstream, so ingestion guarantees finiteness
+/// explicitly rather than relying on NaN comparison semantics.
+point_cloud drop_non_finite(const point_cloud& cloud);
+
+/// Keep only finite points inside the ROI box.
 point_cloud crop_roi(const point_cloud& raw, const roi_config& roi = {});
+
+/// Capture-health statistics gathered during ingestion, for callers
+/// (like the streaming supervisor) that validate every frame. Collected
+/// inside the crop pass so validation costs no extra sweep of the raw
+/// cloud.
+struct ingest_stats {
+    std::size_t raw_points = 0;
+    std::size_t non_finite = 0;   // NaN/Inf coordinates, always dropped
+    std::size_t below_floor = 0;  // finite returns deeper than `floor_z`
+};
 
 /// Rule-based ground segmentation (paper Sec. III): ground noise extends
 /// about 0.4 m above the ground plane at z = -3, so points with
@@ -35,5 +52,13 @@ point_cloud remove_ground(const point_cloud& cloud, const ground_filter_config& 
 /// Full ingestion: ROI crop then ground removal.
 point_cloud ingest(const point_cloud& raw, const roi_config& roi = {},
                    const ground_filter_config& ground = {});
+
+/// Validating ingestion: same result as ingest(), plus capture-health
+/// counts taken in the same pass. `floor_z` is the plausibility floor
+/// for below_floor (a pole-mounted sensor cannot see through the
+/// walkway, so returns deeper than this indicate range noise).
+point_cloud ingest(const point_cloud& raw, const roi_config& roi,
+                   const ground_filter_config& ground, double floor_z,
+                   ingest_stats& stats);
 
 }  // namespace hawc

@@ -1,0 +1,42 @@
+#include "runtime/failure.hpp"
+
+namespace hawc {
+
+const char* to_string(pipeline_stage stage) {
+    switch (stage) {
+        case pipeline_stage::capture: return "capture";
+        case pipeline_stage::ingest: return "ingest";
+        case pipeline_stage::clustering: return "clustering";
+        case pipeline_stage::classification: return "classification";
+        case pipeline_stage::frame: return "frame";
+    }
+    return "unknown";
+}
+
+const char* to_string(failure_kind kind) {
+    switch (kind) {
+        case failure_kind::non_finite_input: return "non_finite_input";
+        case failure_kind::truncated_frame: return "truncated_frame";
+        case failure_kind::duplicate_points: return "duplicate_points";
+        case failure_kind::implausible_geometry: return "implausible_geometry";
+        case failure_kind::degenerate_elbow: return "degenerate_elbow";
+        case failure_kind::stage_deadline: return "stage_deadline";
+        case failure_kind::classifier_fault: return "classifier_fault";
+        case failure_kind::stage_exception: return "stage_exception";
+    }
+    return "unknown";
+}
+
+std::string failure_event::describe() const {
+    std::string out = to_string(stage);
+    out += ": ";
+    out += to_string(kind);
+    if (!detail.empty()) {
+        out += " (";
+        out += detail;
+        out += ")";
+    }
+    return out;
+}
+
+}  // namespace hawc

@@ -1,0 +1,75 @@
+#include "runtime/health.hpp"
+
+#include <cstdio>
+
+namespace hawc {
+
+const char* to_string(frame_status status) {
+    switch (status) {
+        case frame_status::ok: return "ok";
+        case frame_status::degraded: return "degraded";
+        case frame_status::dropped: return "dropped";
+    }
+    return "unknown";
+}
+
+const char* to_string(fallback_rung rung) {
+    switch (rung) {
+        case fallback_rung::fixed_eps: return "fixed_eps";
+        case fallback_rung::float_model: return "float_model";
+        case fallback_rung::stale_count: return "stale_count";
+    }
+    return "unknown";
+}
+
+namespace {
+
+std::string stat_line(const char* label, const running_stats& s) {
+    char buf[128];
+    std::snprintf(buf, sizeof buf, "  %-16s %8.3f ms  (sd %.3f, max %.3f)\n", label,
+                  s.mean(), s.stddev(), s.max());
+    return buf;
+}
+
+}  // namespace
+
+std::string health_counters::summary() const {
+    char buf[256];
+    std::string out;
+    std::snprintf(buf, sizeof buf,
+                  "frames     %llu total | %llu ok | %llu degraded | %llu dropped%s\n",
+                  static_cast<unsigned long long>(frames_total),
+                  static_cast<unsigned long long>(frames_ok),
+                  static_cast<unsigned long long>(frames_degraded),
+                  static_cast<unsigned long long>(frames_dropped),
+                  accounted() ? "" : "  [ACCOUNTING MISMATCH]");
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "fallbacks  fixed-eps %llu | float-model %llu | stale served %llu "
+                  "(cap exhausted %llu)\n",
+                  static_cast<unsigned long long>(fixed_eps_fallbacks),
+                  static_cast<unsigned long long>(float_model_fallbacks),
+                  static_cast<unsigned long long>(stale_counts_served),
+                  static_cast<unsigned long long>(stale_cap_exhausted));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "sanitize   %llu non-finite pts | %llu duplicate pts | %llu truncated "
+                  "frames\n",
+                  static_cast<unsigned long long>(non_finite_points_dropped),
+                  static_cast<unsigned long long>(duplicate_points_dropped),
+                  static_cast<unsigned long long>(truncated_frames));
+    out += buf;
+    std::snprintf(buf, sizeof buf,
+                  "watchdog   %llu classification truncations | %llu frame overruns\n",
+                  static_cast<unsigned long long>(classification_truncations),
+                  static_cast<unsigned long long>(frame_deadline_overruns));
+    out += buf;
+    out += "latency\n";
+    out += stat_line("ingest", ingest_ms);
+    out += stat_line("clustering", clustering_ms);
+    out += stat_line("classification", classification_ms);
+    out += stat_line("frame", frame_ms);
+    return out;
+}
+
+}  // namespace hawc

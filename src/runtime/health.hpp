@@ -1,0 +1,69 @@
+#pragma once
+
+// Per-frame health accounting for the streaming runtime. The supervisor
+// classifies every frame as ok / degraded / dropped and records which
+// rung of the graceful-degradation ladder fired; the bench harness and
+// the resilient_service example print these counters directly.
+
+#include <cstdint>
+#include <string>
+
+#include "common/stats.hpp"
+
+namespace hawc {
+
+/// Terminal disposition of one supervised frame. Every frame gets exactly
+/// one status, so ok + degraded + dropped always equals total.
+enum class frame_status {
+    ok,        // full pipeline, no fallback
+    degraded,  // a fallback rung fired but a genuine count was produced
+    dropped,   // unrecoverable; the count (if any) is a stale carry-forward
+};
+
+/// Rungs of the graceful-degradation ladder, mildest first.
+enum class fallback_rung {
+    fixed_eps,    // adaptive eps degenerate/over budget -> fixed-eps DBSCAN
+    float_model,  // quantized classifier faulted -> fp32 model per cluster
+    stale_count,  // unrecoverable frame -> bounded carry-forward of last count
+};
+
+const char* to_string(frame_status status);
+const char* to_string(fallback_rung rung);
+
+/// Aggregate counters across the supervisor's lifetime (or since the last
+/// reset). Plain struct so harnesses can diff snapshots.
+struct health_counters {
+    std::uint64_t frames_total = 0;
+    std::uint64_t frames_ok = 0;
+    std::uint64_t frames_degraded = 0;
+    std::uint64_t frames_dropped = 0;
+
+    // Ladder activations.
+    std::uint64_t fixed_eps_fallbacks = 0;     // frames clustered at fixed eps
+    std::uint64_t float_model_fallbacks = 0;   // per-cluster fp32 rescues
+    std::uint64_t stale_counts_served = 0;     // dropped frames answered stale
+    std::uint64_t stale_cap_exhausted = 0;     // dropped past the staleness cap
+
+    // Sanitization and watchdog observations.
+    std::uint64_t non_finite_points_dropped = 0;
+    std::uint64_t duplicate_points_dropped = 0;
+    std::uint64_t truncated_frames = 0;            // rejected below min_raw_points
+    std::uint64_t classification_truncations = 0;  // cluster loop hit its budget
+    std::uint64_t frame_deadline_overruns = 0;
+
+    // Stage latencies over all processed frames.
+    running_stats ingest_ms;
+    running_stats clustering_ms;
+    running_stats classification_ms;
+    running_stats frame_ms;
+
+    /// True when every frame carries exactly one status.
+    bool accounted() const {
+        return frames_ok + frames_degraded + frames_dropped == frames_total;
+    }
+
+    /// Multi-line human-readable report.
+    std::string summary() const;
+};
+
+}  // namespace hawc

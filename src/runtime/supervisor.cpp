@@ -1,0 +1,233 @@
+#include "runtime/supervisor.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "clustering/adaptive_eps.hpp"
+#include "clustering/dbscan.hpp"
+#include "preprocess/ingest.hpp"
+
+namespace hawc {
+
+bool resilient_classifier::is_human(const point_cloud& cluster, rng& random) const {
+    try {
+        return primary_->is_human(cluster, random);
+    } catch (const std::exception&) {
+        ++faults_;
+        if (!fallback_) throw;
+        ++fallbacks_;
+        return fallback_->is_human(cluster, random);
+    }
+}
+
+std::string resilient_classifier::name() const {
+    std::string n = primary_->name();
+    if (fallback_) n += "+" + fallback_->name();
+    return n;
+}
+
+frame_supervisor::frame_supervisor(const supervisor_config& config,
+                                   const human_classifier& primary,
+                                   const human_classifier* fallback)
+    : config_{config}, classifier_{primary, fallback}, counter_{config.capture, classifier_} {}
+
+void frame_supervisor::degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
+                               std::string detail) const {
+    report.failures.push_back({stage, kind, std::move(detail)});
+    if (report.status == frame_status::ok) report.status = frame_status::degraded;
+}
+
+namespace {
+
+/// Exact-duplicate removal: sort-and-unique on coordinates. O(n log n) on
+/// the (already ROI-cropped) ingested cloud, well below clustering cost.
+point_cloud dedupe(const point_cloud& cloud) {
+    std::vector<vec3> points{cloud.begin(), cloud.end()};
+    std::sort(points.begin(), points.end(), [](const vec3& a, const vec3& b) {
+        if (a.x != b.x) return a.x < b.x;
+        if (a.y != b.y) return a.y < b.y;
+        return a.z < b.z;
+    });
+    points.erase(std::unique(points.begin(), points.end()), points.end());
+    return point_cloud{std::move(points)};
+}
+
+}  // namespace
+
+void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
+                                  frame_report& report) {
+    stopwatch sw;
+
+    // ---- Ingest with fused capture validation ----
+    // The validating ingest overload gathers non-finite and
+    // below-ground counts inside the crop pass, so frame validation
+    // costs no extra sweep of the (large) raw cloud — that is what holds
+    // the clean-frame overhead budget.
+    const double floor_z =
+        config_.capture.walkway.ground_z() - config_.below_ground_tolerance_m;
+    ingest_stats stats;
+    point_cloud ingested =
+        ingest(raw, config_.capture.roi, config_.capture.ground, floor_z, stats);
+    const std::size_t clean_size = stats.raw_points - stats.non_finite;
+    if (stats.non_finite > 0) {
+        health_.non_finite_points_dropped += stats.non_finite;
+        degrade(report, pipeline_stage::capture, failure_kind::non_finite_input,
+                std::to_string(stats.non_finite) + " non-finite points dropped");
+    }
+    if (config_.below_ground_degrade_fraction > 0.0 && clean_size > 0 &&
+        static_cast<double>(stats.below_floor) >
+            config_.below_ground_degrade_fraction * static_cast<double>(clean_size)) {
+        degrade(report, pipeline_stage::capture, failure_kind::implausible_geometry,
+                std::to_string(stats.below_floor) + " returns below the ground plane");
+    }
+    if (clean_size < config_.min_raw_points) {
+        ++health_.truncated_frames;
+        report.failures.push_back({pipeline_stage::capture, failure_kind::truncated_frame,
+                                   std::to_string(clean_size) + " raw points < " +
+                                       std::to_string(config_.min_raw_points)});
+        report.status = frame_status::dropped;
+        report.times.ingest_ms = sw.elapsed_ms();
+        return;
+    }
+    if (config_.dedupe_points && !ingested.empty()) {
+        const std::size_t before = ingested.size();
+        ingested = dedupe(ingested);
+        const std::size_t duplicates = before - ingested.size();
+        if (duplicates > 0) {
+            health_.duplicate_points_dropped += duplicates;
+            if (static_cast<double>(duplicates) >
+                config_.duplicate_degrade_fraction * static_cast<double>(before)) {
+                degrade(report, pipeline_stage::ingest, failure_kind::duplicate_points,
+                        std::to_string(duplicates) + " of " + std::to_string(before) +
+                            " ingested points were duplicates");
+            }
+        }
+    }
+    report.times.ingest_ms = sw.elapsed_ms();
+
+    // A near-empty walkway is a legitimate zero, not a degradation.
+    const std::size_t cluster_floor = std::max(config_.capture.min_cluster_points,
+                                               config_.capture.clustering.min_points);
+    if (ingested.size() < cluster_floor) return;
+
+    // ---- Clustering: adaptive eps with the fixed-eps fallback rung ----
+    sw.reset();
+    const adaptive_eps_config& ccfg = config_.capture.clustering;
+    bool use_fixed = false;
+    failure_kind why = failure_kind::degenerate_elbow;
+    std::string why_detail;
+    {
+        stopwatch eps_sw;
+        const double eps = adaptive_epsilon(ingested, ccfg);
+        const double selection_ms = eps_sw.elapsed_ms();
+        if (config_.eps_selection_deadline_ms > 0.0 &&
+            selection_ms > config_.eps_selection_deadline_ms) {
+            use_fixed = true;
+            why = failure_kind::stage_deadline;
+            why_detail = "eps selection took " + std::to_string(selection_ms) + " ms";
+        } else if (!std::isfinite(eps) || eps <= ccfg.min_eps || eps >= ccfg.max_eps) {
+            // adaptive_epsilon clamps into [min_eps, max_eps]; landing on a
+            // bound means the elbow was degenerate (all-noise or
+            // duplicate-flooded curve), not a genuine density estimate.
+            use_fixed = true;
+            why = failure_kind::degenerate_elbow;
+            why_detail = "eps pinned at " + std::to_string(eps);
+        } else {
+            report.chosen_eps = eps;
+        }
+    }
+    if (use_fixed) report.chosen_eps = config_.fallback_eps;
+
+    dbscan_config run;
+    run.eps = report.chosen_eps;
+    run.min_points = ccfg.min_points;
+    run.metric = ccfg.metric;
+    const std::vector<point_cloud> clusters =
+        dbscan(ingested, run).extract_clusters(ingested);
+    report.times.clustering_ms = sw.elapsed_ms();
+    if (use_fixed) {
+        report.used_fixed_eps = true;
+        ++health_.fixed_eps_fallbacks;
+        degrade(report, pipeline_stage::clustering, why, std::move(why_detail));
+    }
+
+    // ---- Classification: per-cluster float-model rung + deadline ----
+    sw.reset();
+    const std::uint64_t fallbacks_before = classifier_.fallback_activations();
+    deadline budget;
+    if (config_.classification_deadline_ms > 0.0) {
+        budget = deadline::after_ms(config_.classification_deadline_ms);
+    }
+    const cluster_count_result counted = counter_.count_clusters(clusters, random, budget);
+    report.times.classification_ms = sw.elapsed_ms();
+    report.count = counted.count;
+    report.cluster_count = counted.examined;
+    if (counted.truncated) {
+        ++health_.classification_truncations;
+        degrade(report, pipeline_stage::classification, failure_kind::stage_deadline,
+                "classified " + std::to_string(counted.examined) + " clusters before the "
+                "budget expired");
+    }
+    const std::uint64_t rescues = classifier_.fallback_activations() - fallbacks_before;
+    if (rescues > 0) {
+        report.used_float_fallback = true;
+        health_.float_model_fallbacks += rescues;
+        degrade(report, pipeline_stage::classification, failure_kind::classifier_fault,
+                std::to_string(rescues) + " cluster(s) rescued by the fallback model");
+    }
+}
+
+frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
+    frame_report report;
+    stopwatch frame_sw;
+    try {
+        run_stages(raw, random, report);
+    } catch (const std::exception& e) {
+        report.failures.push_back(
+            {pipeline_stage::frame, failure_kind::stage_exception, e.what()});
+        report.status = frame_status::dropped;
+    } catch (...) {
+        report.failures.push_back(
+            {pipeline_stage::frame, failure_kind::stage_exception, "unknown exception"});
+        report.status = frame_status::dropped;
+    }
+    report.frame_ms = frame_sw.elapsed_ms();
+
+    if (config_.frame_deadline_ms > 0.0 && report.frame_ms > config_.frame_deadline_ms) {
+        ++health_.frame_deadline_overruns;
+        degrade(report, pipeline_stage::frame, failure_kind::stage_deadline,
+                "frame took " + std::to_string(report.frame_ms) + " ms");
+    }
+
+    // ---- Stale-count rung: bounded carry-forward for dropped frames ----
+    if (report.status == frame_status::dropped) {
+        if (has_last_good_ && stale_streak_ < config_.max_stale_frames) {
+            ++stale_streak_;
+            report.count = last_good_count_;
+            report.served_stale = true;
+            ++health_.stale_counts_served;
+        } else {
+            report.count = 0;
+            if (has_last_good_) ++health_.stale_cap_exhausted;
+        }
+    } else {
+        last_good_count_ = report.count;
+        stale_streak_ = 0;
+        has_last_good_ = true;
+    }
+
+    // ---- Health accounting ----
+    ++health_.frames_total;
+    switch (report.status) {
+        case frame_status::ok: ++health_.frames_ok; break;
+        case frame_status::degraded: ++health_.frames_degraded; break;
+        case frame_status::dropped: ++health_.frames_dropped; break;
+    }
+    health_.ingest_ms.add(report.times.ingest_ms);
+    health_.clustering_ms.add(report.times.clustering_ms);
+    health_.classification_ms.add(report.times.classification_ms);
+    health_.frame_ms.add(report.frame_ms);
+    return report;
+}
+
+}  // namespace hawc

@@ -1,0 +1,141 @@
+#pragma once
+
+// The fault-tolerant streaming runtime: a frame supervisor that runs the
+// full per-capture pipeline (sanitize -> ingest -> adaptive clustering ->
+// classify -> count) as supervised stages with cooperative steady-clock
+// watchdog budgets, and walks a graceful-degradation ladder instead of
+// crashing on bad sensor data:
+//
+//   rung 1  fixed_eps    adaptive-eps selection degenerate (eps pinned to a
+//                        clamp bound) or over its deadline -> fixed-eps DBSCAN
+//   rung 2  float_model  primary (int8) classifier throws / fails validation
+//                        on a cluster -> fp32 fallback model for that cluster
+//   rung 3  stale_count  unrecoverable frame -> serve the last good count,
+//                        bounded by a staleness cap, then admit a zero
+//
+// process() never throws; every frame is accounted ok/degraded/dropped in
+// the health counters. The watchdog is cooperative (stages poll a
+// monotonic deadline between work items), which bounds latency without
+// threads on single-core edge targets; see DESIGN.md "Fault model".
+
+#include <vector>
+
+#include "counting/crowd_counter.hpp"
+#include "runtime/failure.hpp"
+#include "runtime/health.hpp"
+
+namespace hawc {
+
+/// Classifier adapter implementing the float-model rung: try the primary
+/// (typically int8), and when it throws on a cluster, retry that cluster
+/// on the fallback (typically the fp32 model it was quantized from).
+/// Without a fallback the failure propagates to the frame level.
+class resilient_classifier final : public human_classifier {
+public:
+    resilient_classifier(const human_classifier& primary, const human_classifier* fallback)
+        : primary_{&primary}, fallback_{fallback} {}
+
+    bool is_human(const point_cloud& cluster, rng& random) const override;
+    std::string name() const override;
+
+    std::uint64_t fallback_activations() const { return fallbacks_; }
+    std::uint64_t primary_faults() const { return faults_; }
+
+private:
+    const human_classifier* primary_;
+    const human_classifier* fallback_;
+    mutable std::uint64_t fallbacks_ = 0;
+    mutable std::uint64_t faults_ = 0;
+};
+
+struct supervisor_config {
+    capture_config capture{};
+
+    /// Frames with fewer sanitized raw returns than this are rejected as
+    /// truncated (a healthy outdoor scan carries thousands of returns,
+    /// ground included; almost nothing arriving means the frame is gone).
+    std::size_t min_raw_points = 32;
+
+    /// Drop exact-duplicate points after ingest. Stuck beams re-reporting
+    /// a return inflate local density, which corrupts both the k-NN elbow
+    /// and DBSCAN core counts.
+    bool dedupe_points = true;
+    /// Duplicates above this fraction of the ingested cloud flag the
+    /// frame degraded (a handful can be genuine coincidences).
+    double duplicate_degrade_fraction = 0.05;
+
+    /// Geometry plausibility: a pole-mounted sensor cannot see through
+    /// the walkway, so returns well below the ground plane mean a range
+    /// noise burst (multipath, retro-reflector). Frames where more than
+    /// `below_ground_degrade_fraction` of returns sit deeper than
+    /// tolerance below ground are flagged degraded.
+    double below_ground_tolerance_m = 0.3;
+    double below_ground_degrade_fraction = 0.01;
+
+    // Cooperative watchdog budgets (steady clock), in ms; <= 0 disables.
+    double eps_selection_deadline_ms = 100.0;
+    double classification_deadline_ms = 500.0;
+    double frame_deadline_ms = 1000.0;
+
+    /// Fixed-eps rung: DBSCAN radius used when adaptive selection fails.
+    /// The Table IV fixed-eps baseline region works well here.
+    double fallback_eps = 0.35;
+
+    /// Staleness cap: at most this many consecutive dropped frames are
+    /// answered with the last good count before admitting zero.
+    std::size_t max_stale_frames = 5;
+};
+
+/// Outcome of one supervised frame.
+struct frame_report {
+    frame_status status = frame_status::ok;
+    std::size_t count = 0;
+    std::size_t cluster_count = 0;
+
+    bool used_fixed_eps = false;
+    bool used_float_fallback = false;
+    bool served_stale = false;
+    double chosen_eps = 0.0;  // the eps DBSCAN actually ran with
+
+    stage_times times;     // ingest / clustering / classification
+    double frame_ms = 0.0;  // wall-clock for the whole frame
+
+    std::vector<failure_event> failures;
+};
+
+class frame_supervisor {
+public:
+    /// `primary` classifies every cluster first; `fallback` (may be null)
+    /// is consulted per cluster when the primary throws. Both must
+    /// outlive the supervisor.
+    frame_supervisor(const supervisor_config& config, const human_classifier& primary,
+                     const human_classifier* fallback = nullptr);
+
+    /// Process one raw capture. Never throws: unrecoverable frames come
+    /// back dropped, with the stale-count rung applied.
+    frame_report process(const point_cloud& raw, rng& random);
+
+    const health_counters& health() const { return health_; }
+    void reset_health() { health_ = {}; }
+
+    const supervisor_config& config() const { return config_; }
+
+    /// The counting stage (for multiplicity configuration etc.).
+    crowd_counter& counter() { return counter_; }
+
+private:
+    void run_stages(const point_cloud& raw, rng& random, frame_report& report);
+    void degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
+                 std::string detail) const;
+
+    supervisor_config config_;
+    resilient_classifier classifier_;
+    crowd_counter counter_;
+    health_counters health_;
+
+    std::size_t last_good_count_ = 0;
+    std::size_t stale_streak_ = 0;
+    bool has_last_good_ = false;
+};
+
+}  // namespace hawc

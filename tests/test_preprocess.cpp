@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "preprocess/ingest.hpp"
 
 namespace hawc {
@@ -62,6 +65,49 @@ TEST(ingest, composition_of_crop_and_ground) {
     const point_cloud result = ingest(raw);
     ASSERT_EQ(result.size(), 1u);
     EXPECT_DOUBLE_EQ(result[0].z, -1.5);
+}
+
+TEST(sanitize, drop_non_finite_removes_nan_and_inf) {
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    point_cloud raw{{{20.0, 0.0, -1.0},
+                     {nan, 0.0, -1.0},
+                     {20.0, inf, -1.0},
+                     {20.0, 0.0, -inf},
+                     {nan, nan, nan},
+                     {21.0, 1.0, -1.5}}};
+    const point_cloud clean = drop_non_finite(raw);
+    ASSERT_EQ(clean.size(), 2u);
+    EXPECT_DOUBLE_EQ(clean[0].x, 20.0);
+    EXPECT_DOUBLE_EQ(clean[1].x, 21.0);
+}
+
+TEST(sanitize, drop_non_finite_keeps_finite_cloud_intact) {
+    point_cloud raw{{{20.0, 0.0, -1.0}, {21.0, 1.0, -2.0}}};
+    EXPECT_EQ(drop_non_finite(raw).size(), 2u);
+}
+
+TEST(roi, non_finite_points_never_pass_crop) {
+    // Regression: a NaN coordinate must not leak through the ROI crop into
+    // clustering, where it would poison every distance computation.
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    constexpr double inf = std::numeric_limits<double>::infinity();
+    point_cloud raw{{{nan, 0.0, -1.0}, {20.0, nan, -1.0}, {20.0, 0.0, nan},
+                     {inf, 0.0, -1.0}, {20.0, 0.0, -1.0}}};
+    const point_cloud cropped = crop_roi(raw);
+    ASSERT_EQ(cropped.size(), 1u);
+    EXPECT_TRUE(std::isfinite(cropped[0].x));
+}
+
+TEST(ingest, non_finite_points_filtered_end_to_end) {
+    constexpr double nan = std::numeric_limits<double>::quiet_NaN();
+    point_cloud raw;
+    raw.push_back({20.0, 0.0, -1.5});  // valid
+    raw.push_back({20.0, 0.0, nan});   // poisoned z
+    raw.push_back({nan, nan, nan});    // fully poisoned
+    const point_cloud result = ingest(raw);
+    ASSERT_EQ(result.size(), 1u);
+    EXPECT_DOUBLE_EQ(result[0].x, 20.0);
 }
 
 TEST(ingest, empty_input) {

@@ -11,6 +11,7 @@
 #include "clustering/dbscan.hpp"
 #include "common/rng.hpp"
 #include "counting/crowd_counter.hpp"
+#include "features/pipeline.hpp"
 #include "features/upsampling.hpp"
 #include "pointcloud/kd_tree.hpp"
 #include "quant/q_types.hpp"
@@ -189,6 +190,95 @@ TEST_P(seeded_property, multiplicity_never_zero_and_monotone_in_area) {
         EXPECT_GE(k + 1, previous);  // non-decreasing (allow estimator jitter of 1)
         previous = k;
     }
+}
+
+// --- Degenerate inputs: empty, single-point, and all-identical clouds ---
+//
+// Sensor faults (stuck beams, truncated frames) produce exactly these
+// shapes, so the clustering and feature stages must stay well-defined on
+// them rather than assume a healthy capture.
+
+TEST(degenerate_input, adaptive_dbscan_empty_cloud) {
+    const adaptive_clustering_result result = adaptive_dbscan(point_cloud{});
+    EXPECT_EQ(result.clusters.cluster_count, 0u);
+    EXPECT_TRUE(result.clusters.labels.empty());
+}
+
+TEST(degenerate_input, adaptive_dbscan_single_point) {
+    const point_cloud cloud{{{20.0, 0.0, -1.0}}};
+    const adaptive_clustering_result result = adaptive_dbscan(cloud);
+    EXPECT_EQ(result.clusters.cluster_count, 0u);
+    ASSERT_EQ(result.clusters.labels.size(), 1u);
+    EXPECT_EQ(result.clusters.labels[0], noise_label);
+}
+
+TEST(degenerate_input, adaptive_dbscan_all_identical_points) {
+    // A stuck beam re-reporting one return: the k-NN curve is all zeros,
+    // so eps selection has no elbow to find. This must not read out of
+    // bounds or produce a non-finite eps (regression for the duplicate-
+    // flood path in adaptive_epsilon).
+    for (std::size_t n : {2u, 5u, 64u, 500u}) {
+        point_cloud cloud;
+        for (std::size_t i = 0; i < n; ++i) cloud.push_back({20.0, 0.0, -1.0});
+        const adaptive_clustering_result result = adaptive_dbscan(cloud);
+        EXPECT_TRUE(std::isfinite(result.chosen_eps)) << "n=" << n;
+        adaptive_eps_config cfg;
+        EXPECT_GE(result.chosen_eps, cfg.min_eps) << "n=" << n;
+        EXPECT_LE(result.chosen_eps, cfg.max_eps) << "n=" << n;
+        // Identical points are mutual eps-neighbours: one cluster (or all
+        // noise when n is below min_points), never a crash.
+        if (n >= cfg.min_points) {
+            EXPECT_EQ(result.clusters.cluster_count, 1u) << "n=" << n;
+        }
+    }
+}
+
+TEST(degenerate_input, adaptive_epsilon_mostly_duplicates) {
+    // Enough duplicates to push the zero-distance prefix past the elbow
+    // search band, with a few genuine points behind it.
+    point_cloud cloud;
+    for (int i = 0; i < 300; ++i) cloud.push_back({20.0, 0.0, -1.0});
+    rng r{7};
+    for (int i = 0; i < 10; ++i) {
+        cloud.push_back({20.0 + r.uniform(-1.0, 1.0), r.uniform(-1.0, 1.0), -1.0});
+    }
+    const double eps = adaptive_epsilon(cloud);
+    adaptive_eps_config cfg;
+    EXPECT_TRUE(std::isfinite(eps));
+    EXPECT_GE(eps, cfg.min_eps);
+    EXPECT_LE(eps, cfg.max_eps);
+}
+
+TEST(degenerate_input, feature_extractor_empty_cluster) {
+    rng r{11};
+    object_pool pool;
+    pool.add_cloud(blob_cloud(r, 2, 100, 0.5));
+    cnn_feature_extractor extractor{cnn_feature_config{}, pool};
+    const tensor t = extractor.extract(point_cloud{}, r);
+    ASSERT_GT(t.size(), 0u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_TRUE(std::isfinite(t[i]));
+}
+
+TEST(degenerate_input, feature_extractor_single_point) {
+    rng r{12};
+    object_pool pool;
+    pool.add_cloud(blob_cloud(r, 2, 100, 0.5));
+    cnn_feature_extractor extractor{cnn_feature_config{}, pool};
+    const tensor t = extractor.extract(point_cloud{{{20.0, 0.0, -1.0}}}, r);
+    ASSERT_GT(t.size(), 0u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_TRUE(std::isfinite(t[i]));
+}
+
+TEST(degenerate_input, feature_extractor_identical_points) {
+    rng r{13};
+    object_pool pool;
+    pool.add_cloud(blob_cloud(r, 2, 100, 0.5));
+    cnn_feature_extractor extractor{cnn_feature_config{}, pool};
+    point_cloud cluster;
+    for (int i = 0; i < 40; ++i) cluster.push_back({20.0, 0.0, -1.0});
+    const tensor t = extractor.extract(cluster, r);
+    ASSERT_GT(t.size(), 0u);
+    for (std::size_t i = 0; i < t.size(); ++i) EXPECT_TRUE(std::isfinite(t[i]));
 }
 
 // --- Rotation invariances used by augmentation ---
