@@ -1,14 +1,21 @@
 // Micro-benchmarks (google-benchmark) for the hot kernels underneath the
-// HAWC-CC pipeline: KD-tree queries, DBSCAN, projection, conv2d forward
-// in fp32 and int8, and the end-to-end single-capture count.
+// HAWC-CC pipeline: KD-tree queries (allocating and allocation-free),
+// DBSCAN, projection, conv2d forward in fp32 and int8, and the
+// end-to-end single-capture count. Kernels that fan out over the global
+// pool take the thread count as their benchmark argument.
 
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "classifiers/hawc_model.hpp"
 #include "clustering/adaptive_eps.hpp"
+#include "common/thread_pool.hpp"
+#include "counting/crowd_counter.hpp"
+#include "features/height_features.hpp"
 #include "features/pipeline.hpp"
 #include "nn/conv2d.hpp"
 #include "preprocess/ingest.hpp"
+#include "quant/calibrate.hpp"
 
 namespace {
 
@@ -44,7 +51,35 @@ void bm_kd_tree_knn(benchmark::State& state) {
 }
 BENCHMARK(bm_kd_tree_knn);
 
+void bm_kd_tree_knn_into(benchmark::State& state) {
+    // Allocation-free variant: the reused buffer plateaus immediately
+    // (k <= 16 additionally runs on the inline heap).
+    const point_cloud cloud = benchmark_cloud(4000);
+    const kd_tree tree{cloud};
+    rng r{7};
+    std::vector<neighbor> out;
+    for (auto _ : state) {
+        tree.nearest_into(cloud[r.uniform_index(cloud.size())], 8, out);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(bm_kd_tree_knn_into);
+
+void bm_kd_tree_radius_into(benchmark::State& state) {
+    const point_cloud cloud = benchmark_cloud(4000);
+    const kd_tree tree{cloud};
+    rng r{7};
+    std::vector<std::size_t> found;
+    for (auto _ : state) {
+        tree.radius_search_into(cloud[r.uniform_index(cloud.size())], 0.3, found);
+        benchmark::DoNotOptimize(found.size());
+    }
+}
+BENCHMARK(bm_kd_tree_radius_into);
+
 void bm_dbscan(benchmark::State& state) {
+    // range(0): cloud size; range(1): pool lanes for the region-query phase.
+    set_global_thread_count(static_cast<std::size_t>(state.range(1)));
     const point_cloud cloud = benchmark_cloud(static_cast<std::size_t>(state.range(0)));
     dbscan_config cfg;
     cfg.eps = 0.15;
@@ -52,16 +87,30 @@ void bm_dbscan(benchmark::State& state) {
         const auto result = dbscan(cloud, cfg);
         benchmark::DoNotOptimize(result.cluster_count);
     }
+    set_global_thread_count(1);
 }
-BENCHMARK(bm_dbscan)->Arg(500)->Arg(2000);
+BENCHMARK(bm_dbscan)->Args({500, 1})->Args({2000, 1})->Args({8000, 1})->Args({8000, 4});
 
 void bm_adaptive_eps(benchmark::State& state) {
-    const point_cloud cloud = benchmark_cloud(1000);
+    set_global_thread_count(static_cast<std::size_t>(state.range(1)));
+    const point_cloud cloud = benchmark_cloud(static_cast<std::size_t>(state.range(0)));
     for (auto _ : state) {
         benchmark::DoNotOptimize(adaptive_epsilon(cloud));
     }
+    set_global_thread_count(1);
 }
-BENCHMARK(bm_adaptive_eps);
+BENCHMARK(bm_adaptive_eps)->Args({1000, 1})->Args({8000, 1})->Args({8000, 4});
+
+void bm_height_variation(benchmark::State& state) {
+    set_global_thread_count(static_cast<std::size_t>(state.range(1)));
+    const point_cloud cloud = benchmark_cloud(static_cast<std::size_t>(state.range(0)));
+    for (auto _ : state) {
+        const auto sigma = height_variation(cloud, 8);
+        benchmark::DoNotOptimize(sigma.back());
+    }
+    set_global_thread_count(1);
+}
+BENCHMARK(bm_height_variation)->Args({8000, 1})->Args({8000, 4});
 
 void bm_projection_hap(benchmark::State& state) {
     rng r{3};
@@ -92,6 +141,52 @@ void bm_conv2d_forward(benchmark::State& state) {
     }
 }
 BENCHMARK(bm_conv2d_forward);
+
+void bm_qconv_forward(benchmark::State& state) {
+    // int8 path of the same conv: im2col over (x - zp) int16 + integer GEMM.
+    rng r{5};
+    sequential net;
+    net.emplace<conv2d>(7, 16, 3, padding::same, r);
+    tensor input{{1, 18, 18, 7}};
+    for (std::size_t i = 0; i < input.size(); ++i) {
+        input[i] = static_cast<float>(r.normal());
+    }
+    quantized_model qm = quantize_model(net, {input});
+    for (auto _ : state) {
+        const tensor out = qm.forward(input);
+        benchmark::DoNotOptimize(out.size());
+    }
+}
+BENCHMARK(bm_qconv_forward);
+
+void bm_e2e_count(benchmark::State& state) {
+    // End-to-end single-capture count on a ~8k-point crowd; range(0) is
+    // the pool size (clustering kernels + per-cluster classification fan
+    // out when the classifier is thread-safe).
+    set_global_thread_count(static_cast<std::size_t>(state.range(0)));
+    rng scene{42};
+    point_cloud cloud;
+    for (std::size_t p = 0; p < 100; ++p) {
+        const double cx = scene.uniform(13.0, 34.0);
+        const double cy = scene.uniform(-2.2, 2.2);
+        for (int i = 0; i < 64; ++i) {
+            cloud.push_back({cx + scene.normal(0.0, 0.12), cy + scene.normal(0.0, 0.12),
+                             -2.55 + scene.uniform(0.0, 1.7)});
+        }
+    }
+    rng init{1};
+    object_pool pool;
+    pool.add_cloud(benchmark_cloud(256));
+    hawc_model model{hawc_config{}, std::move(pool), init};  // untrained: same compute
+    const crowd_counter counter{capture_config{}, model};
+    rng r{2};
+    for (auto _ : state) {
+        const count_result res = counter.count(cloud, r);
+        benchmark::DoNotOptimize(res.count);
+    }
+    set_global_thread_count(1);
+}
+BENCHMARK(bm_e2e_count)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
 
 void bm_ingest(benchmark::State& state) {
     const point_cloud cloud = benchmark_cloud(20000);

@@ -1,0 +1,221 @@
+// Perf snapshot for the parallel frame engine: times the hot kernels and
+// the end-to-end single-frame count at several pool sizes and emits one
+// JSON document (BENCH_PR2.json via scripts/bench_snapshot.sh). The
+// "baseline" block is the pre-engine measurement captured with the same
+// methodology on the same container class, so current/baseline ratios
+// are like-for-like.
+//
+// Usage: bench_snapshot [thread_count...]   (default: 1 4)
+
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "classifiers/hawc_model.hpp"
+#include "clustering/adaptive_eps.hpp"
+#include "clustering/dbscan.hpp"
+#include "common/thread_pool.hpp"
+#include "common/timer.hpp"
+#include "counting/crowd_counter.hpp"
+#include "features/height_features.hpp"
+#include "nn/conv2d.hpp"
+#include "quant/calibrate.hpp"
+
+using namespace hawc;
+
+namespace {
+
+// Pre-engine numbers (sequential kernels, allocating KD queries, naive
+// conv2d) from the seed revision, measured by this same harness.
+struct metrics {
+    double kd_nearest_k9_us = 0.0;
+    double kd_radius_us = 0.0;
+    double dbscan_8k_ms = 0.0;
+    double height_variation_8k_ms = 0.0;
+    double adaptive_eps_8k_ms = 0.0;
+    double conv2d_us = 0.0;
+    double qconv_us = 0.0;
+    double e2e_count_8k_ms = 0.0;
+};
+
+constexpr metrics baseline{3.4294, 1.0028, 11.221, 22.669, 16.181, 80.693, 145.371, 66.232};
+
+/// Synthetic walkway crowd: upright person blobs inside the default ROI
+/// plus clutter, ~8000 points at the default arguments.
+point_cloud crowd_cloud(std::size_t people, std::size_t points_per_person,
+                        std::uint64_t seed) {
+    rng r{seed};
+    point_cloud cloud;
+    for (std::size_t p = 0; p < people; ++p) {
+        const double cx = r.uniform(13.0, 34.0);
+        const double cy = r.uniform(-2.2, 2.2);
+        for (std::size_t i = 0; i < points_per_person; ++i) {
+            cloud.push_back({cx + r.normal(0.0, 0.12), cy + r.normal(0.0, 0.12),
+                             -2.55 + r.uniform(0.0, 1.7)});
+        }
+    }
+    for (std::size_t i = 0; i < people * points_per_person / 4; ++i) {
+        cloud.push_back({r.uniform(12.0, 35.0), r.uniform(-2.5, 2.5),
+                         -2.55 + r.uniform(0.0, 0.3)});
+    }
+    return cloud;
+}
+
+template <typename Fn>
+double time_ms(std::size_t reps, Fn&& fn) {
+    fn();  // warm-up
+    stopwatch sw;
+    for (std::size_t i = 0; i < reps; ++i) fn();
+    return sw.elapsed_ms() / static_cast<double>(reps);
+}
+
+metrics measure() {
+    metrics m;
+    const point_cloud cloud = crowd_cloud(100, 64, 42);
+
+    const kd_tree tree{cloud};
+    rng qr{7};
+    std::vector<vec3> queries;
+    for (int i = 0; i < 512; ++i) queries.push_back(cloud[qr.uniform_index(cloud.size())]);
+
+    std::vector<neighbor> neighbors;
+    m.kd_nearest_k9_us = 1000.0 / 512.0 * time_ms(20, [&] {
+        double acc = 0;
+        for (const auto& q : queries) {
+            tree.nearest_into(q, 9, neighbors);
+            acc += neighbors.back().distance;
+        }
+        volatile double sink = acc;
+        (void)sink;
+    });
+
+    std::vector<std::size_t> found;
+    m.kd_radius_us = 1000.0 / 512.0 * time_ms(20, [&] {
+        std::size_t acc = 0;
+        for (const auto& q : queries) {
+            tree.radius_search_into(q, 0.3, found);
+            acc += found.size();
+        }
+        volatile std::size_t sink = acc;
+        (void)sink;
+    });
+
+    dbscan_config db;
+    db.eps = 0.3;
+    m.dbscan_8k_ms = time_ms(5, [&] {
+        volatile std::size_t sink = dbscan(cloud, db).cluster_count;
+        (void)sink;
+    });
+
+    m.height_variation_8k_ms = time_ms(5, [&] {
+        volatile double sink = height_variation(cloud, 8).back();
+        (void)sink;
+    });
+
+    m.adaptive_eps_8k_ms = time_ms(5, [&] {
+        volatile double sink = adaptive_epsilon(cloud);
+        (void)sink;
+    });
+
+    {
+        rng r{4};
+        conv2d conv{7, 16, 3, padding::same, r};
+        tensor input{{1, 18, 18, 7}};
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            input[i] = static_cast<float>(r.normal());
+        }
+        m.conv2d_us = 1000.0 * time_ms(200, [&] {
+            volatile float sink = conv.forward(input, false)[0];
+            (void)sink;
+        });
+    }
+
+    {
+        rng r{5};
+        sequential net;
+        net.emplace<conv2d>(7, 16, 3, padding::same, r);
+        tensor input{{1, 18, 18, 7}};
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            input[i] = static_cast<float>(r.normal());
+        }
+        quantized_model qm = quantize_model(net, {input});
+        m.qconv_us = 1000.0 * time_ms(200, [&] {
+            volatile float sink = qm.forward(input)[0];
+            (void)sink;
+        });
+    }
+
+    {
+        rng r{1};
+        object_pool pool;
+        pool.add_cloud(crowd_cloud(4, 64, 9));
+        hawc_model model{hawc_config{}, std::move(pool), r};  // untrained: same compute
+        const crowd_counter counter{capture_config{}, model};
+        rng cr{2};
+        m.e2e_count_8k_ms = time_ms(3, [&] {
+            volatile std::size_t sink = counter.count(cloud, cr).count;
+            (void)sink;
+        });
+    }
+    return m;
+}
+
+void print_metrics(const char* indent, const metrics& m) {
+    std::printf("%s\"kd_nearest_k9_us_per_query\": %.4f,\n", indent, m.kd_nearest_k9_us);
+    std::printf("%s\"kd_radius_us_per_query\": %.4f,\n", indent, m.kd_radius_us);
+    std::printf("%s\"dbscan_8k_ms\": %.3f,\n", indent, m.dbscan_8k_ms);
+    std::printf("%s\"height_variation_8k_ms\": %.3f,\n", indent, m.height_variation_8k_ms);
+    std::printf("%s\"adaptive_eps_8k_ms\": %.3f,\n", indent, m.adaptive_eps_8k_ms);
+    std::printf("%s\"conv2d_18x18_7to16_us\": %.3f,\n", indent, m.conv2d_us);
+    std::printf("%s\"qconv_18x18_7to16_us\": %.3f,\n", indent, m.qconv_us);
+    std::printf("%s\"e2e_count_8k_ms\": %.3f\n", indent, m.e2e_count_8k_ms);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::vector<std::size_t> thread_counts;
+    for (int i = 1; i < argc; ++i) {
+        const long parsed = std::strtol(argv[i], nullptr, 10);
+        if (parsed >= 1) thread_counts.push_back(static_cast<std::size_t>(parsed));
+    }
+    if (thread_counts.empty()) thread_counts = {1, 4};
+
+    std::printf("{\n");
+    std::printf("  \"bench\": \"PR2 parallel frame engine + hot-kernel rewrite\",\n");
+    std::printf("  \"cloud_points\": %zu,\n", crowd_cloud(100, 64, 42).size());
+    std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+    std::printf("  \"note\": \"thread-count sweeps above hardware_concurrency time-share "
+                "cores and cannot show wall-clock parallel speedup\",\n");
+    std::printf("  \"baseline_seed_sequential\": {\n");
+    print_metrics("    ", baseline);
+    std::printf("  },\n");
+
+    std::printf("  \"current\": {\n");
+    for (std::size_t t = 0; t < thread_counts.size(); ++t) {
+        set_global_thread_count(thread_counts[t]);
+        const metrics m = measure();
+        std::printf("    \"threads_%zu\": {\n", thread_counts[t]);
+        print_metrics("      ", m);
+        std::printf("    }%s\n", t + 1 < thread_counts.size() ? "," : "");
+    }
+    std::printf("  },\n");
+
+    set_global_thread_count(thread_counts.front());
+    const metrics single = measure();
+    std::printf("  \"speedup_vs_baseline_at_threads_%zu\": {\n", thread_counts.front());
+    std::printf("    \"kd_nearest_k9\": %.2f,\n", baseline.kd_nearest_k9_us / single.kd_nearest_k9_us);
+    std::printf("    \"kd_radius\": %.2f,\n", baseline.kd_radius_us / single.kd_radius_us);
+    std::printf("    \"dbscan_8k\": %.2f,\n", baseline.dbscan_8k_ms / single.dbscan_8k_ms);
+    std::printf("    \"height_variation_8k\": %.2f,\n",
+                baseline.height_variation_8k_ms / single.height_variation_8k_ms);
+    std::printf("    \"adaptive_eps_8k\": %.2f,\n",
+                baseline.adaptive_eps_8k_ms / single.adaptive_eps_8k_ms);
+    std::printf("    \"conv2d\": %.2f,\n", baseline.conv2d_us / single.conv2d_us);
+    std::printf("    \"qconv\": %.2f,\n", baseline.qconv_us / single.qconv_us);
+    std::printf("    \"e2e_count_8k\": %.2f\n", baseline.e2e_count_8k_ms / single.e2e_count_8k_ms);
+    std::printf("  }\n");
+    std::printf("}\n");
+    return 0;
+}

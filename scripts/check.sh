@@ -1,23 +1,51 @@
 #!/usr/bin/env bash
-# Instrumented test run: builds the suite with AddressSanitizer +
-# UndefinedBehaviorSanitizer and runs ctest. A clean pass means the
-# degenerate-input and chaos-soak tests exercised the pipeline without
-# heap errors or UB. Usage:
+# Instrumented verification pipeline. By default runs three phases:
 #
-#   scripts/check.sh                  # address,undefined (default)
+#   1. AddressSanitizer + UndefinedBehaviorSanitizer over the full suite
+#      (degenerate-input and chaos-soak tests under heap/UB checking)
+#   2. ThreadSanitizer over the concurrency tests (the thread-pool
+#      contract, cross-thread-count determinism sweeps, parallel soak)
+#   3. A bench-snapshot smoke run (the perf harness still builds, runs,
+#      and emits parseable JSON)
+#
+# Setting HAWC_SANITIZE runs a single sanitizer configuration over the
+# full suite instead (any -fsanitize= value works):
+#
+#   scripts/check.sh                  # all three phases
 #   HAWC_SANITIZE=thread scripts/check.sh
-#   scripts/check.sh -R chaos_soak    # extra args forwarded to ctest
+#   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-sanitize="${HAWC_SANITIZE:-address,undefined}"
-build_dir="${repo_root}/build-sanitize"
-
-cmake -B "${build_dir}" -S "${repo_root}" \
-  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
-  -DHAWC_SANITIZE="${sanitize}"
-cmake --build "${build_dir}" -j "$(nproc)"
 
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:abort_on_error=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1:halt_on_error=1}"
-ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1}"
+
+run_suite() {  # run_suite <sanitizer> <build_dir> [ctest args...]
+  local sanitize="$1" build_dir="$2"
+  shift 2
+  cmake -B "${build_dir}" -S "${repo_root}" \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DHAWC_SANITIZE="${sanitize}"
+  cmake --build "${build_dir}" -j "$(nproc)"
+  ctest --test-dir "${build_dir}" --output-on-failure -j "$(nproc)" "$@"
+}
+
+if [[ -n "${HAWC_SANITIZE:-}" ]]; then
+  run_suite "${HAWC_SANITIZE}" "${repo_root}/build-sanitize" "$@"
+  exit 0
+fi
+
+echo "== phase 1/3: address,undefined over the full suite =="
+run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
+
+echo "== phase 2/3: thread sanitizer over the concurrency tests =="
+run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism)\.'
+
+echo "== phase 3/3: bench snapshot smoke =="
+smoke_build="${repo_root}/build-sanitize"
+cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
+"${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
+python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
+echo "bench snapshot smoke OK"

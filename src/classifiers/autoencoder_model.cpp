@@ -147,7 +147,10 @@ std::vector<epoch_report> autoencoder_model::train(const cluster_dataset& train_
                 batch_labels.push_back(train_data.labels[order[i]]);
             }
             const tensor x = tensor::stack(chunk);
-            const tensor logits = classifier_.forward(x, /*training=*/false);
+            // training=true: backward_range below needs the layer caches.
+            // The classifier is dense/relu only, so the flag changes no
+            // numerics (no batch-stat layers).
+            const tensor logits = classifier_.forward(x, /*training=*/true);
             auto loss = softmax_cross_entropy(logits, batch_labels);
             classifier_.backward_range(loss.grad_logits, encoder_layer_count_,
                                        classifier_.layer_count());
@@ -174,8 +177,7 @@ eval_metrics autoencoder_model::evaluate(const cluster_dataset& data) {
 }
 
 bool autoencoder_model::is_human(const point_cloud& cluster, rng& /*random*/) const {
-    const tensor logits = const_cast<sequential&>(classifier_).forward(
-        featurize_cluster(cluster), /*training=*/false);
+    const tensor logits = classifier_.infer(featurize_cluster(cluster));
     return logits.at(0, 1) > logits.at(0, 0);
 }
 

@@ -20,6 +20,11 @@ public:
     virtual bool is_human(const point_cloud& cluster, rng& random) const = 0;
 
     virtual std::string name() const = 0;
+
+    /// True when is_human may run concurrently from several threads,
+    /// each with its own rng. Classifiers with mutable per-call state
+    /// keep the default false and the counting loops stay sequential.
+    virtual bool thread_safe() const { return false; }
 };
 
 }  // namespace hawc

@@ -91,7 +91,7 @@ eval_metrics hawc_model::evaluate(const cluster_dataset& data, rng& random) {
 
 bool hawc_model::is_human(const point_cloud& cluster, rng& random) const {
     const tensor input = extractor_.extract(cluster, random);
-    const tensor logits = network_.forward(input, /*training=*/false);
+    const tensor logits = network_.infer(input);
     return logits.at(0, 1) > logits.at(0, 0);
 }
 

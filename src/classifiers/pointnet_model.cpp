@@ -94,7 +94,7 @@ eval_metrics pointnet_model::evaluate(const cluster_dataset& data, rng& random) 
 }
 
 bool pointnet_model::is_human(const point_cloud& cluster, rng& random) const {
-    const tensor logits = network_.forward(featurize_cluster(cluster, random), false);
+    const tensor logits = network_.infer(featurize_cluster(cluster, random));
     return logits.at(0, 1) > logits.at(0, 0);
 }
 

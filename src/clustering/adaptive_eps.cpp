@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hawc {
 
@@ -15,12 +16,20 @@ std::vector<double> knn_distance_curve(const point_cloud& cloud, std::size_t k,
 
     const point_cloud scaled = metric.scale(cloud);
     const kd_tree tree{scaled};
-    distances.reserve(scaled.size());
-    for (const auto& p : scaled) {
-        // k+1 because the query point itself is its own 0-th neighbour.
-        const auto neighbors = tree.nearest(p, k + 1);
-        distances.push_back(neighbors.back().distance);
-    }
+    distances.resize(scaled.size());
+    // One independent k-NN query per point: fan out over the pool with a
+    // reused allocation-free scratch buffer per chunk. The sort below
+    // erases chunk order, but even the unsorted curve is identical for
+    // any thread count.
+    global_pool().parallel_for(0, scaled.size(), 64, [&](std::size_t lo, std::size_t hi,
+                                                         std::size_t /*slot*/) {
+        std::vector<neighbor> neighbors;
+        for (std::size_t i = lo; i < hi; ++i) {
+            // k+1 because the query point itself is its own 0-th neighbour.
+            tree.nearest_into(scaled[i], k + 1, neighbors);
+            distances[i] = neighbors.back().distance;
+        }
+    });
     std::sort(distances.begin(), distances.end());
     return distances;
 }
@@ -40,8 +49,25 @@ std::size_t knee_index(std::span<const double> ascending) {
     return best;
 }
 
-double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config) {
-    const auto curve = knn_distance_curve(cloud, config.k, config.metric);
+std::vector<double> knn_distance_curve_scaled(const point_cloud& scaled_cloud,
+                                              const kd_tree& tree, std::size_t k) {
+    HAWC_REQUIRE(k >= 1, "k must be at least 1");
+    std::vector<double> distances;
+    if (scaled_cloud.size() <= k) return distances;
+    distances.resize(scaled_cloud.size());
+    global_pool().parallel_for(0, scaled_cloud.size(), 64, [&](std::size_t lo, std::size_t hi,
+                                                               std::size_t /*slot*/) {
+        std::vector<neighbor> neighbors;
+        for (std::size_t i = lo; i < hi; ++i) {
+            tree.nearest_into(scaled_cloud[i], k + 1, neighbors);
+            distances[i] = neighbors.back().distance;
+        }
+    });
+    std::sort(distances.begin(), distances.end());
+    return distances;
+}
+
+double epsilon_from_curve(std::span<const double> curve, const adaptive_eps_config& config) {
     if (curve.size() < 2) return config.min_eps;
 
     // Restrict to the transition band (see adaptive_eps_config) and skip
@@ -60,17 +86,27 @@ double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& con
     return std::clamp(eps, config.min_eps, config.max_eps);
 }
 
+double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config) {
+    const auto curve = knn_distance_curve(cloud, config.k, config.metric);
+    return epsilon_from_curve(curve, config);
+}
+
+double adaptive_epsilon_scaled(const point_cloud& scaled_cloud, const kd_tree& tree,
+                               const adaptive_eps_config& config) {
+    const auto curve = knn_distance_curve_scaled(scaled_cloud, tree, config.k);
+    return epsilon_from_curve(curve, config);
+}
+
 adaptive_clustering_result adaptive_dbscan(const point_cloud& cloud,
                                            const adaptive_eps_config& config) {
     adaptive_clustering_result result;
     if (cloud.empty()) return result;
-    result.chosen_eps = adaptive_epsilon(cloud, config);
-
-    dbscan_config run;
-    run.eps = result.chosen_eps;
-    run.min_points = config.min_points;
-    run.metric = config.metric;
-    result.clusters = dbscan(cloud, run);
+    // Scale the cloud and build the KD-tree once; eps selection and the
+    // DBSCAN region queries share both.
+    const point_cloud scaled = config.metric.scale(cloud);
+    const kd_tree tree{scaled};
+    result.chosen_eps = adaptive_epsilon_scaled(scaled, tree, config);
+    result.clusters = dbscan_scaled(scaled, tree, result.chosen_eps, config.min_points);
     return result;
 }
 

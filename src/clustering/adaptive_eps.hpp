@@ -32,6 +32,16 @@ struct adaptive_eps_config {
 std::vector<double> knn_distance_curve(const point_cloud& cloud, std::size_t k,
                                        const cluster_metric& metric = {});
 
+/// Same curve over a cloud already in metric space with a prebuilt tree
+/// (lets eps selection and DBSCAN share one tree per frame).
+std::vector<double> knn_distance_curve_scaled(const point_cloud& scaled_cloud,
+                                              const kd_tree& tree, std::size_t k);
+
+/// Eps from an already-computed ascending k-NN curve (band restriction +
+/// elbow + clamp); the pieces of adaptive_epsilon for callers that cache
+/// the curve.
+double epsilon_from_curve(std::span<const double> curve, const adaptive_eps_config& config);
+
 /// Index of the elbow of an ascending distance curve, using the paper's
 /// maximum-relative-increase criterion. Zero-valued entries are skipped
 /// (relative increase is undefined there).
@@ -40,6 +50,10 @@ std::size_t knee_index(std::span<const double> ascending);
 /// The per-capture optimal eps: elbow of the k-NN curve, clamped to
 /// [min_eps, max_eps]. Returns min_eps for clouds too small to estimate.
 double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config = {});
+
+/// adaptive_epsilon over a pre-scaled cloud with a prebuilt tree.
+double adaptive_epsilon_scaled(const point_cloud& scaled_cloud, const kd_tree& tree,
+                               const adaptive_eps_config& config = {});
 
 /// The full adaptive clustering step: eps selection + DBSCAN.
 struct adaptive_clustering_result {

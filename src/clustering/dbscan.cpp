@@ -1,55 +1,91 @@
 #include "clustering/dbscan.hpp"
 
-#include <deque>
+#include <cstdint>
+#include <numeric>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hawc {
 
+// Two-phase DBSCAN. Phase 1 computes every point's eps-neighbourhood and
+// core flag — queries are independent, so they fan out across the thread
+// pool with per-chunk scratch buffers and land in one CSR structure
+// (chunks are contiguous and copied back in slot order, so the CSR is
+// byte-identical for any thread count). Phase 2 is the sequential label
+// expansion; it only walks the precomputed lists, which preserves the
+// exact labels of the original single-pass implementation while doing no
+// tree queries at all. Points claim their label when they enter the
+// frontier, so each point is enqueued at most once and the frontier is
+// bounded by the cloud size even on dense clusters (the old BFS could
+// re-enqueue a point once per neighbouring core point).
 cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tree, double eps,
                              std::size_t min_points) {
     HAWC_REQUIRE(eps > 0.0, "dbscan eps must be positive");
     HAWC_REQUIRE(min_points >= 1, "dbscan min_points must be at least 1");
 
     constexpr int unvisited = -2;
+    const std::size_t n = scaled_cloud.size();
     cluster_result result;
-    result.labels.assign(scaled_cloud.size(), unvisited);
+    result.labels.assign(n, unvisited);
+    if (n == 0) return result;
 
+    // ---- Phase 1: parallel neighbour lists + core flags (CSR) ----
+    thread_pool& pool = global_pool();
+    std::vector<std::uint32_t> counts(n, 0);
+    std::vector<std::vector<std::uint32_t>> chunk_lists(pool.max_slots());
+
+    pool.parallel_for(0, n, 256, [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+        std::vector<std::uint32_t>& local = chunk_lists[slot];
+        local.clear();
+        std::vector<std::size_t> found;  // per-query scratch, reused
+        for (std::size_t i = lo; i < hi; ++i) {
+            tree.radius_search_into(scaled_cloud[i], eps, found);
+            counts[i] = static_cast<std::uint32_t>(found.size());
+            local.insert(local.end(), found.begin(), found.end());
+        }
+    });
+
+    std::vector<std::size_t> offsets(n + 1, 0);
+    std::inclusive_scan(counts.begin(), counts.end(), offsets.begin() + 1,
+                        std::plus<>{}, std::size_t{0});
+    std::vector<std::uint32_t> neighbors;
+    neighbors.reserve(offsets[n]);
+    for (const auto& local : chunk_lists) {
+        neighbors.insert(neighbors.end(), local.begin(), local.end());
+    }
+
+    // ---- Phase 2: sequential label expansion over the CSR lists ----
     int next_cluster = 0;
-    std::deque<std::size_t> frontier;
+    std::vector<std::uint32_t> frontier;
+    frontier.reserve(n);
 
-    for (std::size_t seed = 0; seed < scaled_cloud.size(); ++seed) {
+    const auto is_core = [&](std::size_t p) { return counts[p] >= min_points; };
+    const auto claim_neighbors = [&](std::size_t p, int cluster) {
+        for (std::size_t j = offsets[p]; j < offsets[p + 1]; ++j) {
+            const std::uint32_t nb = neighbors[j];
+            const int label = result.labels[nb];
+            if (label == unvisited || label == noise_label) {
+                result.labels[nb] = cluster;  // border until proven core
+                frontier.push_back(nb);
+            }
+        }
+    };
+
+    for (std::size_t seed = 0; seed < n; ++seed) {
         if (result.labels[seed] != unvisited) continue;
-
-        auto seed_neighbors = tree.radius_search(scaled_cloud[seed], eps);
-        if (seed_neighbors.size() < min_points) {
+        if (!is_core(seed)) {
             result.labels[seed] = noise_label;  // may be relabelled as border later
             continue;
         }
 
-        // Grow a new cluster from this core point (BFS expansion).
         const int cluster = next_cluster++;
         result.labels[seed] = cluster;
-        frontier.assign(seed_neighbors.begin(), seed_neighbors.end());
-
-        while (!frontier.empty()) {
-            const std::size_t p = frontier.front();
-            frontier.pop_front();
-            if (result.labels[p] == noise_label) {
-                result.labels[p] = cluster;  // border point
-                continue;
-            }
-            if (result.labels[p] != unvisited) continue;
-            result.labels[p] = cluster;
-
-            auto neighbors = tree.radius_search(scaled_cloud[p], eps);
-            if (neighbors.size() >= min_points) {
-                for (auto n : neighbors) {
-                    if (result.labels[n] == unvisited || result.labels[n] == noise_label) {
-                        frontier.push_back(n);
-                    }
-                }
-            }
+        frontier.clear();
+        claim_neighbors(seed, cluster);
+        for (std::size_t head = 0; head < frontier.size(); ++head) {
+            const std::uint32_t p = frontier[head];
+            if (is_core(p)) claim_neighbors(p, cluster);
         }
     }
 

@@ -1,0 +1,186 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hawc {
+
+namespace {
+
+// True while the current thread executes a parallel_for chunk; nested
+// regions run inline instead of re-entering the pool.
+thread_local bool in_parallel_region = false;
+
+// Saves and restores the previous value: a chunk body may run several
+// nested (inline) regions in sequence, and the flag must stay set until
+// the outermost chunk finishes, or the second nested call would try to
+// re-enter the pool and self-deadlock on job_mutex.
+struct region_guard {
+    bool prev;
+    region_guard() : prev{in_parallel_region} { in_parallel_region = true; }
+    ~region_guard() { in_parallel_region = prev; }
+};
+
+}  // namespace
+
+struct thread_pool::impl {
+    std::mutex job_mutex;  // serialises independent parallel_for callers
+
+    std::mutex state_mutex;
+    std::condition_variable work_cv;
+    std::condition_variable done_cv;
+
+    std::uint64_t generation = 0;
+    const chunk_fn* body = nullptr;
+    std::size_t job_begin = 0;
+    std::size_t job_end = 0;
+    std::size_t chunk_count = 0;
+    std::size_t lanes = 1;
+    std::size_t remaining = 0;
+    std::exception_ptr first_error;
+    bool stopping = false;
+
+    std::vector<std::thread> workers;
+
+    void run_chunk(std::size_t slot) {
+        const std::size_t n = job_end - job_begin;
+        const std::size_t lo = job_begin + slot * n / chunk_count;
+        const std::size_t hi = job_begin + (slot + 1) * n / chunk_count;
+        if (lo >= hi) return;
+        region_guard guard;
+        (*body)(lo, hi, slot);
+    }
+
+    void worker_main(std::size_t lane) {
+        std::uint64_t seen = 0;
+        for (;;) {
+            {
+                std::unique_lock lock{state_mutex};
+                work_cv.wait(lock, [&] { return stopping || generation != seen; });
+                if (stopping) return;
+                seen = generation;
+            }
+            if (lane < chunk_count) {
+                try {
+                    run_chunk(lane);
+                } catch (...) {
+                    std::lock_guard lock{state_mutex};
+                    if (!first_error) first_error = std::current_exception();
+                }
+            }
+            {
+                std::lock_guard lock{state_mutex};
+                --remaining;
+            }
+            done_cv.notify_one();
+        }
+    }
+};
+
+thread_pool::thread_pool(std::size_t threads) {
+    lanes_ = threads == 0 ? 1 : threads;
+    if (lanes_ == 1) return;
+    impl_ = new impl;
+    impl_->lanes = lanes_;
+    impl_->workers.reserve(lanes_ - 1);
+    for (std::size_t lane = 1; lane < lanes_; ++lane) {
+        impl_->workers.emplace_back([this, lane] { impl_->worker_main(lane); });
+    }
+}
+
+thread_pool::~thread_pool() {
+    if (impl_ == nullptr) return;
+    {
+        std::lock_guard lock{impl_->state_mutex};
+        impl_->stopping = true;
+    }
+    impl_->work_cv.notify_all();
+    for (auto& w : impl_->workers) w.join();
+    delete impl_;
+}
+
+void thread_pool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                               const chunk_fn& body) {
+    if (begin >= end) return;
+    const std::size_t n = end - begin;
+    if (grain == 0) grain = 1;
+    std::size_t chunks = (n + grain - 1) / grain;
+    if (chunks > lanes_) chunks = lanes_;
+
+    // Single lane, a range too small to split, or a nested region: run
+    // the whole range inline as chunk 0.
+    if (chunks <= 1 || impl_ == nullptr || in_parallel_region) {
+        region_guard guard;
+        body(begin, end, 0);
+        return;
+    }
+
+    std::lock_guard job_lock{impl_->job_mutex};
+    {
+        std::lock_guard lock{impl_->state_mutex};
+        impl_->body = &body;
+        impl_->job_begin = begin;
+        impl_->job_end = end;
+        impl_->chunk_count = chunks;
+        impl_->remaining = impl_->workers.size();
+        impl_->first_error = nullptr;
+        ++impl_->generation;
+    }
+    impl_->work_cv.notify_all();
+
+    // The calling thread is lane 0 and always owns chunk 0.
+    try {
+        impl_->run_chunk(0);
+    } catch (...) {
+        std::lock_guard lock{impl_->state_mutex};
+        if (!impl_->first_error) impl_->first_error = std::current_exception();
+    }
+
+    std::unique_lock lock{impl_->state_mutex};
+    impl_->done_cv.wait(lock, [&] { return impl_->remaining == 0; });
+    impl_->body = nullptr;
+    if (impl_->first_error) {
+        std::exception_ptr err = impl_->first_error;
+        impl_->first_error = nullptr;
+        lock.unlock();
+        std::rethrow_exception(err);
+    }
+}
+
+namespace {
+
+std::size_t default_thread_count() {
+    if (const char* env = std::getenv("HAWC_THREADS")) {
+        const long parsed = std::strtol(env, nullptr, 10);
+        if (parsed >= 1) return static_cast<std::size_t>(parsed);
+    }
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::unique_ptr<thread_pool>& global_pool_slot() {
+    static std::unique_ptr<thread_pool> pool;
+    return pool;
+}
+
+}  // namespace
+
+thread_pool& global_pool() {
+    auto& slot = global_pool_slot();
+    if (!slot) slot = std::make_unique<thread_pool>(default_thread_count());
+    return *slot;
+}
+
+void set_global_thread_count(std::size_t threads) {
+    global_pool_slot() = std::make_unique<thread_pool>(threads);
+}
+
+std::size_t global_thread_count() { return global_pool().thread_count(); }
+
+}  // namespace hawc

@@ -1,0 +1,71 @@
+#pragma once
+
+// Fixed-size worker pool with a deterministic parallel_for. The design
+// goal is bit-identical results for any thread count: parallel_for splits
+// [begin, end) into at most `max_slots()` contiguous chunks and hands the
+// body (chunk_begin, chunk_end, slot). Chunk boundaries depend only on
+// the range, the grain and the pool size, never on scheduling, and every
+// index is processed exactly once — so any per-index computation that
+// does not read its neighbours' output is reproducible by construction.
+// Order-dependent reductions must merge per-slot partials sequentially
+// by slot index (see DESIGN.md "Threading model").
+//
+// Nested parallel_for calls (a parallel region entered from inside a
+// worker) run inline on the calling thread: the inner region sees one
+// chunk, slot 0. This keeps per-cluster fan-out composable with the
+// parallel kernels underneath it without deadlock or oversubscription.
+
+#include <cstddef>
+#include <functional>
+
+namespace hawc {
+
+class thread_pool {
+public:
+    /// A pool with `threads` execution lanes (the calling thread counts
+    /// as lane 0; `threads - 1` workers are spawned). threads == 0 is
+    /// treated as 1.
+    explicit thread_pool(std::size_t threads);
+    ~thread_pool();
+
+    thread_pool(const thread_pool&) = delete;
+    thread_pool& operator=(const thread_pool&) = delete;
+
+    /// Total execution lanes (including the submitting thread).
+    std::size_t thread_count() const { return lanes_; }
+
+    /// Upper bound on the `slot` argument passed to a parallel_for body;
+    /// size per-slot scratch arrays with this.
+    std::size_t max_slots() const { return lanes_; }
+
+    /// Body invoked as body(chunk_begin, chunk_end, slot). Chunks are
+    /// contiguous, disjoint, ordered by slot, and cover [begin, end).
+    using chunk_fn = std::function<void(std::size_t, std::size_t, std::size_t)>;
+
+    /// Run `body` over [begin, end) split into at most thread_count()
+    /// chunks of at least `grain` indices each (the last chunk may be
+    /// smaller when the range is). Blocks until every chunk finished;
+    /// the first exception thrown by any chunk is rethrown here.
+    void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
+                      const chunk_fn& body);
+
+private:
+    struct impl;
+    impl* impl_ = nullptr;  // null when lanes_ == 1 (no workers spawned)
+    std::size_t lanes_ = 1;
+};
+
+/// The process-wide pool used by the pipeline kernels. Sized on first use
+/// from the HAWC_THREADS environment variable when set, otherwise from
+/// std::thread::hardware_concurrency().
+thread_pool& global_pool();
+
+/// Replace the global pool with one of `threads` lanes. Not thread-safe
+/// against concurrent parallel_for callers — call it between pipeline
+/// runs (tests use it to sweep thread counts).
+void set_global_thread_count(std::size_t threads);
+
+/// Lanes in the current global pool (creates it on first call).
+std::size_t global_thread_count();
+
+}  // namespace hawc

@@ -8,6 +8,7 @@
 #include "clustering/kmeans.hpp"
 #include "clustering/hierarchical.hpp"
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "preprocess/ingest.hpp"
 
@@ -65,48 +66,95 @@ count_result crowd_counter::count(const point_cloud& raw, rng& random) const {
     return result;
 }
 
+std::size_t crowd_counter::count_one(const point_cloud& cluster, rng& random) const {
+    const std::size_t capacity = estimate_multiplicity(cluster, multiplicity_);
+    if (capacity <= 1) {
+        return classifier_->is_human(cluster, random) ? 1 : 0;
+    }
+
+    // Oversized cluster: split into person-sized parts and classify
+    // each part on its own (a merged crowd looks nothing like the
+    // single-person clusters the classifier was trained on). k-means
+    // cuts people apart awkwardly, so fragment-level classification
+    // under-counts; once the region is established to be
+    // human-dominated (a majority of its parts classify human), the
+    // footprint capacity is the better population estimate.
+    kmeans_config split;
+    split.k = capacity;
+    split.metric = config_.clustering.metric;
+    const auto parts = kmeans(cluster, split, random).clusters.extract_clusters(cluster);
+    std::size_t examined = 0;
+    std::size_t human_parts = 0;
+    for (const auto& part : parts) {
+        if (part.size() < config_.min_cluster_points) continue;
+        ++examined;
+        if (classifier_->is_human(part, random)) ++human_parts;
+    }
+    if (examined > 0 && 2 * human_parts >= examined) {
+        return std::max(human_parts, capacity);
+    }
+    return human_parts;
+}
+
 cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> clusters,
                                                    rng& random,
                                                    const deadline& time_budget) const {
     cluster_count_result result;
-    for (const auto& cluster : clusters) {
-        if (cluster.size() < config_.min_cluster_points) continue;
-        if (time_budget.expired()) {
-            result.truncated = true;
-            break;
-        }
-        ++result.examined;
 
-        const std::size_t capacity = estimate_multiplicity(cluster, multiplicity_);
-        if (capacity <= 1) {
-            if (classifier_->is_human(cluster, random)) ++result.count;
+    if (!classifier_->thread_safe()) {
+        // Single-stream sequential loop: classifiers with mutable
+        // per-call state (e.g. the chaos-injection wrapper) consume one
+        // shared rng in cluster order, exactly as the pre-pool pipeline.
+        for (const auto& cluster : clusters) {
+            if (cluster.size() < config_.min_cluster_points) continue;
+            if (time_budget.expired()) {
+                result.truncated = true;
+                break;
+            }
+            ++result.examined;
+            result.count += count_one(cluster, random);
+        }
+        return result;
+    }
+
+    // Parallel fan-out. The forked streams are drawn sequentially before
+    // any worker starts, so which rng a cluster sees never depends on
+    // scheduling; with the deadline unarmed (or unexpired) the outcome is
+    // byte-identical for every pool size. Deadline expiry skips whole
+    // clusters, mirroring the sequential loop's skip-the-rest semantics,
+    // and any skipped cluster flags the frame truncated.
+    std::vector<const point_cloud*> eligible;
+    eligible.reserve(clusters.size());
+    for (const auto& cluster : clusters) {
+        if (cluster.size() >= config_.min_cluster_points) eligible.push_back(&cluster);
+    }
+    std::vector<rng> streams;
+    streams.reserve(eligible.size());
+    for (std::size_t i = 0; i < eligible.size(); ++i) streams.push_back(random.fork());
+
+    struct item_outcome {
+        std::size_t count = 0;
+        bool skipped = false;
+    };
+    std::vector<item_outcome> items(eligible.size());
+    global_pool().parallel_for(0, eligible.size(), 1,
+                               [&](std::size_t lo, std::size_t hi, std::size_t /*slot*/) {
+                                   for (std::size_t i = lo; i < hi; ++i) {
+                                       if (time_budget.expired()) {
+                                           items[i].skipped = true;
+                                           continue;
+                                       }
+                                       items[i].count = count_one(*eligible[i], streams[i]);
+                                   }
+                               });
+
+    for (const auto& item : items) {
+        if (item.skipped) {
+            result.truncated = true;
             continue;
         }
-
-        // Oversized cluster: split into person-sized parts and classify
-        // each part on its own (a merged crowd looks nothing like the
-        // single-person clusters the classifier was trained on). k-means
-        // cuts people apart awkwardly, so fragment-level classification
-        // under-counts; once the region is established to be
-        // human-dominated (a majority of its parts classify human), the
-        // footprint capacity is the better population estimate.
-        kmeans_config split;
-        split.k = capacity;
-        split.metric = config_.clustering.metric;
-        const auto parts =
-            kmeans(cluster, split, random).clusters.extract_clusters(cluster);
-        std::size_t examined = 0;
-        std::size_t human_parts = 0;
-        for (const auto& part : parts) {
-            if (part.size() < config_.min_cluster_points) continue;
-            ++examined;
-            if (classifier_->is_human(part, random)) ++human_parts;
-        }
-        if (examined > 0 && 2 * human_parts >= examined) {
-            result.count += std::max(human_parts, capacity);
-        } else {
-            result.count += human_parts;
-        }
+        ++result.examined;
+        result.count += item.count;
     }
     return result;
 }

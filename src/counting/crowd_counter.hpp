@@ -85,6 +85,12 @@ public:
     /// runtime's frame supervisor, which clusters under its own fallback
     /// policy. When `time_budget` is armed and expires, the remaining
     /// clusters are skipped and the result is flagged truncated.
+    ///
+    /// When the classifier reports thread_safe(), clusters fan out across
+    /// the global pool, each on its own forked rng stream; the streams
+    /// and the reduction order are fixed before any worker runs, so the
+    /// result is identical for every thread count (including one).
+    /// Non-thread-safe classifiers keep the sequential single-stream loop.
     cluster_count_result count_clusters(std::span<const point_cloud> clusters, rng& random,
                                         const deadline& time_budget = {}) const;
 
@@ -100,6 +106,10 @@ public:
     std::string name() const { return classifier_->name() + "-CC"; }
 
 private:
+    /// People contributed by one size-qualified cluster: classify it, or
+    /// for oversized clusters split and vote (see multiplicity_config).
+    std::size_t count_one(const point_cloud& cluster, rng& random) const;
+
     capture_config config_;
     const human_classifier* classifier_;
     clusterer_fn clusterer_;  // empty = adaptive DBSCAN from config_

@@ -4,8 +4,17 @@
 
 namespace hawc {
 
-tensor relu::forward(const tensor& input, bool /*training*/) {
-    cached_input_ = input;
+tensor relu::forward(const tensor& input, bool training) {
+    if (training) {
+        cached_input_ = input;
+    } else {
+        cached_input_ = tensor{};
+    }
+    cached_sample_size_ = input.batch() > 0 ? input.sample_size() : 0;
+    return infer(input);
+}
+
+tensor relu::infer(const tensor& input) const {
     tensor out{input.shape()};
     for (std::size_t i = 0; i < input.size(); ++i) {
         out[i] = input[i] > 0.0f ? input[i] : 0.0f;
@@ -26,8 +35,7 @@ layer_info relu::info() const {
     layer_info li;
     li.name = "relu";
     li.kind = op_kind::activation;
-    li.activations_per_sample =
-        cached_input_.batch() > 0 ? cached_input_.sample_size() : 0;
+    li.activations_per_sample = cached_sample_size_;
     return li;
 }
 

@@ -9,6 +9,7 @@ namespace hawc {
 class relu final : public layer {
 public:
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     layer_info info() const override;
     std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override {
@@ -16,7 +17,8 @@ public:
     }
 
 private:
-    tensor cached_input_;
+    tensor cached_input_;  // populated only by forward(x, true)
+    std::size_t cached_sample_size_ = 0;  // for info()
 };
 
 }  // namespace hawc

@@ -24,33 +24,34 @@ tensor batch_norm::forward(const tensor& input, bool training) {
     cached_rows_ = rows;
     cached_batch_ = std::max<std::size_t>(input.dim(0), 1);
 
+    if (!training) {
+        // Eval mode neither collects batch stats nor needs the backward
+        // caches — drop them so a mispaired backward fails loudly.
+        cached_normalized_ = tensor{};
+        cached_inv_std_.clear();
+        return infer(input);
+    }
+
     std::vector<float> mean(channels_, 0.0f);
     std::vector<float> var(channels_, 0.0f);
-    if (training) {
-        for (std::size_t r = 0; r < rows; ++r) {
-            const float* px = input.data() + r * channels_;
-            for (std::size_t c = 0; c < channels_; ++c) mean[c] += px[c];
-        }
-        for (std::size_t c = 0; c < channels_; ++c) mean[c] /= static_cast<float>(rows);
-        for (std::size_t r = 0; r < rows; ++r) {
-            const float* px = input.data() + r * channels_;
-            for (std::size_t c = 0; c < channels_; ++c) {
-                const float d = px[c] - mean[c];
-                var[c] += d * d;
-            }
-        }
-        for (std::size_t c = 0; c < channels_; ++c) var[c] /= static_cast<float>(rows);
-        // Update running estimates.
-        const auto m = static_cast<float>(momentum_);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* px = input.data() + r * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) mean[c] += px[c];
+    }
+    for (std::size_t c = 0; c < channels_; ++c) mean[c] /= static_cast<float>(rows);
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* px = input.data() + r * channels_;
         for (std::size_t c = 0; c < channels_; ++c) {
-            running_mean_[c] = m * running_mean_[c] + (1.0f - m) * mean[c];
-            running_var_[c] = m * running_var_[c] + (1.0f - m) * var[c];
+            const float d = px[c] - mean[c];
+            var[c] += d * d;
         }
-    } else {
-        for (std::size_t c = 0; c < channels_; ++c) {
-            mean[c] = running_mean_[c];
-            var[c] = running_var_[c];
-        }
+    }
+    for (std::size_t c = 0; c < channels_; ++c) var[c] /= static_cast<float>(rows);
+    // Update running estimates.
+    const auto m = static_cast<float>(momentum_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+        running_mean_[c] = m * running_mean_[c] + (1.0f - m) * mean[c];
+        running_var_[c] = m * running_var_[c] + (1.0f - m) * var[c];
     }
 
     cached_inv_std_.resize(channels_);
@@ -73,8 +74,33 @@ tensor batch_norm::forward(const tensor& input, bool training) {
     return out;
 }
 
+tensor batch_norm::infer(const tensor& input) const {
+    HAWC_REQUIRE(input.shape().back() == channels_, "batch_norm channel mismatch");
+    const std::size_t rows = input.size() / channels_;
+
+    // Running stats only. The operation order matches the training-path
+    // normalisation exactly, so eval outputs are bit-identical to the
+    // pre-split implementation.
+    std::vector<float> inv_std(channels_);
+    for (std::size_t c = 0; c < channels_; ++c) {
+        inv_std[c] = 1.0f / std::sqrt(running_var_[c] + static_cast<float>(epsilon_));
+    }
+
+    tensor out{input.shape()};
+    for (std::size_t r = 0; r < rows; ++r) {
+        const float* px = input.data() + r * channels_;
+        float* out_px = out.data() + r * channels_;
+        for (std::size_t c = 0; c < channels_; ++c) {
+            const float normalized = (px[c] - running_mean_[c]) * inv_std[c];
+            out_px[c] = gamma_.value[c] * normalized + beta_.value[c];
+        }
+    }
+    return out;
+}
+
 tensor batch_norm::backward(const tensor& grad_output) {
-    HAWC_REQUIRE(cached_rows_ > 0, "backward before forward");
+    HAWC_REQUIRE(cached_rows_ > 0 && cached_normalized_.size() == grad_output.size(),
+                 "backward before training forward");
     const std::size_t rows = cached_rows_;
 
     // Standard batch-norm backward using the cached normalized values.

@@ -14,6 +14,7 @@ public:
     explicit batch_norm(std::size_t channels, double momentum = 0.9, double epsilon = 1e-5);
 
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&gamma_, &beta_}; }
     std::vector<tensor*> buffers() override { return {&running_mean_, &running_var_}; }
@@ -37,7 +38,8 @@ private:
     tensor running_mean_;
     tensor running_var_;
 
-    // Cached for backward.
+    // Cached for backward; populated only by forward(x, true). The row
+    // counts are kept on every forward for info().
     tensor cached_normalized_;
     std::vector<float> cached_inv_std_;
     std::size_t cached_rows_ = 0;

@@ -1,10 +1,60 @@
 #include "nn/conv2d.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hawc {
+
+namespace {
+
+// C (m_rows x n_cols) += A (m_rows x K) * W (K x n_cols), row-major, C
+// pre-initialised with the bias. Accumulation runs over k ascending per
+// output element — the same (kh, kw, ic) order as a direct convolution,
+// so results are bit-identical to the naive loop (padding cells hold
+// exact zeros and contribute exact zero terms). Four A-rows are carried
+// at once so each W row loaded from memory feeds four accumulator rows.
+void gemm_rows(const float* __restrict__ a, std::size_t K, const float* __restrict__ w,
+               std::size_t n_cols, float* __restrict__ c, std::size_t m_rows) {
+    std::size_t m = 0;
+    for (; m + 4 <= m_rows; m += 4) {
+        const float* __restrict__ a0 = a + (m + 0) * K;
+        const float* __restrict__ a1 = a + (m + 1) * K;
+        const float* __restrict__ a2 = a + (m + 2) * K;
+        const float* __restrict__ a3 = a + (m + 3) * K;
+        float* __restrict__ c0 = c + (m + 0) * n_cols;
+        float* __restrict__ c1 = c + (m + 1) * n_cols;
+        float* __restrict__ c2 = c + (m + 2) * n_cols;
+        float* __restrict__ c3 = c + (m + 3) * n_cols;
+        for (std::size_t k = 0; k < K; ++k) {
+            const float* __restrict__ w_row = w + k * n_cols;
+            const float x0 = a0[k];
+            const float x1 = a1[k];
+            const float x2 = a2[k];
+            const float x3 = a3[k];
+            for (std::size_t j = 0; j < n_cols; ++j) {
+                const float wv = w_row[j];
+                c0[j] += x0 * wv;
+                c1[j] += x1 * wv;
+                c2[j] += x2 * wv;
+                c3[j] += x3 * wv;
+            }
+        }
+    }
+    for (; m < m_rows; ++m) {
+        const float* __restrict__ am = a + m * K;
+        float* __restrict__ cm = c + m * n_cols;
+        for (std::size_t k = 0; k < K; ++k) {
+            const float x = am[k];
+            const float* __restrict__ w_row = w + k * n_cols;
+            for (std::size_t j = 0; j < n_cols; ++j) cm[j] += x * w_row[j];
+        }
+    }
+}
+
+}  // namespace
 
 conv2d::conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                padding pad, rng& random)
@@ -32,8 +82,7 @@ std::vector<std::size_t> conv2d::output_shape(std::vector<std::size_t> input) co
     return input;
 }
 
-tensor conv2d::forward(const tensor& input, bool /*training*/) {
-    cached_input_ = input;
+tensor conv2d::infer(const tensor& input) const {
     const auto out_shape = output_shape(input.shape());
     tensor out{out_shape};
 
@@ -43,41 +92,62 @@ tensor conv2d::forward(const tensor& input, bool /*training*/) {
     const std::size_t out_h = out_shape[1];
     const std::size_t out_w = out_shape[2];
     const std::size_t p = pad_amount();
-    last_hw_[0] = out_h;
-    last_hw_[1] = out_w;
+    const std::size_t K = kernel_ * kernel_ * in_channels_;
 
     const float* w = weights_.value.data();
     const float* b = bias_.value.data();
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        for (std::size_t oh = 0; oh < out_h; ++oh) {
+    // im2col + GEMM, one output row at a time: the patch matrix for a row
+    // is out_w x K floats (a few KB — it stays in L1), and its contiguous
+    // layout turns the inner loops into branch-free streaming over the
+    // (k, k, Cin, Cout) weight tensor. Rows are independent, so batch x
+    // out_h fans out across the pool with one scratch buffer per chunk.
+    global_pool().parallel_for(0, batch * out_h, 4, [&](std::size_t lo, std::size_t hi,
+                                                        std::size_t /*slot*/) {
+        std::vector<float> col(out_w * K);
+        for (std::size_t r = lo; r < hi; ++r) {
+            const std::size_t n = r / out_h;
+            const std::size_t oh = r % out_h;
+            std::fill(col.begin(), col.end(), 0.0f);  // padding cells stay exact zero
             for (std::size_t ow = 0; ow < out_w; ++ow) {
-                float* out_px = &out.at(n, oh, ow, 0);
-                for (std::size_t oc = 0; oc < out_channels_; ++oc) out_px[oc] = b[oc];
+                float* dst = col.data() + ow * K;
                 for (std::size_t kh = 0; kh < kernel_; ++kh) {
                     const std::ptrdiff_t ih =
                         static_cast<std::ptrdiff_t>(oh + kh) - static_cast<std::ptrdiff_t>(p);
                     if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(in_h)) continue;
-                    for (std::size_t kw = 0; kw < kernel_; ++kw) {
-                        const std::ptrdiff_t iw =
-                            static_cast<std::ptrdiff_t>(ow + kw) - static_cast<std::ptrdiff_t>(p);
-                        if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(in_w)) continue;
-                        const float* in_px = &input.at(n, static_cast<std::size_t>(ih),
-                                                       static_cast<std::size_t>(iw), 0);
-                        const float* w_px = &w[(kh * kernel_ + kw) * in_channels_ * out_channels_];
-                        for (std::size_t ic = 0; ic < in_channels_; ++ic) {
-                            const float x = in_px[ic];
-                            const float* w_row = &w_px[ic * out_channels_];
-                            for (std::size_t oc = 0; oc < out_channels_; ++oc) {
-                                out_px[oc] += x * w_row[oc];
-                            }
-                        }
-                    }
+                    // In-bounds kw form one contiguous (kw, ic) run in NHWC
+                    // input memory — one copy per (ow, kh).
+                    const std::size_t kw_lo = p > ow ? p - ow : 0;
+                    const std::size_t kw_hi = std::min(kernel_, in_w + p - ow);
+                    if (kw_lo >= kw_hi) continue;
+                    const float* src =
+                        &input.at(n, static_cast<std::size_t>(ih), ow + kw_lo - p, 0);
+                    std::copy_n(src, (kw_hi - kw_lo) * in_channels_,
+                                dst + (kh * kernel_ + kw_lo) * in_channels_);
                 }
             }
+            float* out_row = &out.at(n, oh, 0, 0);
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+                std::copy_n(b, out_channels_, out_row + ow * out_channels_);
+            }
+            gemm_rows(col.data(), K, w, out_channels_, out_row, out_w);
         }
-    }
+    });
     return out;
+}
+
+tensor conv2d::forward(const tensor& input, bool training) {
+    // Backward needs the input; caching it on the inference path would
+    // deep-copy every activation map for nothing. Clearing on eval makes
+    // a mispaired backward fail loudly instead of using stale data.
+    if (training) {
+        cached_input_ = input;
+    } else {
+        cached_input_ = tensor{};
+    }
+    last_hw_[0] = input.dim(1) + 2 * pad_amount() - kernel_ + 1;
+    last_hw_[1] = input.dim(2) + 2 * pad_amount() - kernel_ + 1;
+    return infer(input);
 }
 
 tensor conv2d::backward(const tensor& grad_output) {

@@ -18,6 +18,7 @@ public:
            rng& random);
 
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&weights_, &bias_}; }
     layer_info info() const override;
@@ -43,8 +44,8 @@ private:
     padding pad_;
     parameter weights_;
     parameter bias_;
-    tensor cached_input_;
-    mutable std::size_t last_hw_[2] = {0, 0};  // for info() MAC estimate
+    tensor cached_input_;  // populated only by forward(x, true)
+    std::size_t last_hw_[2] = {0, 0};  // for info() MAC estimate
 };
 
 }  // namespace hawc

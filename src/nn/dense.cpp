@@ -24,8 +24,16 @@ std::vector<std::size_t> dense::output_shape(std::vector<std::size_t> input) con
     return {input[0], out_features_};
 }
 
-tensor dense::forward(const tensor& input, bool /*training*/) {
-    cached_input_ = input;
+tensor dense::forward(const tensor& input, bool training) {
+    if (training) {
+        cached_input_ = input;
+    } else {
+        cached_input_ = tensor{};
+    }
+    return infer(input);
+}
+
+tensor dense::infer(const tensor& input) const {
     const auto out_shape = output_shape(input.shape());
     tensor out{out_shape};
     const std::size_t batch = input.dim(0);
@@ -84,6 +92,10 @@ layer_info dense::info() const {
 
 tensor flatten::forward(const tensor& input, bool /*training*/) {
     cached_input_shape_ = input.shape();
+    return infer(input);
+}
+
+tensor flatten::infer(const tensor& input) const {
     return input.reshaped({input.dim(0), input.sample_size()});
 }
 

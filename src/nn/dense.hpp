@@ -14,6 +14,7 @@ public:
     dense(std::size_t in_features, std::size_t out_features, rng& random);
 
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     std::vector<parameter*> parameters() override { return {&weights_, &bias_}; }
     layer_info info() const override;
@@ -31,13 +32,14 @@ private:
     std::size_t out_features_;
     parameter weights_;  // (F_in, F_out)
     parameter bias_;     // (F_out)
-    tensor cached_input_;
+    tensor cached_input_;  // populated only by forward(x, true)
 };
 
 /// (N, H, W, C) -> (N, H*W*C). A pure reshape.
 class flatten final : public layer {
 public:
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     layer_info info() const override;
     std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;

@@ -41,8 +41,15 @@ class layer {
 public:
     virtual ~layer() = default;
 
-    /// `training` toggles batch-stat collection (batch norm).
+    /// `training` toggles batch-stat collection (batch norm) and whether
+    /// the activations backward needs are cached. forward(x, false) and
+    /// infer(x) compute the same values; only forward updates the
+    /// shape-tracking state that info() reports.
     virtual tensor forward(const tensor& input, bool training) = 0;
+
+    /// Pure inference: const and free of side effects, so one model can
+    /// serve concurrent threads. Never call backward after infer.
+    virtual tensor infer(const tensor& input) const = 0;
 
     /// dL/dinput from dL/doutput; must be called after forward on the
     /// same input. Accumulates into parameter gradients.

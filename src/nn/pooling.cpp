@@ -1,5 +1,6 @@
 #include "nn/pooling.hpp"
 
+#include <algorithm>
 #include <limits>
 
 #include "common/error.hpp"
@@ -17,11 +18,26 @@ std::vector<std::size_t> max_pool2d::output_shape(std::vector<std::size_t> input
     return input;
 }
 
-tensor max_pool2d::forward(const tensor& input, bool /*training*/) {
+tensor max_pool2d::forward(const tensor& input, bool training) {
     cached_input_shape_ = input.shape();
+    const std::size_t batch = std::max<std::size_t>(input.dim(0), 1);
+    if (!training) {
+        cached_argmax_.clear();
+        tensor out = run(input, nullptr);
+        cached_out_per_sample_ = out.size() / batch;
+        return out;
+    }
+    tensor out = run(input, &cached_argmax_);
+    cached_out_per_sample_ = out.size() / batch;
+    return out;
+}
+
+tensor max_pool2d::infer(const tensor& input) const { return run(input, nullptr); }
+
+tensor max_pool2d::run(const tensor& input, std::vector<std::size_t>* argmax) const {
     const auto out_shape = output_shape(input.shape());
     tensor out{out_shape};
-    cached_argmax_.assign(out.size(), 0);
+    if (argmax != nullptr) argmax->assign(out.size(), 0);
 
     const std::size_t channels = input.dim(3);
     for (std::size_t n = 0; n < input.dim(0); ++n) {
@@ -45,7 +61,7 @@ tensor max_pool2d::forward(const tensor& input, bool /*training*/) {
                     const std::size_t out_flat =
                         ((n * out_shape[1] + oh) * out_shape[2] + ow) * channels + c;
                     out[out_flat] = best;
-                    cached_argmax_[out_flat] = best_index;
+                    if (argmax != nullptr) (*argmax)[out_flat] = best_index;
                 }
             }
         }
@@ -54,7 +70,7 @@ tensor max_pool2d::forward(const tensor& input, bool /*training*/) {
 }
 
 tensor max_pool2d::backward(const tensor& grad_output) {
-    HAWC_REQUIRE(!cached_input_shape_.empty(), "backward before forward");
+    HAWC_REQUIRE(cached_argmax_.size() == grad_output.size(), "backward before training forward");
     tensor grad_input{cached_input_shape_};
     for (std::size_t i = 0; i < grad_output.size(); ++i) {
         grad_input[cached_argmax_[i]] += grad_output[i];
@@ -66,10 +82,7 @@ layer_info max_pool2d::info() const {
     layer_info li;
     li.name = "max_pool2d(" + std::to_string(window_) + ")";
     li.kind = op_kind::pooling;
-    li.activations_per_sample = cached_argmax_.empty()
-                                    ? 0
-                                    : cached_argmax_.size() /
-                                          (cached_input_shape_.empty() ? 1 : cached_input_shape_[0]);
+    li.activations_per_sample = cached_out_per_sample_;
     return li;
 }
 
@@ -80,11 +93,21 @@ std::vector<std::size_t> global_max_pool::output_shape(std::vector<std::size_t> 
     return input;
 }
 
-tensor global_max_pool::forward(const tensor& input, bool /*training*/) {
+tensor global_max_pool::forward(const tensor& input, bool training) {
     cached_input_shape_ = input.shape();
+    if (!training) {
+        cached_argmax_.clear();
+        return run(input, nullptr);
+    }
+    return run(input, &cached_argmax_);
+}
+
+tensor global_max_pool::infer(const tensor& input) const { return run(input, nullptr); }
+
+tensor global_max_pool::run(const tensor& input, std::vector<std::size_t>* argmax) const {
     const auto out_shape = output_shape(input.shape());
     tensor out{out_shape};
-    cached_argmax_.assign(out.size(), 0);
+    if (argmax != nullptr) argmax->assign(out.size(), 0);
 
     const std::size_t channels = input.dim(3);
     const std::size_t spatial = input.dim(1) * input.dim(2);
@@ -100,14 +123,14 @@ tensor global_max_pool::forward(const tensor& input, bool /*training*/) {
                 }
             }
             out[n * channels + c] = best;
-            cached_argmax_[n * channels + c] = best_index;
+            if (argmax != nullptr) (*argmax)[n * channels + c] = best_index;
         }
     }
     return out;
 }
 
 tensor global_max_pool::backward(const tensor& grad_output) {
-    HAWC_REQUIRE(!cached_input_shape_.empty(), "backward before forward");
+    HAWC_REQUIRE(cached_argmax_.size() == grad_output.size(), "backward before training forward");
     tensor grad_input{cached_input_shape_};
     for (std::size_t i = 0; i < grad_output.size(); ++i) {
         grad_input[cached_argmax_[i]] += grad_output[i];

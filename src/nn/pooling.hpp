@@ -16,26 +16,33 @@ public:
     std::size_t window() const { return window_; }
 
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     layer_info info() const override;
     std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
 
 private:
+    tensor run(const tensor& input, std::vector<std::size_t>* argmax) const;
+
     std::size_t window_;
-    std::vector<std::size_t> cached_argmax_;  // flat input index per output element
+    std::vector<std::size_t> cached_argmax_;  // backward only; training forwards
     std::vector<std::size_t> cached_input_shape_;
+    std::size_t cached_out_per_sample_ = 0;  // for info()
 };
 
 /// Global max over H and W: (N, H, W, C) -> (N, 1, 1, C).
 class global_max_pool final : public layer {
 public:
     tensor forward(const tensor& input, bool training) override;
+    tensor infer(const tensor& input) const override;
     tensor backward(const tensor& grad_output) override;
     layer_info info() const override;
     std::vector<std::size_t> output_shape(std::vector<std::size_t> input) const override;
 
 private:
-    std::vector<std::size_t> cached_argmax_;
+    tensor run(const tensor& input, std::vector<std::size_t>* argmax) const;
+
+    std::vector<std::size_t> cached_argmax_;  // backward only; training forwards
     std::vector<std::size_t> cached_input_shape_;
 };
 

@@ -20,6 +20,12 @@ tensor sequential::forward(const tensor& input, bool training) {
     return x;
 }
 
+tensor sequential::infer(const tensor& input) const {
+    tensor x = input;
+    for (const auto& l : layers_) x = l->infer(x);
+    return x;
+}
+
 tensor sequential::backward(const tensor& grad_output) {
     tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) g = (*it)->backward(g);

@@ -28,6 +28,10 @@ public:
     tensor forward(const tensor& input, bool training);
     tensor backward(const tensor& grad_output);
 
+    /// Pure inference pass (see layer::infer): const and side-effect
+    /// free, so one trained model can serve concurrent threads.
+    tensor infer(const tensor& input) const;
+
     /// Run only layers [begin, end) — used for models that train a prefix
     /// against an auxiliary head (e.g. autoencoder pretraining).
     tensor forward_range(const tensor& input, std::size_t begin, std::size_t end, bool training);

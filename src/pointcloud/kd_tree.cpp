@@ -1,9 +1,9 @@
 #include "pointcloud/kd_tree.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 #include <numeric>
-#include <queue>
 
 namespace hawc {
 
@@ -16,6 +16,108 @@ double axis_value(const vec3& p, std::uint8_t axis) {
         default: return p.z;
     }
 }
+
+// Max-heap of the best k candidates on a fixed-size inline array — the
+// k <= 16 fast path (height_variation and the eps elbow use k = 9). No
+// allocation, and small enough to live in registers/L1 during traversal.
+class inline_k_heap {
+public:
+    static constexpr std::size_t capacity = 16;
+
+    explicit inline_k_heap(std::size_t k) : k_{k} {}
+
+    std::size_t size() const { return size_; }
+    bool full() const { return size_ == k_; }
+    double worst() const { return slots_[0].distance; }
+
+    void consider(std::size_t index, double d_sq) {
+        if (size_ < k_) {
+            slots_[size_] = {index, d_sq};
+            sift_up(size_++);
+        } else if (d_sq < slots_[0].distance) {
+            slots_[0] = {index, d_sq};
+            sift_down();
+        }
+    }
+
+    // Ascending (distance, index) extraction into `out`.
+    void extract_sorted(std::vector<neighbor>& out) {
+        out.assign(slots_.begin(), slots_.begin() + size_);
+        std::sort(out.begin(), out.end(), [](const neighbor& a, const neighbor& b) {
+            if (a.distance != b.distance) return a.distance < b.distance;
+            return a.index < b.index;
+        });
+    }
+
+private:
+    void sift_up(std::size_t i) {
+        while (i > 0) {
+            const std::size_t parent = (i - 1) / 2;
+            if (slots_[parent].distance >= slots_[i].distance) break;
+            std::swap(slots_[parent], slots_[i]);
+            i = parent;
+        }
+    }
+
+    void sift_down() {
+        std::size_t i = 0;
+        for (;;) {
+            const std::size_t l = 2 * i + 1;
+            const std::size_t r = l + 1;
+            std::size_t largest = i;
+            if (l < size_ && slots_[l].distance > slots_[largest].distance) largest = l;
+            if (r < size_ && slots_[r].distance > slots_[largest].distance) largest = r;
+            if (largest == i) break;
+            std::swap(slots_[i], slots_[largest]);
+            i = largest;
+        }
+    }
+
+    std::array<neighbor, capacity> slots_{};
+    std::size_t k_ = 0;
+    std::size_t size_ = 0;
+};
+
+// Max-heap over the caller's vector for k > 16. The vector's capacity is
+// the only storage, so repeated queries through the same buffer settle
+// into an allocation-free steady state too.
+class vector_k_heap {
+public:
+    vector_k_heap(std::size_t k, std::vector<neighbor>& storage) : k_{k}, heap_{storage} {
+        heap_.clear();
+    }
+
+    std::size_t size() const { return heap_.size(); }
+    bool full() const { return heap_.size() == k_; }
+    double worst() const { return heap_.front().distance; }
+
+    void consider(std::size_t index, double d_sq) {
+        if (heap_.size() < k_) {
+            heap_.push_back({index, d_sq});
+            std::push_heap(heap_.begin(), heap_.end(), by_distance);
+        } else if (d_sq < heap_.front().distance) {
+            std::pop_heap(heap_.begin(), heap_.end(), by_distance);
+            heap_.back() = {index, d_sq};
+            std::push_heap(heap_.begin(), heap_.end(), by_distance);
+        }
+    }
+
+    void extract_sorted(std::vector<neighbor>& out) {
+        // `out` is the heap's own storage; sort it in place.
+        std::sort(out.begin(), out.end(), [](const neighbor& a, const neighbor& b) {
+            if (a.distance != b.distance) return a.distance < b.distance;
+            return a.index < b.index;
+        });
+    }
+
+private:
+    static bool by_distance(const neighbor& a, const neighbor& b) {
+        return a.distance < b.distance;
+    }
+
+    std::size_t k_;
+    std::vector<neighbor>& heap_;
+};
 
 }  // namespace
 
@@ -77,37 +179,27 @@ std::int32_t kd_tree::build(std::int32_t begin, std::int32_t end, int depth) {
     return index;
 }
 
-std::vector<neighbor> kd_tree::nearest(const vec3& query, std::size_t k) const {
-    std::vector<neighbor> result;
-    if (k == 0 || points_.empty()) return result;
-    k = std::min(k, points_.size());
-
-    // Max-heap of the best k candidates seen so far, keyed by distance.
-    auto cmp = [](const neighbor& a, const neighbor& b) { return a.distance < b.distance; };
-    std::priority_queue<neighbor, std::vector<neighbor>, decltype(cmp)> heap{cmp};
-
-    auto consider = [&](std::int32_t tree_pos) {
-        const auto cloud_index = order_[static_cast<std::size_t>(tree_pos)];
-        const double d_sq = points_[static_cast<std::size_t>(cloud_index)].distance_sq_to(query);
-        if (heap.size() < k) {
-            heap.push({static_cast<std::size_t>(cloud_index), d_sq});
-        } else if (d_sq < heap.top().distance) {
-            heap.pop();
-            heap.push({static_cast<std::size_t>(cloud_index), d_sq});
-        }
-    };
-
+template <typename Heap>
+void kd_tree::nearest_with_heap(const vec3& query, std::size_t /*k*/, Heap& heap) const {
     // Iterative depth-first traversal with pruning against the current
-    // k-th best distance.
-    std::vector<std::int32_t> stack;
-    stack.push_back(root_);
-    while (!stack.empty()) {
-        const auto ni = stack.back();
-        stack.pop_back();
+    // k-th best distance. The exact-median build halves each range, so
+    // the tree height (and with it the pending-node stack) is bounded by
+    // log2(2^31 / leaf_size) + 1 < 32 — a fixed array is enough and the
+    // traversal never touches the allocator.
+    std::array<std::int32_t, 64> stack;
+    std::size_t depth = 0;
+    stack[depth++] = root_;
+    while (depth > 0) {
+        const auto ni = stack[--depth];
         if (ni < 0) continue;
         const node& nd = nodes_[static_cast<std::size_t>(ni)];
         if (nd.leaf) {
-            for (std::int32_t i = nd.begin; i < nd.end; ++i) consider(i);
+            for (std::int32_t i = nd.begin; i < nd.end; ++i) {
+                const auto cloud_index = order_[static_cast<std::size_t>(i)];
+                const double d_sq =
+                    points_[static_cast<std::size_t>(cloud_index)].distance_sq_to(query);
+                heap.consider(static_cast<std::size_t>(cloud_index), d_sq);
+            }
             continue;
         }
         const double delta = axis_value(query, nd.axis) - nd.split;
@@ -115,16 +207,31 @@ std::vector<neighbor> kd_tree::nearest(const vec3& query, std::size_t k) const {
         const auto far_child = delta <= 0.0 ? nd.right : nd.left;
         // Visit far side only if the splitting plane is closer than the
         // current worst retained distance (or we have fewer than k yet).
-        if (heap.size() < k || delta * delta <= heap.top().distance) stack.push_back(far_child);
-        stack.push_back(near_child);
+        if (!heap.full() || delta * delta <= heap.worst()) stack[depth++] = far_child;
+        stack[depth++] = near_child;
     }
+}
 
-    result.resize(heap.size());
-    for (auto it = result.rbegin(); it != result.rend(); ++it) {
-        *it = heap.top();
-        heap.pop();
+void kd_tree::nearest_into(const vec3& query, std::size_t k, std::vector<neighbor>& out) const {
+    out.clear();
+    if (k == 0 || points_.empty()) return;
+    k = std::min(k, points_.size());
+
+    if (k <= inline_k_heap::capacity) {
+        inline_k_heap heap{k};
+        nearest_with_heap(query, k, heap);
+        heap.extract_sorted(out);
+    } else {
+        vector_k_heap heap{k, out};
+        nearest_with_heap(query, k, heap);
+        heap.extract_sorted(out);
     }
-    for (auto& nb : result) nb.distance = std::sqrt(nb.distance);
+    for (auto& nb : out) nb.distance = std::sqrt(nb.distance);
+}
+
+std::vector<neighbor> kd_tree::nearest(const vec3& query, std::size_t k) const {
+    std::vector<neighbor> result;
+    nearest_into(query, k, result);
     return result;
 }
 
@@ -149,10 +256,16 @@ void kd_tree::visit_radius(std::int32_t node_index, const vec3& query, double ra
     if (delta * delta <= radius_sq) visit_radius(far_child, query, radius_sq, visit);
 }
 
+void kd_tree::radius_search_into(const vec3& query, double radius,
+                                 std::vector<std::size_t>& found) const {
+    found.clear();
+    if (points_.empty() || radius < 0.0) return;
+    visit_radius(root_, query, radius * radius, [&](std::size_t i) { found.push_back(i); });
+}
+
 std::vector<std::size_t> kd_tree::radius_search(const vec3& query, double radius) const {
     std::vector<std::size_t> found;
-    if (points_.empty() || radius < 0.0) return found;
-    visit_radius(root_, query, radius * radius, [&](std::size_t i) { found.push_back(i); });
+    radius_search_into(query, radius, found);
     return found;
 }
 

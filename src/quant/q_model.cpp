@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 
 #include "common/error.hpp"
+#include "common/thread_pool.hpp"
 
 namespace hawc {
 
@@ -12,6 +14,51 @@ namespace {
 std::int8_t requantize(float real, const quant_params& out_q, bool fused_relu) {
     if (fused_relu && real < 0.0f) real = 0.0f;
     return out_q.quantize(real);
+}
+
+// acc (m_rows x n_cols) += A (m_rows x K) * W (K x n_cols), row-major;
+// A holds zero-point-offset activations, so padding cells (stored as 0)
+// drop out exactly. Integer accumulation is order-independent, and the
+// worst case |x| * |w| * K is far below the int32 range for any layer in
+// these models. Four A-rows per pass reuse each loaded W row.
+void q_gemm_rows(const std::int16_t* a, std::size_t K, const std::int8_t* w, std::size_t n_cols,
+                 std::int32_t* acc, std::size_t m_rows) {
+    std::size_t m = 0;
+    for (; m + 4 <= m_rows; m += 4) {
+        const std::int16_t* a0 = a + (m + 0) * K;
+        const std::int16_t* a1 = a + (m + 1) * K;
+        const std::int16_t* a2 = a + (m + 2) * K;
+        const std::int16_t* a3 = a + (m + 3) * K;
+        std::int32_t* c0 = acc + (m + 0) * n_cols;
+        std::int32_t* c1 = acc + (m + 1) * n_cols;
+        std::int32_t* c2 = acc + (m + 2) * n_cols;
+        std::int32_t* c3 = acc + (m + 3) * n_cols;
+        for (std::size_t k = 0; k < K; ++k) {
+            const std::int8_t* w_row = w + k * n_cols;
+            const std::int32_t x0 = a0[k];
+            const std::int32_t x1 = a1[k];
+            const std::int32_t x2 = a2[k];
+            const std::int32_t x3 = a3[k];
+            for (std::size_t j = 0; j < n_cols; ++j) {
+                const auto wv = static_cast<std::int32_t>(w_row[j]);
+                c0[j] += x0 * wv;
+                c1[j] += x1 * wv;
+                c2[j] += x2 * wv;
+                c3[j] += x3 * wv;
+            }
+        }
+    }
+    for (; m < m_rows; ++m) {
+        const std::int16_t* am = a + m * K;
+        std::int32_t* cm = acc + m * n_cols;
+        for (std::size_t k = 0; k < K; ++k) {
+            const std::int32_t x = am[k];
+            const std::int8_t* w_row = w + k * n_cols;
+            for (std::size_t j = 0; j < n_cols; ++j) {
+                cm[j] += x * static_cast<std::int32_t>(w_row[j]);
+            }
+        }
+    }
 }
 
 q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
@@ -29,47 +76,55 @@ q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
     out.data.resize(batch * out_h * out_w * op.out_channels);
 
     const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
-    std::vector<std::int32_t> acc(op.out_channels);
+    const std::size_t K = op.kernel * op.kernel * op.in_channels;
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        for (std::size_t oh = 0; oh < out_h; ++oh) {
+    // Same im2col + GEMM structure as the float path (see nn/conv2d.cpp):
+    // the patch matrix stores (x - zp_in) widened to int16 so the inner
+    // loops are branch-free int32 multiply-accumulates.
+    global_pool().parallel_for(0, batch * out_h, 4, [&](std::size_t lo, std::size_t hi,
+                                                        std::size_t /*slot*/) {
+        std::vector<std::int16_t> col(out_w * K);
+        std::vector<std::int32_t> acc(out_w * op.out_channels);
+        for (std::size_t r = lo; r < hi; ++r) {
+            const std::size_t n = r / out_h;
+            const std::size_t oh = r % out_h;
+            std::fill(col.begin(), col.end(), std::int16_t{0});
             for (std::size_t ow = 0; ow < out_w; ++ow) {
-                std::fill(acc.begin(), acc.end(), 0);
+                std::int16_t* dst = col.data() + ow * K;
                 for (std::size_t kh = 0; kh < op.kernel; ++kh) {
                     const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
                                               static_cast<std::ptrdiff_t>(op.pad);
                     if (ih < 0 || ih >= static_cast<std::ptrdiff_t>(in_h)) continue;
-                    for (std::size_t kw = 0; kw < op.kernel; ++kw) {
-                        const std::ptrdiff_t iw = static_cast<std::ptrdiff_t>(ow + kw) -
-                                                  static_cast<std::ptrdiff_t>(op.pad);
-                        if (iw < 0 || iw >= static_cast<std::ptrdiff_t>(in_w)) continue;
-                        const std::int8_t* in_px =
-                            &in.data[((n * in_h + static_cast<std::size_t>(ih)) * in_w +
-                                      static_cast<std::size_t>(iw)) *
-                                     op.in_channels];
-                        const std::int8_t* w_px =
-                            &op.weights[(kh * op.kernel + kw) * op.in_channels * op.out_channels];
-                        for (std::size_t ic = 0; ic < op.in_channels; ++ic) {
-                            const std::int32_t x = static_cast<std::int32_t>(in_px[ic]) - zp_in;
-                            if (x == 0) continue;
-                            const std::int8_t* w_row = &w_px[ic * op.out_channels];
-                            for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
-                                acc[oc] += x * static_cast<std::int32_t>(w_row[oc]);
-                            }
-                        }
+                    const std::size_t kw_lo = op.pad > ow ? op.pad - ow : 0;
+                    const std::size_t kw_hi = std::min(op.kernel, in_w + op.pad - ow);
+                    if (kw_lo >= kw_hi) continue;
+                    const std::int8_t* src =
+                        &in.data[((n * in_h + static_cast<std::size_t>(ih)) * in_w +
+                                  (ow + kw_lo - op.pad)) *
+                                 op.in_channels];
+                    std::int16_t* run = dst + (kh * op.kernel + kw_lo) * op.in_channels;
+                    const std::size_t count = (kw_hi - kw_lo) * op.in_channels;
+                    for (std::size_t i = 0; i < count; ++i) {
+                        run[i] = static_cast<std::int16_t>(static_cast<std::int32_t>(src[i]) -
+                                                           zp_in);
                     }
                 }
-                std::int8_t* out_px =
-                    &out.data[((n * out_h + oh) * out_w + ow) * op.out_channels];
+            }
+            std::fill(acc.begin(), acc.end(), 0);
+            q_gemm_rows(col.data(), K, op.weights.data(), op.out_channels, acc.data(), out_w);
+            std::int8_t* out_row = &out.data[(n * out_h + oh) * out_w * op.out_channels];
+            for (std::size_t ow = 0; ow < out_w; ++ow) {
+                const std::int32_t* acc_px = acc.data() + ow * op.out_channels;
+                std::int8_t* out_px = out_row + ow * op.out_channels;
                 for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
-                    const float real = static_cast<float>(acc[oc]) * op.in_q.scale *
+                    const float real = static_cast<float>(acc_px[oc]) * op.in_q.scale *
                                            op.weight_scales[oc] +
                                        op.bias[oc];
                     out_px[oc] = requantize(real, op.out_q, op.fused_relu);
                 }
             }
         }
-    }
+    });
     return out;
 }
 

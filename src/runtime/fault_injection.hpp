@@ -82,6 +82,8 @@ public:
 
     bool is_human(const point_cloud& cluster, rng& random) const override;
     std::string name() const override { return "Flaky[" + inner_->name() + "]"; }
+    // Inherits thread_safe() == false: the chaos rng is mutable per-call
+    // state, and a shared stream keeps fault schedules reproducible.
 
     std::uint64_t faults_raised() const { return faults_; }
 

@@ -111,14 +111,20 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     if (ingested.size() < cluster_floor) return;
 
     // ---- Clustering: adaptive eps with the fixed-eps fallback rung ----
+    // Eps selection and DBSCAN share one metric-scaled cloud and KD tree;
+    // both operate in the same metric space, so the fixed-eps rung can
+    // reuse them too (fallback_eps is expressed in metric space, exactly
+    // as the dbscan() convenience entry point treats config.eps).
     sw.reset();
     const adaptive_eps_config& ccfg = config_.capture.clustering;
+    const point_cloud scaled = ccfg.metric.scale(ingested);
+    const kd_tree tree{scaled};
     bool use_fixed = false;
     failure_kind why = failure_kind::degenerate_elbow;
     std::string why_detail;
     {
         stopwatch eps_sw;
-        const double eps = adaptive_epsilon(ingested, ccfg);
+        const double eps = adaptive_epsilon_scaled(scaled, tree, ccfg);
         const double selection_ms = eps_sw.elapsed_ms();
         if (config_.eps_selection_deadline_ms > 0.0 &&
             selection_ms > config_.eps_selection_deadline_ms) {
@@ -138,12 +144,9 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     }
     if (use_fixed) report.chosen_eps = config_.fallback_eps;
 
-    dbscan_config run;
-    run.eps = report.chosen_eps;
-    run.min_points = ccfg.min_points;
-    run.metric = ccfg.metric;
     const std::vector<point_cloud> clusters =
-        dbscan(ingested, run).extract_clusters(ingested);
+        dbscan_scaled(scaled, tree, report.chosen_eps, ccfg.min_points)
+            .extract_clusters(ingested);
     report.times.clustering_ms = sw.elapsed_ms();
     if (use_fixed) {
         report.used_fixed_eps = true;

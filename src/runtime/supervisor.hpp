@@ -18,6 +18,8 @@
 // monotonic deadline between work items), which bounds latency without
 // threads on single-core edge targets; see DESIGN.md "Fault model".
 
+#include <atomic>
+#include <cstdint>
 #include <vector>
 
 #include "counting/crowd_counter.hpp"
@@ -38,14 +40,20 @@ public:
     bool is_human(const point_cloud& cluster, rng& random) const override;
     std::string name() const override;
 
-    std::uint64_t fallback_activations() const { return fallbacks_; }
-    std::uint64_t primary_faults() const { return faults_; }
+    /// Safe whenever both wrapped classifiers are: the adapter itself
+    /// only touches its atomic fault counters.
+    bool thread_safe() const override {
+        return primary_->thread_safe() && (fallback_ == nullptr || fallback_->thread_safe());
+    }
+
+    std::uint64_t fallback_activations() const { return fallbacks_.load(std::memory_order_relaxed); }
+    std::uint64_t primary_faults() const { return faults_.load(std::memory_order_relaxed); }
 
 private:
     const human_classifier* primary_;
     const human_classifier* fallback_;
-    mutable std::uint64_t fallbacks_ = 0;
-    mutable std::uint64_t faults_ = 0;
+    mutable std::atomic<std::uint64_t> fallbacks_{0};
+    mutable std::atomic<std::uint64_t> faults_{0};
 };
 
 struct supervisor_config {

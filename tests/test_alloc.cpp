@@ -1,0 +1,127 @@
+// Allocation accounting for the hot KD-tree queries. This binary replaces
+// the global operator new/delete with counting wrappers, so it must stay
+// a dedicated executable: the *_into queries are required to perform ZERO
+// heap allocations at steady state (after the caller's reused buffers
+// reach their plateau capacity), which is what lets DBSCAN phase 1, the
+// k-NN elbow curve and the HAP sigma pass issue millions of queries
+// without serializing on the allocator.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pointcloud/kd_tree.hpp"
+
+namespace {
+
+std::atomic<std::uint64_t> g_news{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    if (void* p = std::malloc(size)) return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+void* operator new(std::size_t size, std::align_val_t align) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+    const std::size_t a = static_cast<std::size_t>(align);
+    if (void* p = std::aligned_alloc(a, (size + a - 1) / a * a)) return p;
+    throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size, std::align_val_t align) {
+    return ::operator new(size, align);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace hawc {
+namespace {
+
+point_cloud seeded_cloud(std::size_t n, std::uint64_t seed) {
+    rng r{seed};
+    point_cloud cloud;
+    for (std::size_t i = 0; i < n; ++i) {
+        cloud.push_back({r.uniform(-10.0, 10.0), r.uniform(-10.0, 10.0),
+                         r.uniform(-3.0, 0.0)});
+    }
+    return cloud;
+}
+
+TEST(kd_alloc, nearest_into_is_allocation_free_at_steady_state) {
+    const point_cloud cloud = seeded_cloud(4000, 7);
+    const kd_tree tree{cloud};
+    std::vector<neighbor> out;
+
+    // Warm-up: let `out` grow to its plateau capacity.
+    for (std::size_t i = 0; i < 64; ++i) tree.nearest_into(cloud[i], 9, out);
+
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < cloud.size(); ++i) tree.nearest_into(cloud[i], 9, out);
+    const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << (after - before) << " allocations in "
+                                  << cloud.size() << " k-NN queries";
+}
+
+TEST(kd_alloc, large_k_nearest_into_is_allocation_free_at_steady_state) {
+    // k > 16 takes the caller-storage heap instead of the inline one;
+    // it must also stop allocating once the buffer has grown.
+    const point_cloud cloud = seeded_cloud(4000, 8);
+    const kd_tree tree{cloud};
+    std::vector<neighbor> out;
+    for (std::size_t i = 0; i < 64; ++i) tree.nearest_into(cloud[i], 48, out);
+
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < 1000; ++i) tree.nearest_into(cloud[i], 48, out);
+    const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u);
+}
+
+TEST(kd_alloc, radius_search_into_is_allocation_free_at_steady_state) {
+    const point_cloud cloud = seeded_cloud(4000, 9);
+    const kd_tree tree{cloud};
+    // Warm-up over the full query set: result counts vary per query, so
+    // the buffer plateaus only once it has seen the largest one.
+    std::vector<std::size_t> found;
+    for (std::size_t i = 0; i < cloud.size(); ++i) tree.radius_search_into(cloud[i], 1.5, found);
+
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        tree.radius_search_into(cloud[i], 1.5, found);
+    }
+    const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_EQ(after - before, 0u) << (after - before) << " allocations in "
+                                  << cloud.size() << " radius queries";
+}
+
+TEST(kd_alloc, count_within_never_allocates) {
+    const point_cloud cloud = seeded_cloud(4000, 10);
+    const kd_tree tree{cloud};
+    const std::uint64_t before = g_news.load(std::memory_order_relaxed);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < cloud.size(); ++i) {
+        total += tree.count_within(cloud[i], 1.0);
+    }
+    const std::uint64_t after = g_news.load(std::memory_order_relaxed);
+    EXPECT_GT(total, 0u);
+    EXPECT_EQ(after - before, 0u);
+}
+
+}  // namespace
+}  // namespace hawc

@@ -1,0 +1,363 @@
+// Determinism tests for the parallel frame engine: parallel_for's
+// partitioning contract, and byte-identical results across thread counts
+// for every kernel that fans out over the global pool (DBSCAN, the k-NN
+// elbow curve, height variation, CNN inference, end-to-end counting and
+// the fault-injected supervisor soak).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "classifiers/hawc_model.hpp"
+#include "clustering/adaptive_eps.hpp"
+#include "clustering/dbscan.hpp"
+#include "common/thread_pool.hpp"
+#include "counting/crowd_counter.hpp"
+#include "features/height_features.hpp"
+#include "runtime/fault_injection.hpp"
+#include "runtime/supervisor.hpp"
+
+namespace hawc {
+namespace {
+
+/// Thread counts every determinism sweep must agree across. Always
+/// includes more lanes than this container has cores, so oversubscribed
+/// scheduling is exercised too.
+std::vector<std::size_t> sweep_counts() {
+    std::vector<std::size_t> counts{1, 2, 4};
+    const std::size_t hw = std::thread::hardware_concurrency();
+    if (hw > 4) counts.push_back(hw);
+    return counts;
+}
+
+/// Restores the global pool to the default sizing when a sweep ends.
+struct pool_guard {
+    ~pool_guard() {
+        std::size_t hw = std::thread::hardware_concurrency();
+        set_global_thread_count(hw == 0 ? 1 : hw);
+    }
+};
+
+/// Cheap deterministic classifier for the soak (mirrors the runtime
+/// tests): humans are tall-ish, compact clusters.
+class extent_classifier_for_soak final : public human_classifier {
+public:
+    bool is_human(const point_cloud& cluster, rng&) const override {
+        if (cluster.empty()) return false;
+        const vec3 extent = cluster.bounds().size();
+        return extent.z > 0.7 && std::max(extent.x, extent.y) < 2.5;
+    }
+    std::string name() const override { return "ExtentGate"; }
+};
+
+/// Ground plane plus person-sized blobs, as in the runtime tests.
+point_cloud synth_frame(rng& r, std::size_t people) {
+    point_cloud cloud;
+    for (int i = 0; i < 600; ++i) {
+        cloud.push_back({r.uniform(10.0, 36.0), r.uniform(-3.0, 3.0),
+                         -3.0 + std::abs(r.normal(0.0, 0.05))});
+    }
+    for (std::size_t p = 0; p < people; ++p) {
+        const double fx = r.uniform(14.0, 33.0);
+        const double fy = r.uniform(-2.0, 2.0);
+        const double height = r.uniform(1.5, 1.9);
+        for (int i = 0; i < 120; ++i) {
+            cloud.push_back({fx + r.normal(0.0, 0.12), fy + r.normal(0.0, 0.12),
+                             -2.9 + r.uniform() * height});
+        }
+    }
+    return cloud;
+}
+
+std::uint64_t bits(double v) { return std::bit_cast<std::uint64_t>(v); }
+std::uint32_t bits(float v) { return std::bit_cast<std::uint32_t>(v); }
+
+// --- parallel_for partitioning contract ---
+
+TEST(thread_pool, covers_every_index_exactly_once) {
+    pool_guard guard;
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        std::vector<int> hits(1000, 0);
+        global_pool().parallel_for(0, hits.size(), 7,
+                                   [&](std::size_t lo, std::size_t hi, std::size_t) {
+                                       for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                                   });
+        for (std::size_t i = 0; i < hits.size(); ++i) {
+            ASSERT_EQ(hits[i], 1) << "index " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(thread_pool, chunk_boundaries_depend_only_on_range_and_pool_size) {
+    pool_guard guard;
+    set_global_thread_count(4);
+    for (int run = 0; run < 2; ++run) {
+        std::vector<std::pair<std::size_t, std::size_t>> chunks(global_pool().max_slots(),
+                                                               {0, 0});
+        global_pool().parallel_for(10, 1010, 50,
+                                   [&](std::size_t lo, std::size_t hi, std::size_t slot) {
+                                       chunks[slot] = {lo, hi};
+                                   });
+        // Contiguous, ordered by slot, covering [10, 1010), each >= grain.
+        std::size_t expect_lo = 10;
+        for (const auto& [lo, hi] : chunks) {
+            ASSERT_EQ(lo, expect_lo);
+            ASSERT_GE(hi - lo, 50u);
+            expect_lo = hi;
+        }
+        ASSERT_EQ(expect_lo, 1010u);
+    }
+}
+
+TEST(thread_pool, small_ranges_respect_grain) {
+    pool_guard guard;
+    set_global_thread_count(8);
+    std::size_t chunks_seen = 0;
+    global_pool().parallel_for(0, 10, 64, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        if (lo == 0 && hi == 10) ++chunks_seen;
+    });
+    EXPECT_EQ(chunks_seen, 1u);  // one chunk: the range is below one grain
+}
+
+TEST(thread_pool, propagates_exceptions_from_workers) {
+    pool_guard guard;
+    set_global_thread_count(4);
+    EXPECT_THROW(global_pool().parallel_for(
+                     0, 1000, 1,
+                     [&](std::size_t lo, std::size_t, std::size_t) {
+                         if (lo > 0) throw std::runtime_error{"worker chunk failed"};
+                     }),
+                 std::runtime_error);
+    // The pool survives the exception and keeps scheduling.
+    std::vector<int> hits(100, 0);
+    global_pool().parallel_for(0, hits.size(), 1,
+                               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                                   for (std::size_t i = lo; i < hi; ++i) ++hits[i];
+                               });
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(thread_pool, nested_regions_run_inline) {
+    pool_guard guard;
+    set_global_thread_count(4);
+    std::vector<int> hits(64, 0);
+    global_pool().parallel_for(0, 4, 1, [&](std::size_t lo, std::size_t hi, std::size_t) {
+        for (std::size_t outer = lo; outer < hi; ++outer) {
+            // Two nested regions in sequence: the second must stay inline
+            // too (a naive flag reset after the first would re-enter the
+            // pool and deadlock — count_one does exactly this pattern).
+            for (int half = 0; half < 2; ++half) {
+                global_pool().parallel_for(
+                    0, 8, 1,
+                    [&, outer, half](std::size_t ilo, std::size_t ihi, std::size_t slot) {
+                        EXPECT_EQ(slot, 0u);  // inner region sees a single chunk
+                        for (std::size_t i = ilo; i < ihi; ++i) {
+                            ++hits[outer * 16 + half * 8 + i];
+                        }
+                    });
+            }
+        }
+    });
+    for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+// --- Kernel determinism across thread counts ---
+
+TEST(determinism, dbscan_labels_identical_for_every_thread_count) {
+    pool_guard guard;
+    rng scene{101};
+    const point_cloud cloud = synth_frame(scene, 6);
+    dbscan_config cfg;
+    cfg.eps = 0.3;
+    cfg.min_points = 5;
+
+    set_global_thread_count(1);
+    const cluster_result reference = dbscan(cloud, cfg);
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        const cluster_result got = dbscan(cloud, cfg);
+        ASSERT_EQ(got.labels, reference.labels) << "at " << threads << " threads";
+        ASSERT_EQ(got.cluster_count, reference.cluster_count);
+    }
+}
+
+TEST(determinism, knn_curve_and_adaptive_eps_identical) {
+    pool_guard guard;
+    rng scene{102};
+    const point_cloud cloud = synth_frame(scene, 5);
+    const adaptive_eps_config cfg;
+
+    set_global_thread_count(1);
+    const std::vector<double> ref_curve = knn_distance_curve(cloud, cfg.k, cfg.metric);
+    const double ref_eps = adaptive_epsilon(cloud, cfg);
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        const std::vector<double> curve = knn_distance_curve(cloud, cfg.k, cfg.metric);
+        ASSERT_EQ(curve.size(), ref_curve.size());
+        for (std::size_t i = 0; i < curve.size(); ++i) {
+            ASSERT_EQ(bits(curve[i]), bits(ref_curve[i]))
+                << "curve[" << i << "] at " << threads << " threads";
+        }
+        ASSERT_EQ(bits(adaptive_epsilon(cloud, cfg)), bits(ref_eps));
+    }
+}
+
+TEST(determinism, height_variation_identical) {
+    pool_guard guard;
+    rng scene{103};
+    const point_cloud cloud = synth_frame(scene, 4);
+
+    set_global_thread_count(1);
+    const std::vector<double> reference = height_variation(cloud, 8);
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        const std::vector<double> got = height_variation(cloud, 8);
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(bits(got[i]), bits(reference[i]))
+                << "sigma[" << i << "] at " << threads << " threads";
+        }
+    }
+}
+
+// Shared HAWC model (random initialization; determinism needs no
+// training) over a small object pool.
+hawc_model& shared_model() {
+    static hawc_model* model = [] {
+        rng pool_rng{104};
+        object_pool pool;
+        pool.add_cloud(synth_frame(pool_rng, 3));
+        rng init{105};
+        return new hawc_model{hawc_config{}, std::move(pool), init};
+    }();
+    return *model;
+}
+
+TEST(determinism, hawc_logits_identical) {
+    pool_guard guard;
+    hawc_model& model = shared_model();
+
+    rng scene{106};
+    point_cloud person;
+    for (int i = 0; i < 140; ++i) {
+        person.push_back({20.0 + scene.normal(0.0, 0.12), scene.normal(0.0, 0.12),
+                          -2.9 + scene.uniform() * 1.7});
+    }
+
+    set_global_thread_count(1);
+    rng ref_rng{107};
+    const tensor reference = model.network().infer(model.extractor().extract(person, ref_rng));
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        rng r{107};
+        const tensor got = model.network().infer(model.extractor().extract(person, r));
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < got.size(); ++i) {
+            ASSERT_EQ(bits(got.data()[i]), bits(reference.data()[i]))
+                << "logit " << i << " at " << threads << " threads";
+        }
+    }
+}
+
+TEST(determinism, end_to_end_count_identical) {
+    pool_guard guard;
+    hawc_model& model = shared_model();
+    capture_config capture;
+    capture.min_cluster_points = 20;
+    const crowd_counter counter{capture, model};
+
+    rng scene{108};
+    const point_cloud raw = synth_frame(scene, 5);
+
+    set_global_thread_count(1);
+    rng ref_rng{109};
+    const count_result reference = counter.count(raw, ref_rng);
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        rng r{109};
+        const count_result got = counter.count(raw, r);
+        ASSERT_EQ(got.count, reference.count) << "at " << threads << " threads";
+        ASSERT_EQ(got.cluster_count, reference.cluster_count);
+    }
+}
+
+// --- Chaos soak under the pool ---
+//
+// A shortened rerun of the runtime chaos soak at several pool sizes: the
+// per-frame outcomes must not depend on the thread count (the flaky
+// classifier keeps the sequential counting path; the parallel clustering
+// kernels underneath must be invisible), and the degradation ladder must
+// still fire.
+
+TEST(determinism, chaos_soak_outcomes_identical_and_ladder_fires) {
+    pool_guard guard;
+    constexpr std::size_t frames = 1200;
+
+    struct outcome {
+        frame_status status;
+        std::size_t count;
+        bool fixed_eps;
+        bool float_fallback;
+    };
+
+    const auto soak = [&] {
+        const extent_classifier_for_soak model;
+        const flaky_classifier primary{model, 0.02, 4242};
+        supervisor_config cfg;
+        cfg.capture.clustering.max_eps = 0.8;
+        cfg.max_stale_frames = 4;
+        // Determinism across runs: timing-based rungs must not flap, so
+        // the cooperative deadlines are disabled for this sweep.
+        cfg.eps_selection_deadline_ms = 0.0;
+        cfg.classification_deadline_ms = 0.0;
+        cfg.frame_deadline_ms = 0.0;
+        frame_supervisor sup{cfg, primary, &model};
+
+        fault_injector injector{fault_injection_config{}};
+        rng scene_rng{31};
+        rng fault_rng{32};
+        rng pipeline_rng{33};
+
+        std::vector<outcome> outcomes;
+        outcomes.reserve(frames);
+        for (std::size_t i = 0; i < frames; ++i) {
+            const point_cloud base = synth_frame(scene_rng, scene_rng.uniform_index(5));
+            const auto kind = static_cast<fault_kind>((i / 2) % fault_kind_count);
+            const point_cloud frame =
+                (i % 2) == 1 ? injector.apply(kind, base, fault_rng) : base;
+            const frame_report report = sup.process(frame, pipeline_rng);
+            outcomes.push_back({report.status, report.count, report.used_fixed_eps,
+                                report.used_float_fallback});
+        }
+        const health_counters& health = sup.health();
+        EXPECT_TRUE(health.accounted());
+        EXPECT_GT(health.fixed_eps_fallbacks, 0u);
+        EXPECT_GT(health.float_model_fallbacks, 0u);
+        EXPECT_GT(health.stale_counts_served, 0u);
+        return outcomes;
+    };
+
+    set_global_thread_count(1);
+    const std::vector<outcome> reference = soak();
+    for (std::size_t threads : sweep_counts()) {
+        set_global_thread_count(threads);
+        const std::vector<outcome> got = soak();
+        ASSERT_EQ(got.size(), reference.size());
+        for (std::size_t i = 0; i < frames; ++i) {
+            ASSERT_EQ(got[i].status, reference[i].status)
+                << "frame " << i << " at " << threads << " threads";
+            ASSERT_EQ(got[i].count, reference[i].count) << "frame " << i;
+            ASSERT_EQ(got[i].fixed_eps, reference[i].fixed_eps) << "frame " << i;
+            ASSERT_EQ(got[i].float_fallback, reference[i].float_fallback) << "frame " << i;
+        }
+    }
+}
+
+}  // namespace
+}  // namespace hawc
