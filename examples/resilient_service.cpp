@@ -7,6 +7,7 @@
 // service never crashes; it degrades, and the health counters printed at
 // the end show exactly how.
 
+#include <cstring>
 #include <iostream>
 
 #include "classifiers/hawc_model.hpp"
@@ -17,9 +18,17 @@
 
 using namespace hawc;
 
-int main() {
+int main(int argc, char** argv) {
+    // --json: suppress the narrative log and emit the final health
+    // counters as one JSON object on stdout (for scripted consumers).
+    bool json_output = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0) json_output = true;
+    }
+
     // ---- Train the fp32 reference and quantize the edge model ----
-    std::cout << "Preparing the classifiers (fp32 reference + int8 edge model)...\n";
+    if (!json_output)
+        std::cout << "Preparing the classifiers (fp32 reference + int8 edge model)...\n";
     single_person_dataset_config ds_cfg;
     ds_cfg.human_samples = 400;
     ds_cfg.object_samples = 400;
@@ -57,9 +66,10 @@ int main() {
     frame_supervisor supervisor{sup_cfg, primary, &model};
 
     // ---- Stream fault-injected traffic ----
-    std::cout << "Streaming 10 minutes of walkway traffic through the supervisor\n"
-                 "with sensor fault injection (dropout, jitter, NaN, truncation,\n"
-                 "duplicates) at 10% per fault per frame...\n\n";
+    if (!json_output)
+        std::cout << "Streaming 10 minutes of walkway traffic through the supervisor\n"
+                     "with sensor fault injection (dropout, jitter, NaN, truncation,\n"
+                     "duplicates) at 10% per fault per frame...\n\n";
     const scanner sensor{sup_cfg.capture.sensor};
     fault_injection_config fi_cfg;
     fi_cfg.beam_dropout_prob = 0.1;
@@ -72,7 +82,7 @@ int main() {
     rng traffic_rng{2025};
     const traffic_schedule traffic{traffic_rng, 600.0, /*arrivals_per_minute=*/12.0};
 
-    std::cout << "  time   status    count  notes\n";
+    if (!json_output) std::cout << "  time   status    count  notes\n";
     for (double t = 5.0; t < 600.0; t += 5.0) {
         const scene frame = traffic.scene_at(t, traffic_rng);
         const scan_result scan_data =
@@ -83,7 +93,7 @@ int main() {
 
         // One line every minute keeps the log readable; the counters
         // below cover every frame.
-        if (static_cast<int>(t) % 60 == 5) {
+        if (!json_output && static_cast<int>(t) % 60 == 5) {
             std::string notes;
             if (report.used_fixed_eps) notes += " fixed-eps";
             if (report.used_float_fallback) notes += " float-fallback";
@@ -92,6 +102,11 @@ int main() {
             std::printf("  %5.0fs  %-8s  %5zu %s\n", t, to_string(report.status),
                         report.count, notes.c_str());
         }
+    }
+
+    if (json_output) {
+        std::cout << supervisor.health().to_json() << "\n";
+        return 0;
     }
 
     // ---- The service's health, as the bench harness would print it ----

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR2.json: build the Release tree, run the perf
+# Regenerate BENCH_PR3.json: build the Release tree, run the perf
 # snapshot over the hot kernels at 1 and 4 pool lanes, then the kernel
 # micro-benchmarks and the Table II inference-speed bench (their text
 # reports land next to the build's bench binaries).
@@ -9,7 +9,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-output="${2:-$repo_root/BENCH_PR2.json}"
+output="${2:-$repo_root/BENCH_PR3.json}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" \

@@ -1,17 +1,21 @@
 #!/usr/bin/env bash
-# Instrumented verification pipeline. By default runs three phases:
+# Instrumented verification pipeline. By default runs four phases:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over the full suite
 #      (degenerate-input and chaos-soak tests under heap/UB checking)
 #   2. ThreadSanitizer over the concurrency tests (the thread-pool
-#      contract, cross-thread-count determinism sweeps, parallel soak)
+#      contract, cross-thread-count determinism sweeps, parallel soak,
+#      and the telemetry registry/span suite)
 #   3. A bench-snapshot smoke run (the perf harness still builds, runs,
 #      and emits parseable JSON)
+#   4. The telemetry overhead gate on an unsanitized Release build
+#      (tracing a clean frame must cost <= 2%; the bench exits nonzero
+#      past the budget)
 #
 # Setting HAWC_SANITIZE runs a single sanitizer configuration over the
 # full suite instead (any -fsanitize= value works):
 #
-#   scripts/check.sh                  # all three phases
+#   scripts/check.sh                  # all four phases
 #   HAWC_SANITIZE=thread scripts/check.sh
 #   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
@@ -37,15 +41,22 @@ if [[ -n "${HAWC_SANITIZE:-}" ]]; then
   exit 0
 fi
 
-echo "== phase 1/3: address,undefined over the full suite =="
+echo "== phase 1/4: address,undefined over the full suite =="
 run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
 
-echo "== phase 2/3: thread sanitizer over the concurrency tests =="
-run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism)\.'
+echo "== phase 2/4: thread sanitizer over the concurrency tests =="
+run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry)\.'
 
-echo "== phase 3/3: bench snapshot smoke =="
+echo "== phase 3/4: bench snapshot smoke =="
 smoke_build="${repo_root}/build-sanitize"
 cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
 "${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
 python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
 echo "bench snapshot smoke OK"
+
+echo "== phase 4/4: telemetry overhead gate (Release, <= 2%) =="
+perf_build="${repo_root}/build"
+cmake -B "${perf_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
+cmake --build "${perf_build}" --target bench_telemetry_overhead -j "$(nproc)"
+"${perf_build}/bench/bench_telemetry_overhead"
+echo "telemetry overhead gate OK"

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hawc {
 
@@ -86,15 +87,37 @@ double epsilon_from_curve(std::span<const double> curve, const adaptive_eps_conf
     return std::clamp(eps, config.min_eps, config.max_eps);
 }
 
-double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config) {
+namespace {
+
+void publish_eps(const telemetry_handle& telem, double eps) {
+    if (telem.metrics == nullptr) return;
+    telem.metrics
+        ->make_gauge("hawc_adaptive_eps_last", "Most recent adaptively selected DBSCAN eps")
+        .set(eps);
+    telem.metrics
+        ->make_counter("hawc_adaptive_eps_selections_total", "Adaptive eps selections run")
+        .add(1);
+}
+
+}  // namespace
+
+double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config,
+                        const telemetry_handle& telem) {
+    telemetry::scoped_span span{telem, "eps_selection"};
     const auto curve = knn_distance_curve(cloud, config.k, config.metric);
-    return epsilon_from_curve(curve, config);
+    const double eps = epsilon_from_curve(curve, config);
+    publish_eps(telem, eps);
+    return eps;
 }
 
 double adaptive_epsilon_scaled(const point_cloud& scaled_cloud, const kd_tree& tree,
-                               const adaptive_eps_config& config) {
+                               const adaptive_eps_config& config,
+                               const telemetry_handle& telem) {
+    telemetry::scoped_span span{telem, "eps_selection"};
     const auto curve = knn_distance_curve_scaled(scaled_cloud, tree, config.k);
-    return epsilon_from_curve(curve, config);
+    const double eps = epsilon_from_curve(curve, config);
+    publish_eps(telem, eps);
+    return eps;
 }
 
 adaptive_clustering_result adaptive_dbscan(const point_cloud& cloud,

@@ -49,11 +49,15 @@ std::size_t knee_index(std::span<const double> ascending);
 
 /// The per-capture optimal eps: elbow of the k-NN curve, clamped to
 /// [min_eps, max_eps]. Returns min_eps for clouds too small to estimate.
-double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config = {});
+/// With a telemetry handle the selection emits an "eps_selection" span and
+/// publishes the chosen eps as the hawc_adaptive_eps_last gauge.
+double adaptive_epsilon(const point_cloud& cloud, const adaptive_eps_config& config = {},
+                        const telemetry_handle& telem = {});
 
 /// adaptive_epsilon over a pre-scaled cloud with a prebuilt tree.
 double adaptive_epsilon_scaled(const point_cloud& scaled_cloud, const kd_tree& tree,
-                               const adaptive_eps_config& config = {});
+                               const adaptive_eps_config& config = {},
+                               const telemetry_handle& telem = {});
 
 /// The full adaptive clustering step: eps selection + DBSCAN.
 struct adaptive_clustering_result {

@@ -5,6 +5,7 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hawc {
 
@@ -20,8 +21,9 @@ namespace hawc {
 // bounded by the cloud size even on dense clusters (the old BFS could
 // re-enqueue a point once per neighbouring core point).
 cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tree, double eps,
-                             std::size_t min_points) {
+                             std::size_t min_points, const telemetry_handle& telem) {
     HAWC_REQUIRE(eps > 0.0, "dbscan eps must be positive");
+    telemetry::scoped_span span{telem, "dbscan"};
     HAWC_REQUIRE(min_points >= 1, "dbscan min_points must be at least 1");
 
     constexpr int unvisited = -2;
@@ -90,14 +92,21 @@ cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tre
     }
 
     result.cluster_count = static_cast<std::size_t>(next_cluster);
+    if (telem.metrics != nullptr) {
+        telem.metrics->make_counter("hawc_dbscan_points_total", "Points clustered by DBSCAN")
+            .add(n);
+        telem.metrics->make_counter("hawc_dbscan_clusters_total", "Clusters DBSCAN produced")
+            .add(result.cluster_count);
+    }
     return result;
 }
 
-cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config) {
+cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config,
+                      const telemetry_handle& telem) {
     if (cloud.empty()) return {};
     const point_cloud scaled = config.metric.scale(cloud);
     const kd_tree tree{scaled};
-    return dbscan_scaled(scaled, tree, config.eps, config.min_points);
+    return dbscan_scaled(scaled, tree, config.eps, config.min_points, telem);
 }
 
 }  // namespace hawc

@@ -7,6 +7,7 @@
 
 #include "clustering/cluster_result.hpp"
 #include "pointcloud/kd_tree.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hawc {
 
@@ -18,11 +19,14 @@ struct dbscan_config {
 
 /// Run DBSCAN over `cloud`. Returns per-point labels; border points join
 /// the first core point that reaches them, noise points get noise_label.
-cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config);
+/// With a telemetry handle the run emits a "dbscan" span and point/cluster
+/// counters; the default handle is inert and costs a couple of null checks.
+cluster_result dbscan(const point_cloud& cloud, const dbscan_config& config,
+                      const telemetry_handle& telem = {});
 
 /// DBSCAN over a cloud already in metric space with a prebuilt tree
 /// (used by the adaptive path to reuse the k-NN tree).
 cluster_result dbscan_scaled(const point_cloud& scaled_cloud, const kd_tree& tree, double eps,
-                             std::size_t min_points);
+                             std::size_t min_points, const telemetry_handle& telem = {});
 
 }  // namespace hawc

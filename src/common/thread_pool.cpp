@@ -27,9 +27,23 @@ struct region_guard {
     ~region_guard() { in_parallel_region = prev; }
 };
 
+// Marks a lane busy for the duration of a chunk (the active_lanes gauge).
+// Pass nullptr for nested regions so a lane is only counted once.
+struct active_guard {
+    std::atomic<std::size_t>* active;
+    explicit active_guard(std::atomic<std::size_t>* a) : active{a} {
+        if (active != nullptr) active->fetch_add(1, std::memory_order_relaxed);
+    }
+    ~active_guard() {
+        if (active != nullptr) active->fetch_sub(1, std::memory_order_relaxed);
+    }
+};
+
 }  // namespace
 
 struct thread_pool::impl {
+    thread_pool* owner = nullptr;  // for the utilization counters
+
     std::mutex job_mutex;  // serialises independent parallel_for callers
 
     std::mutex state_mutex;
@@ -54,6 +68,7 @@ struct thread_pool::impl {
         const std::size_t hi = job_begin + (slot + 1) * n / chunk_count;
         if (lo >= hi) return;
         region_guard guard;
+        active_guard busy{&owner->active_};
         (*body)(lo, hi, slot);
     }
 
@@ -87,6 +102,7 @@ thread_pool::thread_pool(std::size_t threads) {
     lanes_ = threads == 0 ? 1 : threads;
     if (lanes_ == 1) return;
     impl_ = new impl;
+    impl_->owner = this;
     impl_->lanes = lanes_;
     impl_->workers.reserve(lanes_ - 1);
     for (std::size_t lane = 1; lane < lanes_; ++lane) {
@@ -116,10 +132,13 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end, std::size_t g
     // Single lane, a range too small to split, or a nested region: run
     // the whole range inline as chunk 0.
     if (chunks <= 1 || impl_ == nullptr || in_parallel_region) {
+        inline_runs_.fetch_add(1, std::memory_order_relaxed);
+        active_guard busy{in_parallel_region ? nullptr : &active_};
         region_guard guard;
         body(begin, end, 0);
         return;
     }
+    jobs_.fetch_add(1, std::memory_order_relaxed);
 
     std::lock_guard job_lock{impl_->job_mutex};
     {

@@ -15,7 +15,9 @@
 // chunk, slot 0. This keeps per-cluster fan-out composable with the
 // parallel kernels underneath it without deadlock or oversubscription.
 
+#include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 
 namespace hawc {
@@ -49,7 +51,25 @@ public:
     void parallel_for(std::size_t begin, std::size_t end, std::size_t grain,
                       const chunk_fn& body);
 
+    // Utilization telemetry (exported as gauges by
+    // telemetry::record_pool_gauges); relaxed counters, safe to sample
+    // from any thread.
+
+    /// Cumulative parallel_for calls that fanned out across the workers.
+    std::uint64_t jobs_dispatched() const { return jobs_.load(std::memory_order_relaxed); }
+    /// Cumulative ranges run inline on the caller (single lane, range too
+    /// small to split, or nested region).
+    std::uint64_t inline_runs() const {
+        return inline_runs_.load(std::memory_order_relaxed);
+    }
+    /// Lanes executing a chunk right now, including the submitting
+    /// thread's; an instantaneous (racy-by-nature) sample.
+    std::size_t active_lanes() const { return active_.load(std::memory_order_relaxed); }
+
 private:
+    std::atomic<std::uint64_t> jobs_{0};
+    std::atomic<std::uint64_t> inline_runs_{0};
+    std::atomic<std::size_t> active_{0};
     struct impl;
     impl* impl_ = nullptr;  // null when lanes_ == 1 (no workers spawned)
     std::size_t lanes_ = 1;

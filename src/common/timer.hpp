@@ -63,7 +63,12 @@ public:
     void add_ms(double ms) { stats_.add(ms); }
 
     double mean_ms() const { return stats_.mean(); }
+    /// 0 below two samples (running_stats guards the n-1 divisor).
     double stddev_ms() const { return stats_.stddev(); }
+    /// Extremes of the recorded samples (0 when empty), so summaries built
+    /// from a recorder agree with the telemetry histograms' min/max.
+    double min_ms() const { return stats_.min(); }
+    double max_ms() const { return stats_.max(); }
     std::size_t count() const { return stats_.count(); }
 
 private:

@@ -11,8 +11,23 @@
 #include "common/thread_pool.hpp"
 #include "common/timer.hpp"
 #include "preprocess/ingest.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace hawc {
+
+namespace {
+
+void publish_cluster_metrics(const telemetry_handle& telem, const cluster_count_result& r) {
+    if (telem.metrics == nullptr) return;
+    telem.metrics
+        ->make_counter("hawc_clusters_examined_total", "Clusters put through the classifier")
+        .add(r.examined);
+    telem.metrics
+        ->make_counter("hawc_clusters_human_total", "Clusters (incl. multiplicity) counted human")
+        .add(r.count);
+}
+
+}  // namespace
 
 crowd_counter::crowd_counter(const capture_config& config, const human_classifier& classifier)
     : config_{config}, classifier_{&classifier} {}
@@ -97,8 +112,8 @@ std::size_t crowd_counter::count_one(const point_cloud& cluster, rng& random) co
 }
 
 cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> clusters,
-                                                   rng& random,
-                                                   const deadline& time_budget) const {
+                                                   rng& random, const deadline& time_budget,
+                                                   const telemetry_handle& telem) const {
     cluster_count_result result;
 
     if (!classifier_->thread_safe()) {
@@ -112,8 +127,10 @@ cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> 
                 break;
             }
             ++result.examined;
+            telemetry::scoped_span span{telem, "classify_cluster"};
             result.count += count_one(cluster, random);
         }
+        publish_cluster_metrics(telem, result);
         return result;
     }
 
@@ -144,6 +161,7 @@ cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> 
                                            items[i].skipped = true;
                                            continue;
                                        }
+                                       telemetry::scoped_span span{telem, "classify_cluster"};
                                        items[i].count = count_one(*eligible[i], streams[i]);
                                    }
                                });
@@ -156,6 +174,7 @@ cluster_count_result crowd_counter::count_clusters(std::span<const point_cloud> 
         ++result.examined;
         result.count += item.count;
     }
+    publish_cluster_metrics(telem, result);
     return result;
 }
 

@@ -12,6 +12,7 @@
 #include "common/timer.hpp"
 #include "counting/metrics.hpp"
 #include "dataset/builders.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hawc {
 
@@ -91,8 +92,13 @@ public:
     /// and the reduction order are fixed before any worker runs, so the
     /// result is identical for every thread count (including one).
     /// Non-thread-safe classifiers keep the sequential single-stream loop.
+    ///
+    /// With a telemetry handle, each examined cluster emits a
+    /// "classify_cluster" span under `telem.parent` (workers record into
+    /// the shared sink) and per-cluster counters are bumped.
     cluster_count_result count_clusters(std::span<const point_cloud> clusters, rng& random,
-                                        const deadline& time_budget = {}) const;
+                                        const deadline& time_budget = {},
+                                        const telemetry_handle& telem = {}) const;
 
     /// Evaluate over a crowd dataset; collects MAE/MSE and latency.
     struct evaluation {

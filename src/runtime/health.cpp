@@ -33,6 +33,50 @@ std::string stat_line(const char* label, const running_stats& s) {
 
 }  // namespace
 
+namespace {
+
+std::string json_stat(const char* key, const running_stats& s) {
+    char buf[192];
+    std::snprintf(buf, sizeof buf,
+                  "\"%s\":{\"count\":%llu,\"mean\":%.6f,\"stddev\":%.6f,\"min\":%.6f,"
+                  "\"max\":%.6f}",
+                  key, static_cast<unsigned long long>(s.count()), s.mean(), s.stddev(),
+                  s.count() > 0 ? s.min() : 0.0, s.count() > 0 ? s.max() : 0.0);
+    return buf;
+}
+
+std::string json_u64(const char* key, std::uint64_t v) {
+    char buf[96];
+    std::snprintf(buf, sizeof buf, "\"%s\":%llu", key, static_cast<unsigned long long>(v));
+    return buf;
+}
+
+}  // namespace
+
+std::string health_counters::to_json() const {
+    std::string out = "{";
+    out += json_u64("frames_total", frames_total) + ",";
+    out += json_u64("frames_ok", frames_ok) + ",";
+    out += json_u64("frames_degraded", frames_degraded) + ",";
+    out += json_u64("frames_dropped", frames_dropped) + ",";
+    out += json_u64("fixed_eps_fallbacks", fixed_eps_fallbacks) + ",";
+    out += json_u64("float_model_fallbacks", float_model_fallbacks) + ",";
+    out += json_u64("stale_counts_served", stale_counts_served) + ",";
+    out += json_u64("stale_cap_exhausted", stale_cap_exhausted) + ",";
+    out += json_u64("non_finite_points_dropped", non_finite_points_dropped) + ",";
+    out += json_u64("duplicate_points_dropped", duplicate_points_dropped) + ",";
+    out += json_u64("truncated_frames", truncated_frames) + ",";
+    out += json_u64("classification_truncations", classification_truncations) + ",";
+    out += json_u64("frame_deadline_overruns", frame_deadline_overruns) + ",";
+    out += "\"latency_ms\":{";
+    out += json_stat("ingest", ingest_ms) + ",";
+    out += json_stat("clustering", clustering_ms) + ",";
+    out += json_stat("classification", classification_ms) + ",";
+    out += json_stat("frame", frame_ms);
+    out += "}}";
+    return out;
+}
+
 std::string health_counters::summary() const {
     char buf[256];
     std::string out;

@@ -64,6 +64,11 @@ struct health_counters {
 
     /// Multi-line human-readable report.
     std::string summary() const;
+
+    /// Single JSON object (counters as integers, latency stats as nested
+    /// objects with count/mean/stddev/min/max). Machine-readable
+    /// counterpart of summary(); resilient_service --json emits it.
+    std::string to_json() const;
 };
 
 }  // namespace hawc

@@ -29,7 +29,73 @@ std::string resilient_classifier::name() const {
 frame_supervisor::frame_supervisor(const supervisor_config& config,
                                    const human_classifier& primary,
                                    const human_classifier* fallback)
-    : config_{config}, classifier_{primary, fallback}, counter_{config.capture, classifier_} {}
+    : config_{config}, classifier_{primary, fallback}, counter_{config.capture, classifier_} {
+    // Preallocate every hot-path metric once; process() then only touches
+    // lock-free atomics through these pointers.
+    rc_.frames_total = &metrics_.make_counter("hawc_frames_total", "Supervised frames processed");
+    rc_.frames_ok = &metrics_.make_counter("hawc_frames_ok_total", "Frames with no fallback");
+    rc_.frames_degraded =
+        &metrics_.make_counter("hawc_frames_degraded_total", "Frames a fallback rung rescued");
+    rc_.frames_dropped =
+        &metrics_.make_counter("hawc_frames_dropped_total", "Unrecoverable frames");
+    rc_.fixed_eps_fallbacks = &metrics_.make_counter("hawc_fallback_fixed_eps_total",
+                                                     "Frames clustered at the fixed eps");
+    rc_.float_model_fallbacks = &metrics_.make_counter("hawc_fallback_float_model_total",
+                                                       "Per-cluster fp32 rescues");
+    rc_.stale_counts_served = &metrics_.make_counter("hawc_stale_counts_served_total",
+                                                     "Dropped frames answered with a stale count");
+    rc_.stale_cap_exhausted = &metrics_.make_counter("hawc_stale_cap_exhausted_total",
+                                                     "Dropped frames past the staleness cap");
+    rc_.non_finite_points = &metrics_.make_counter("hawc_points_non_finite_dropped_total",
+                                                   "NaN/Inf returns dropped during sanitize");
+    rc_.duplicate_points = &metrics_.make_counter("hawc_points_duplicate_dropped_total",
+                                                  "Exact-duplicate returns dropped");
+    rc_.truncated_frames = &metrics_.make_counter("hawc_frames_truncated_total",
+                                                  "Frames rejected below min_raw_points");
+    rc_.classification_truncations = &metrics_.make_counter(
+        "hawc_classification_truncations_total", "Cluster loops cut short by the stage budget");
+    rc_.frame_deadline_overruns = &metrics_.make_counter("hawc_frame_deadline_overruns_total",
+                                                         "Frames over the whole-frame deadline");
+    const auto bounds = telemetry::latency_histogram::default_latency_bounds_ms();
+    rc_.ingest_ms = &metrics_.make_histogram("hawc_ingest_ms", bounds, "Ingest stage latency");
+    rc_.clustering_ms =
+        &metrics_.make_histogram("hawc_clustering_ms", bounds, "Clustering stage latency");
+    rc_.classification_ms = &metrics_.make_histogram("hawc_classification_ms", bounds,
+                                                     "Classification stage latency");
+    rc_.frame_ms = &metrics_.make_histogram("hawc_frame_ms", bounds, "Whole-frame latency");
+    rc_.eps_selection_ms = &metrics_.make_histogram("hawc_eps_selection_ms", bounds,
+                                                    "Adaptive eps selection latency");
+}
+
+health_counters frame_supervisor::health() const {
+    health_counters h;
+    h.frames_total = rc_.frames_total->value();
+    h.frames_ok = rc_.frames_ok->value();
+    h.frames_degraded = rc_.frames_degraded->value();
+    h.frames_dropped = rc_.frames_dropped->value();
+    h.fixed_eps_fallbacks = rc_.fixed_eps_fallbacks->value();
+    h.float_model_fallbacks = rc_.float_model_fallbacks->value();
+    h.stale_counts_served = rc_.stale_counts_served->value();
+    h.stale_cap_exhausted = rc_.stale_cap_exhausted->value();
+    h.non_finite_points_dropped = rc_.non_finite_points->value();
+    h.duplicate_points_dropped = rc_.duplicate_points->value();
+    h.truncated_frames = rc_.truncated_frames->value();
+    h.classification_truncations = rc_.classification_truncations->value();
+    h.frame_deadline_overruns = rc_.frame_deadline_overruns->value();
+    h.ingest_ms = ingest_stats_;
+    h.clustering_ms = clustering_stats_;
+    h.classification_ms = classification_stats_;
+    h.frame_ms = frame_stats_;
+    return h;
+}
+
+void frame_supervisor::reset_health() {
+    metrics_.reset();
+    ingest_stats_ = {};
+    clustering_stats_ = {};
+    classification_stats_ = {};
+    frame_stats_ = {};
+}
 
 void frame_supervisor::degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
                                std::string detail) const {
@@ -55,7 +121,11 @@ point_cloud dedupe(const point_cloud& cloud) {
 }  // namespace
 
 void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
-                                  frame_report& report) {
+                                  frame_report& report,
+                                  telemetry::span_id frame_span) {
+    // All stage spans nest under the frame span; stage functions called
+    // below parent their own spans the same way via telem.under().
+    const telemetry_handle telem{&metrics_, &tracer_, frame_span};
     stopwatch sw;
 
     // ---- Ingest with fused capture validation ----
@@ -63,6 +133,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     // below-ground counts inside the crop pass, so frame validation
     // costs no extra sweep of the (large) raw cloud — that is what holds
     // the clean-frame overhead budget.
+    telemetry::scoped_span ingest_span{telem, "ingest"};
     const double floor_z =
         config_.capture.walkway.ground_z() - config_.below_ground_tolerance_m;
     ingest_stats stats;
@@ -70,7 +141,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
         ingest(raw, config_.capture.roi, config_.capture.ground, floor_z, stats);
     const std::size_t clean_size = stats.raw_points - stats.non_finite;
     if (stats.non_finite > 0) {
-        health_.non_finite_points_dropped += stats.non_finite;
+        rc_.non_finite_points->add(stats.non_finite);
         degrade(report, pipeline_stage::capture, failure_kind::non_finite_input,
                 std::to_string(stats.non_finite) + " non-finite points dropped");
     }
@@ -81,7 +152,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
                 std::to_string(stats.below_floor) + " returns below the ground plane");
     }
     if (clean_size < config_.min_raw_points) {
-        ++health_.truncated_frames;
+        rc_.truncated_frames->add(1);
         report.failures.push_back({pipeline_stage::capture, failure_kind::truncated_frame,
                                    std::to_string(clean_size) + " raw points < " +
                                        std::to_string(config_.min_raw_points)});
@@ -94,7 +165,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
         ingested = dedupe(ingested);
         const std::size_t duplicates = before - ingested.size();
         if (duplicates > 0) {
-            health_.duplicate_points_dropped += duplicates;
+            rc_.duplicate_points->add(duplicates);
             if (static_cast<double>(duplicates) >
                 config_.duplicate_degrade_fraction * static_cast<double>(before)) {
                 degrade(report, pipeline_stage::ingest, failure_kind::duplicate_points,
@@ -103,6 +174,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
             }
         }
     }
+    ingest_span.finish();
     report.times.ingest_ms = sw.elapsed_ms();
 
     // A near-empty walkway is a legitimate zero, not a degradation.
@@ -124,8 +196,9 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     std::string why_detail;
     {
         stopwatch eps_sw;
-        const double eps = adaptive_epsilon_scaled(scaled, tree, ccfg);
+        const double eps = adaptive_epsilon_scaled(scaled, tree, ccfg, telem);
         const double selection_ms = eps_sw.elapsed_ms();
+        rc_.eps_selection_ms->record(selection_ms);
         if (config_.eps_selection_deadline_ms > 0.0 &&
             selection_ms > config_.eps_selection_deadline_ms) {
             use_fixed = true;
@@ -145,12 +218,12 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     if (use_fixed) report.chosen_eps = config_.fallback_eps;
 
     const std::vector<point_cloud> clusters =
-        dbscan_scaled(scaled, tree, report.chosen_eps, ccfg.min_points)
+        dbscan_scaled(scaled, tree, report.chosen_eps, ccfg.min_points, telem)
             .extract_clusters(ingested);
     report.times.clustering_ms = sw.elapsed_ms();
     if (use_fixed) {
         report.used_fixed_eps = true;
-        ++health_.fixed_eps_fallbacks;
+        rc_.fixed_eps_fallbacks->add(1);
         degrade(report, pipeline_stage::clustering, why, std::move(why_detail));
     }
 
@@ -161,12 +234,15 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     if (config_.classification_deadline_ms > 0.0) {
         budget = deadline::after_ms(config_.classification_deadline_ms);
     }
-    const cluster_count_result counted = counter_.count_clusters(clusters, random, budget);
+    telemetry::scoped_span classify_span{telem, "classify"};
+    const cluster_count_result counted =
+        counter_.count_clusters(clusters, random, budget, telem.under(classify_span.id()));
+    classify_span.finish();
     report.times.classification_ms = sw.elapsed_ms();
     report.count = counted.count;
     report.cluster_count = counted.examined;
     if (counted.truncated) {
-        ++health_.classification_truncations;
+        rc_.classification_truncations->add(1);
         degrade(report, pipeline_stage::classification, failure_kind::stage_deadline,
                 "classified " + std::to_string(counted.examined) + " clusters before the "
                 "budget expired");
@@ -174,7 +250,7 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     const std::uint64_t rescues = classifier_.fallback_activations() - fallbacks_before;
     if (rescues > 0) {
         report.used_float_fallback = true;
-        health_.float_model_fallbacks += rescues;
+        rc_.float_model_fallbacks->add(rescues);
         degrade(report, pipeline_stage::classification, failure_kind::classifier_fault,
                 std::to_string(rescues) + " cluster(s) rescued by the fallback model");
     }
@@ -183,8 +259,10 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
 frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
     frame_report report;
     stopwatch frame_sw;
+    tracer_.begin_frame(++frame_seq_);
+    telemetry::scoped_span frame_span{&tracer_, "frame"};
     try {
-        run_stages(raw, random, report);
+        run_stages(raw, random, report, frame_span.id());
     } catch (const std::exception& e) {
         report.failures.push_back(
             {pipeline_stage::frame, failure_kind::stage_exception, e.what()});
@@ -197,7 +275,7 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
     report.frame_ms = frame_sw.elapsed_ms();
 
     if (config_.frame_deadline_ms > 0.0 && report.frame_ms > config_.frame_deadline_ms) {
-        ++health_.frame_deadline_overruns;
+        rc_.frame_deadline_overruns->add(1);
         degrade(report, pipeline_stage::frame, failure_kind::stage_deadline,
                 "frame took " + std::to_string(report.frame_ms) + " ms");
     }
@@ -208,10 +286,10 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
             ++stale_streak_;
             report.count = last_good_count_;
             report.served_stale = true;
-            ++health_.stale_counts_served;
+            rc_.stale_counts_served->add(1);
         } else {
             report.count = 0;
-            if (has_last_good_) ++health_.stale_cap_exhausted;
+            if (has_last_good_) rc_.stale_cap_exhausted->add(1);
         }
     } else {
         last_good_count_ = report.count;
@@ -220,16 +298,25 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
     }
 
     // ---- Health accounting ----
-    ++health_.frames_total;
+    rc_.frames_total->add(1);
     switch (report.status) {
-        case frame_status::ok: ++health_.frames_ok; break;
-        case frame_status::degraded: ++health_.frames_degraded; break;
-        case frame_status::dropped: ++health_.frames_dropped; break;
+        case frame_status::ok: rc_.frames_ok->add(1); break;
+        case frame_status::degraded: rc_.frames_degraded->add(1); break;
+        case frame_status::dropped: rc_.frames_dropped->add(1); break;
     }
-    health_.ingest_ms.add(report.times.ingest_ms);
-    health_.clustering_ms.add(report.times.clustering_ms);
-    health_.classification_ms.add(report.times.classification_ms);
-    health_.frame_ms.add(report.frame_ms);
+    ingest_stats_.add(report.times.ingest_ms);
+    clustering_stats_.add(report.times.clustering_ms);
+    classification_stats_.add(report.times.classification_ms);
+    frame_stats_.add(report.frame_ms);
+    rc_.ingest_ms->record(report.times.ingest_ms);
+    rc_.clustering_ms->record(report.times.clustering_ms);
+    rc_.classification_ms->record(report.times.classification_ms);
+    rc_.frame_ms->record(report.frame_ms);
+
+    // The frame span closes last, carrying the terminal status so trace
+    // consumers can color ok/degraded/dropped frames without joining on
+    // the report stream.
+    frame_span.set_code(static_cast<std::uint8_t>(report.status));
     return report;
 }
 

@@ -25,6 +25,8 @@
 #include "counting/crowd_counter.hpp"
 #include "runtime/failure.hpp"
 #include "runtime/health.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"
 
 namespace hawc {
 
@@ -123,8 +125,27 @@ public:
     /// back dropped, with the stale-count rung applied.
     frame_report process(const point_cloud& raw, rng& random);
 
-    const health_counters& health() const { return health_; }
-    void reset_health() { health_ = {}; }
+    /// Health accounting as a snapshot struct. Since the telemetry
+    /// migration the registry below is authoritative; this view is
+    /// assembled from it (plus the exact per-stage running_stats), so
+    /// existing consumers keep compiling and the numbers keep agreeing.
+    health_counters health() const;
+    void reset_health();
+
+    /// The supervisor's metrics registry: the health counters plus the
+    /// per-stage latency histograms (hawc_frame_ms, hawc_ingest_ms,
+    /// hawc_clustering_ms, hawc_classification_ms, hawc_eps_selection_ms)
+    /// and the stage-level counters recorded by dbscan / eps selection /
+    /// classification through the telemetry handle. Scrape it with
+    /// telemetry::to_prometheus / telemetry::to_json.
+    telemetry::metrics_registry& metrics() { return metrics_; }
+    const telemetry::metrics_registry& metrics() const { return metrics_; }
+
+    /// Install a span sink (nullptr disables tracing). Every processed
+    /// frame then records the span tree
+    ///   frame -> { ingest, eps_selection, dbscan, classify -> classify_cluster* }
+    /// with the frame span's code carrying the terminal frame_status.
+    void set_trace_sink(telemetry::trace_sink* sink) { tracer_.set_sink(sink); }
 
     const supervisor_config& config() const { return config_; }
 
@@ -132,14 +153,49 @@ public:
     crowd_counter& counter() { return counter_; }
 
 private:
-    void run_stages(const point_cloud& raw, rng& random, frame_report& report);
+    void run_stages(const point_cloud& raw, rng& random, frame_report& report,
+                    telemetry::span_id frame_span);
     void degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
                  std::string detail) const;
+
+    /// Pointers into metrics_ for the hot path (registered once in the
+    /// constructor, so recording never takes the registry lock).
+    struct runtime_counters {
+        telemetry::counter* frames_total = nullptr;
+        telemetry::counter* frames_ok = nullptr;
+        telemetry::counter* frames_degraded = nullptr;
+        telemetry::counter* frames_dropped = nullptr;
+        telemetry::counter* fixed_eps_fallbacks = nullptr;
+        telemetry::counter* float_model_fallbacks = nullptr;
+        telemetry::counter* stale_counts_served = nullptr;
+        telemetry::counter* stale_cap_exhausted = nullptr;
+        telemetry::counter* non_finite_points = nullptr;
+        telemetry::counter* duplicate_points = nullptr;
+        telemetry::counter* truncated_frames = nullptr;
+        telemetry::counter* classification_truncations = nullptr;
+        telemetry::counter* frame_deadline_overruns = nullptr;
+        telemetry::latency_histogram* ingest_ms = nullptr;
+        telemetry::latency_histogram* clustering_ms = nullptr;
+        telemetry::latency_histogram* classification_ms = nullptr;
+        telemetry::latency_histogram* frame_ms = nullptr;
+        telemetry::latency_histogram* eps_selection_ms = nullptr;
+    };
 
     supervisor_config config_;
     resilient_classifier classifier_;
     crowd_counter counter_;
-    health_counters health_;
+
+    telemetry::metrics_registry metrics_;
+    runtime_counters rc_{};
+    telemetry::tracer tracer_;
+    std::uint64_t frame_seq_ = 0;
+
+    // Exact Welford stats backing the legacy health_counters view (the
+    // histograms above carry the tail percentiles; these carry mean/sd).
+    running_stats ingest_stats_;
+    running_stats clustering_stats_;
+    running_stats classification_stats_;
+    running_stats frame_stats_;
 
     std::size_t last_good_count_ = 0;
     std::size_t stale_streak_ = 0;

@@ -1,0 +1,151 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/thread_pool.hpp"
+
+namespace hawc::telemetry {
+
+namespace {
+
+std::string num(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+std::string num(std::uint64_t v) { return std::to_string(v); }
+
+std::string json_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_prometheus(const metrics_registry& reg) {
+    std::string out;
+    for (const auto& c : reg.counter_samples()) {
+        if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
+        out += "# TYPE " + c.name + " counter\n";
+        out += c.name + " " + num(c.value) + "\n";
+    }
+    for (const auto& g : reg.gauge_samples()) {
+        if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
+        out += "# TYPE " + g.name + " gauge\n";
+        out += g.name + " " + num(g.value) + "\n";
+    }
+    for (const auto& h : reg.histogram_samples()) {
+        if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
+        out += "# TYPE " + h.name + " histogram\n";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            out += h.name + "_bucket{le=\"" + num(h.bounds[i]) + "\"} " +
+                   num(h.cumulative[i]) + "\n";
+        }
+        out += h.name + "_bucket{le=\"+Inf\"} " + num(h.cumulative.back()) + "\n";
+        out += h.name + "_sum " + num(h.sum) + "\n";
+        out += h.name + "_count " + num(h.count) + "\n";
+    }
+    return out;
+}
+
+std::string to_json(const metrics_registry& reg) {
+    std::string out = "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto& c : reg.counter_samples()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(c.name) + "\": " + num(c.value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"gauges\": {";
+    first = true;
+    for (const auto& g : reg.gauge_samples()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(g.name) + "\": " + num(g.value);
+    }
+    out += first ? "},\n" : "\n  },\n";
+
+    out += "  \"histograms\": {";
+    first = true;
+    for (const auto& h : reg.histogram_samples()) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "    \"" + json_escape(h.name) + "\": {\"count\": " + num(h.count) +
+               ", \"sum\": " + num(h.sum) + ", \"min\": " + num(h.min) +
+               ", \"max\": " + num(h.max) + ", \"p50\": " + num(h.p50) +
+               ", \"p95\": " + num(h.p95) + ", \"p99\": " + num(h.p99) + ", \"buckets\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i > 0) out += ", ";
+            out += "{\"le\": " + num(h.bounds[i]) + ", \"count\": " + num(h.cumulative[i]) + "}";
+        }
+        if (!h.bounds.empty()) out += ", ";
+        out += "{\"le\": \"+Inf\", \"count\": " + num(h.cumulative.back()) + "}]}";
+    }
+    out += first ? "}\n" : "\n  }\n";
+    out += "}\n";
+    return out;
+}
+
+std::string to_chrome_trace(std::span<const span_record> spans) {
+    // Normalize to the earliest start so the timeline begins at t=0;
+    // Chrome trace timestamps are microseconds.
+    std::uint64_t t0 = 0;
+    bool have_t0 = false;
+    for (const auto& s : spans) {
+        if (!have_t0 || s.start_ns < t0) {
+            t0 = s.start_ns;
+            have_t0 = true;
+        }
+    }
+
+    std::string out = "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [";
+    bool first = true;
+    for (const auto& s : spans) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        const double ts_us = static_cast<double>(s.start_ns - t0) / 1000.0;
+        const double dur_us =
+            static_cast<double>(s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0) / 1000.0;
+        char buf[256];
+        std::snprintf(buf, sizeof buf,
+                      "  {\"name\": \"%s\", \"cat\": \"pipeline\", \"ph\": \"X\", "
+                      "\"pid\": 1, \"tid\": %u, \"ts\": %.3f, \"dur\": %.3f, "
+                      "\"args\": {\"span\": %u, \"parent\": %u, \"frame\": %llu, "
+                      "\"code\": %u}}",
+                      s.name, s.tid, ts_us, dur_us, s.id, s.parent,
+                      static_cast<unsigned long long>(s.frame), s.code);
+        out += buf;
+    }
+    out += first ? "]}\n" : "\n]}\n";
+    return out;
+}
+
+void record_pool_gauges(metrics_registry& reg, const thread_pool& pool) {
+    reg.make_gauge("hawc_pool_lanes", "Execution lanes in the worker pool")
+        .set(static_cast<double>(pool.thread_count()));
+    reg.make_gauge("hawc_pool_active_lanes", "Lanes executing a chunk at sample time")
+        .set(static_cast<double>(pool.active_lanes()));
+    reg.make_gauge("hawc_pool_utilization", "active_lanes / lanes at sample time")
+        .set(static_cast<double>(pool.active_lanes()) /
+             static_cast<double>(pool.thread_count()));
+    reg.make_gauge("hawc_pool_jobs_dispatched", "Cumulative parallel_for fan-outs")
+        .set(static_cast<double>(pool.jobs_dispatched()));
+    reg.make_gauge("hawc_pool_inline_runs", "Cumulative inline (non-fanned) region runs")
+        .set(static_cast<double>(pool.inline_runs()));
+}
+
+}  // namespace hawc::telemetry

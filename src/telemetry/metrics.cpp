@@ -1,0 +1,230 @@
+#include "telemetry/metrics.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/error.hpp"
+
+namespace hawc::telemetry {
+
+namespace {
+
+void atomic_add(std::atomic<double>& target, double d) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (!target.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_min(std::atomic<double>& target, double x) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (x < cur && !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+}
+
+void atomic_max(std::atomic<double>& target, double x) {
+    double cur = target.load(std::memory_order_relaxed);
+    while (x > cur && !target.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+    }
+}
+
+}  // namespace
+
+latency_histogram::latency_histogram(std::vector<double> upper_bounds_ms)
+    : bounds_{std::move(upper_bounds_ms)}, buckets_(bounds_.size() + 1) {
+    HAWC_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");
+    HAWC_REQUIRE(std::is_sorted(bounds_.begin(), bounds_.end()),
+                 "histogram bounds must be ascending");
+    HAWC_REQUIRE(bounds_.front() > 0.0, "histogram bounds must be positive");
+}
+
+std::vector<double> latency_histogram::default_latency_bounds_ms() {
+    return {0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0, 1000.0};
+}
+
+void latency_histogram::record(double ms) {
+    const auto it = std::lower_bound(bounds_.begin(), bounds_.end(), ms);
+    const auto bucket = static_cast<std::size_t>(it - bounds_.begin());
+    buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    atomic_min(min_, ms);
+    atomic_max(max_, ms);
+    atomic_add(sum_, ms);
+}
+
+double latency_histogram::mean() const {
+    const std::uint64_t n = count();
+    return n > 0 ? sum() / static_cast<double>(n) : 0.0;
+}
+
+double latency_histogram::min() const {
+    return count() > 0 ? min_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double latency_histogram::max() const {
+    return count() > 0 ? max_.load(std::memory_order_relaxed) : 0.0;
+}
+
+double latency_histogram::quantile(double q) const {
+    HAWC_REQUIRE(q >= 0.0 && q <= 1.0, "quantile must be in [0,1]");
+    // Snapshot the buckets once; a concurrent writer shifts the estimate by
+    // at most its own samples.
+    std::vector<std::uint64_t> counts(buckets_.size());
+    std::uint64_t total = 0;
+    for (std::size_t i = 0; i < buckets_.size(); ++i) {
+        counts[i] = buckets_[i].load(std::memory_order_relaxed);
+        total += counts[i];
+    }
+    if (total == 0) return 0.0;
+    const double lo_seen = min();
+    const double hi_seen = max();
+
+    const double rank = std::max(1.0, q * static_cast<double>(total));
+    std::uint64_t cum = 0;
+    for (std::size_t i = 0; i < counts.size(); ++i) {
+        if (counts[i] == 0) continue;
+        cum += counts[i];
+        if (static_cast<double>(cum) < rank) continue;
+        const double lo = i == 0 ? lo_seen : bounds_[i - 1];
+        const double hi = i < bounds_.size() ? bounds_[i] : hi_seen;
+        const double within =
+            (rank - static_cast<double>(cum - counts[i])) / static_cast<double>(counts[i]);
+        return std::clamp(lo + (hi - lo) * within, lo_seen, hi_seen);
+    }
+    return hi_seen;
+}
+
+void latency_histogram::reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0.0, std::memory_order_relaxed);
+    min_.store(std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+    max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
+}
+
+bool metrics_registry::name_taken_locked(std::string_view name) const {
+    const auto in = [&](const auto& entries) {
+        for (const auto& e : entries) {
+            if (e.name == name) return true;
+        }
+        return false;
+    };
+    return in(counters_) || in(gauges_) || in(histograms_);
+}
+
+counter& metrics_registry::make_counter(std::string_view name, std::string_view help) {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : counters_) {
+        if (e.name == name) return *e.metric;
+    }
+    HAWC_REQUIRE(!name_taken_locked(name),
+                 "metric name already registered with a different type");
+    counters_.push_back({std::string{name}, std::string{help}, std::make_unique<counter>()});
+    return *counters_.back().metric;
+}
+
+gauge& metrics_registry::make_gauge(std::string_view name, std::string_view help) {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : gauges_) {
+        if (e.name == name) return *e.metric;
+    }
+    HAWC_REQUIRE(!name_taken_locked(name),
+                 "metric name already registered with a different type");
+    gauges_.push_back({std::string{name}, std::string{help}, std::make_unique<gauge>()});
+    return *gauges_.back().metric;
+}
+
+latency_histogram& metrics_registry::make_histogram(std::string_view name,
+                                                    std::vector<double> upper_bounds_ms,
+                                                    std::string_view help) {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : histograms_) {
+        if (e.name == name) return *e.metric;
+    }
+    HAWC_REQUIRE(!name_taken_locked(name),
+                 "metric name already registered with a different type");
+    histograms_.push_back({std::string{name}, std::string{help},
+                           std::make_unique<latency_histogram>(std::move(upper_bounds_ms))});
+    return *histograms_.back().metric;
+}
+
+counter* metrics_registry::find_counter(std::string_view name) const {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : counters_) {
+        if (e.name == name) return e.metric.get();
+    }
+    return nullptr;
+}
+
+gauge* metrics_registry::find_gauge(std::string_view name) const {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : gauges_) {
+        if (e.name == name) return e.metric.get();
+    }
+    return nullptr;
+}
+
+latency_histogram* metrics_registry::find_histogram(std::string_view name) const {
+    std::lock_guard lock{mutex_};
+    for (const auto& e : histograms_) {
+        if (e.name == name) return e.metric.get();
+    }
+    return nullptr;
+}
+
+std::vector<metrics_registry::counter_sample> metrics_registry::counter_samples() const {
+    std::lock_guard lock{mutex_};
+    std::vector<counter_sample> out;
+    out.reserve(counters_.size());
+    for (const auto& e : counters_) out.push_back({e.name, e.help, e.metric->value()});
+    return out;
+}
+
+std::vector<metrics_registry::gauge_sample> metrics_registry::gauge_samples() const {
+    std::lock_guard lock{mutex_};
+    std::vector<gauge_sample> out;
+    out.reserve(gauges_.size());
+    for (const auto& e : gauges_) out.push_back({e.name, e.help, e.metric->value()});
+    return out;
+}
+
+std::vector<metrics_registry::histogram_sample> metrics_registry::histogram_samples() const {
+    std::lock_guard lock{mutex_};
+    std::vector<histogram_sample> out;
+    out.reserve(histograms_.size());
+    for (const auto& e : histograms_) {
+        const latency_histogram& h = *e.metric;
+        histogram_sample s;
+        s.name = e.name;
+        s.help = e.help;
+        s.bounds.assign(h.bounds().begin(), h.bounds().end());
+        s.cumulative.resize(h.bucket_total());
+        std::uint64_t cum = 0;
+        for (std::size_t i = 0; i < h.bucket_total(); ++i) {
+            cum += h.bucket_count(i);
+            s.cumulative[i] = cum;
+        }
+        s.count = h.count();
+        s.sum = h.sum();
+        s.min = h.min();
+        s.max = h.max();
+        s.p50 = h.quantile(0.50);
+        s.p95 = h.quantile(0.95);
+        s.p99 = h.quantile(0.99);
+        out.push_back(std::move(s));
+    }
+    return out;
+}
+
+void metrics_registry::reset() {
+    std::lock_guard lock{mutex_};
+    for (auto& e : counters_) e.metric->reset();
+    for (auto& e : gauges_) e.metric->reset();
+    for (auto& e : histograms_) e.metric->reset();
+}
+
+std::size_t metrics_registry::metric_count() const {
+    std::lock_guard lock{mutex_};
+    return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace hawc::telemetry

@@ -1,0 +1,155 @@
+#pragma once
+
+// Thread-safe metrics registry for the streaming pipeline: named counters,
+// gauges, and fixed-boundary latency histograms with percentile estimation.
+// Registration (make_*) takes a mutex and allocates; recording (add / set /
+// record) is lock-free on preallocated std::atomic storage, so the hot path
+// of a supervised frame never allocates and never blocks a scrape. Exporters
+// (see export.hpp) read consistent-enough snapshots via the *_samples()
+// accessors; individual metric reads are relaxed-atomic and may lag a
+// concurrent writer by a few operations, which is fine for monitoring.
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hawc::telemetry {
+
+/// Monotonically increasing event count.
+class counter {
+public:
+    void add(std::uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+    std::uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (queue depth, utilization, chosen eps).
+class gauge {
+public:
+    void set(double v) { value_.store(v, std::memory_order_relaxed); }
+    void add(double d) {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (!value_.compare_exchange_weak(cur, cur + d, std::memory_order_relaxed)) {
+        }
+    }
+    double value() const { return value_.load(std::memory_order_relaxed); }
+    void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+private:
+    std::atomic<double> value_{0.0};
+};
+
+/// Fixed-boundary latency histogram (milliseconds). Bucket boundaries are
+/// upper bounds, ascending; samples above the last bound land in an implicit
+/// overflow bucket. record() is a handful of relaxed atomic updates — no
+/// locks, no allocation — so it can sit on the per-frame hot path.
+/// Percentiles are estimated by linear interpolation inside the bucket that
+/// crosses the target rank, clamped to the observed min/max so the estimate
+/// agrees with the legacy running_stats summary at the extremes.
+class latency_histogram {
+public:
+    explicit latency_histogram(std::vector<double> upper_bounds_ms);
+
+    void record(double ms);
+
+    std::uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double mean() const;
+    double min() const;  // 0 when empty
+    double max() const;  // 0 when empty
+
+    /// Estimated quantile, q in [0, 1] (0.5 = p50, 0.99 = p99).
+    double quantile(double q) const;
+
+    std::span<const double> bounds() const { return bounds_; }
+    /// Per-bucket (non-cumulative) count; index bounds().size() is overflow.
+    std::uint64_t bucket_count(std::size_t i) const {
+        return buckets_[i].load(std::memory_order_relaxed);
+    }
+    std::size_t bucket_total() const { return buckets_.size(); }
+
+    void reset();
+
+    /// Log-ish spaced defaults covering 50 µs .. 1 s frame-stage latencies.
+    static std::vector<double> default_latency_bounds_ms();
+
+private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<std::uint64_t>> buckets_;  // bounds_.size() + 1
+    std::atomic<std::uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Name -> metric registry. Names follow Prometheus conventions
+/// ([a-zA-Z_][a-zA-Z0-9_]*); registering the same name twice with the same
+/// type returns the existing metric, a cross-type collision throws.
+/// Metric references stay valid for the registry's lifetime.
+class metrics_registry {
+public:
+    metrics_registry() = default;
+    metrics_registry(const metrics_registry&) = delete;
+    metrics_registry& operator=(const metrics_registry&) = delete;
+
+    counter& make_counter(std::string_view name, std::string_view help = "");
+    gauge& make_gauge(std::string_view name, std::string_view help = "");
+    latency_histogram& make_histogram(std::string_view name,
+                                      std::vector<double> upper_bounds_ms,
+                                      std::string_view help = "");
+
+    /// Lookup by name; nullptr when absent (or registered as another type).
+    counter* find_counter(std::string_view name) const;
+    gauge* find_gauge(std::string_view name) const;
+    latency_histogram* find_histogram(std::string_view name) const;
+
+    /// Value snapshots in registration order, for the exporters and tests.
+    struct counter_sample {
+        std::string name, help;
+        std::uint64_t value = 0;
+    };
+    struct gauge_sample {
+        std::string name, help;
+        double value = 0.0;
+    };
+    struct histogram_sample {
+        std::string name, help;
+        std::vector<double> bounds;           // upper bounds (ms)
+        std::vector<std::uint64_t> cumulative;  // bounds.size() + 1, last = total
+        std::uint64_t count = 0;
+        double sum = 0.0, min = 0.0, max = 0.0;
+        double p50 = 0.0, p95 = 0.0, p99 = 0.0;
+    };
+    std::vector<counter_sample> counter_samples() const;
+    std::vector<gauge_sample> gauge_samples() const;
+    std::vector<histogram_sample> histogram_samples() const;
+
+    /// Zero every metric; registrations (and references) survive.
+    void reset();
+
+    std::size_t metric_count() const;
+
+private:
+    template <typename M>
+    struct entry {
+        std::string name, help;
+        std::unique_ptr<M> metric;
+    };
+    bool name_taken_locked(std::string_view name) const;
+
+    mutable std::mutex mutex_;  // guards the entry vectors, not metric values
+    std::vector<entry<counter>> counters_;
+    std::vector<entry<gauge>> gauges_;
+    std::vector<entry<latency_histogram>> histograms_;
+};
+
+}  // namespace hawc::telemetry

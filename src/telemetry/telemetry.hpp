@@ -1,0 +1,11 @@
+#pragma once
+
+// Umbrella header for the pipeline telemetry subsystem: the lock-free
+// metrics registry (metrics.hpp), per-frame trace spans with the
+// telemetry_handle threaded through pipeline stages (trace.hpp), and the
+// Prometheus / JSON / Chrome-trace exporters (export.hpp). See DESIGN.md
+// "Telemetry" for the design and the overhead budget.
+
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/trace.hpp"

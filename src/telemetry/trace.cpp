@@ -1,0 +1,43 @@
+#include "telemetry/trace.hpp"
+
+#include "common/error.hpp"
+
+namespace hawc::telemetry {
+
+trace_sink::trace_sink(std::size_t capacity) : ring_(capacity) {
+    HAWC_REQUIRE(capacity > 0, "trace ring needs a positive capacity");
+}
+
+void trace_sink::push(const span_record& rec) {
+    std::lock_guard lock{mutex_};
+    ring_[next_] = rec;
+    next_ = (next_ + 1) % ring_.size();
+    if (size_ < ring_.size()) ++size_;
+    ++recorded_;
+}
+
+std::vector<span_record> trace_sink::snapshot() const {
+    std::lock_guard lock{mutex_};
+    std::vector<span_record> out;
+    out.reserve(size_);
+    // Oldest record sits at next_ once the ring has wrapped, else at 0.
+    const std::size_t first = size_ == ring_.size() ? next_ : 0;
+    for (std::size_t i = 0; i < size_; ++i) {
+        out.push_back(ring_[(first + i) % ring_.size()]);
+    }
+    return out;
+}
+
+std::uint64_t trace_sink::recorded() const {
+    std::lock_guard lock{mutex_};
+    return recorded_;
+}
+
+void trace_sink::clear() {
+    std::lock_guard lock{mutex_};
+    next_ = 0;
+    size_ = 0;
+    recorded_ = 0;
+}
+
+}  // namespace hawc::telemetry

@@ -1,0 +1,169 @@
+#pragma once
+
+// Per-frame trace spans: nested, steady-clock-timestamped intervals
+// (frame -> ingest -> eps_selection -> dbscan -> per-cluster classify)
+// recorded into a bounded ring buffer. The RAII scoped_span helper costs a
+// null check on construction and one on destruction when no sink is
+// installed, so instrumented code paths stay on their latency budget with
+// tracing disabled; with a sink installed, finishing a span takes one
+// short critical section on the ring.
+//
+// Parenting is explicit (span ids are passed down the call tree through
+// telemetry_handle) rather than thread-local, because classification fans
+// out across the worker pool: a worker's span must attach to the frame
+// that spawned it, not to whatever the worker ran last.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hawc::telemetry {
+
+class metrics_registry;  // metrics.hpp; telemetry_handle carries a pointer
+
+using span_id = std::uint32_t;
+inline constexpr span_id no_span = 0;
+
+/// One finished span. `name` must point at a string literal (or other
+/// static-lifetime storage); records carry it by pointer so pushing a span
+/// never allocates.
+struct span_record {
+    span_id id = no_span;
+    span_id parent = no_span;
+    const char* name = "";
+    std::uint64_t frame = 0;     // supervisor frame sequence number, 0 = none
+    std::uint64_t start_ns = 0;  // steady-clock, epoch-relative
+    std::uint64_t end_ns = 0;
+    std::uint32_t tid = 0;   // hashed recording thread id (Chrome trace lane)
+    std::uint8_t code = 0;   // span-specific annotation (frame_status for "frame")
+};
+
+/// Steady-clock nanoseconds (matches the stopwatch/deadline clock).
+inline std::uint64_t steady_now_ns() {
+    return static_cast<std::uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                          std::chrono::steady_clock::now().time_since_epoch())
+                                          .count());
+}
+
+/// Bounded ring buffer of finished spans; the newest capacity() records
+/// survive, older ones are overwritten. push() is safe from any thread.
+class trace_sink {
+public:
+    explicit trace_sink(std::size_t capacity = 4096);
+
+    void push(const span_record& rec);
+
+    /// Retained records, oldest first.
+    std::vector<span_record> snapshot() const;
+
+    /// Total spans ever pushed (including overwritten ones).
+    std::uint64_t recorded() const;
+    std::size_t capacity() const { return ring_.size(); }
+    void clear();
+
+private:
+    mutable std::mutex mutex_;
+    std::vector<span_record> ring_;
+    std::size_t next_ = 0;          // ring insertion cursor
+    std::size_t size_ = 0;          // valid records
+    std::uint64_t recorded_ = 0;
+};
+
+/// Hands out span ids and labels spans with the current frame number.
+/// A tracer with no sink is disabled: scoped_spans through it are inert.
+class tracer {
+public:
+    tracer() = default;
+    explicit tracer(trace_sink* sink) : sink_{sink} {}
+
+    void set_sink(trace_sink* sink) { sink_ = sink; }
+    trace_sink* sink() const { return sink_; }
+    bool enabled() const { return sink_ != nullptr; }
+
+    span_id next_id() { return next_id_.fetch_add(1, std::memory_order_relaxed) + 1; }
+
+    /// Stamp subsequent spans with this frame sequence number.
+    void begin_frame(std::uint64_t frame) { frame_.store(frame, std::memory_order_relaxed); }
+    std::uint64_t current_frame() const { return frame_.load(std::memory_order_relaxed); }
+
+private:
+    trace_sink* sink_ = nullptr;
+    std::atomic<std::uint32_t> next_id_{0};
+    std::atomic<std::uint64_t> frame_{0};
+};
+
+}  // namespace hawc::telemetry
+
+namespace hawc {
+
+/// Optional instrumentation handle threaded through the pipeline stages.
+/// Default-constructed it is fully inert; stages record metrics only when
+/// `metrics` is set and emit spans only when `trace` has a sink. `parent`
+/// is the ambient span the stage should attach its own spans under.
+struct telemetry_handle {
+    telemetry::metrics_registry* metrics = nullptr;
+    telemetry::tracer* trace = nullptr;
+    telemetry::span_id parent = telemetry::no_span;
+
+    bool tracing() const { return trace != nullptr && trace->enabled(); }
+
+    /// The same handle re-parented under `new_parent`.
+    telemetry_handle under(telemetry::span_id new_parent) const {
+        return {metrics, trace, new_parent};
+    }
+};
+
+}  // namespace hawc
+
+namespace hawc::telemetry {
+
+/// RAII span: opens on construction, records on destruction (or finish()).
+/// Inert when the tracer is null or has no sink.
+class scoped_span {
+public:
+    scoped_span() = default;
+    scoped_span(tracer* t, const char* name, span_id parent = no_span) {
+        if (t != nullptr && t->enabled()) open(*t, name, parent);
+    }
+    scoped_span(const telemetry_handle& telem, const char* name) {
+        if (telem.tracing()) open(*telem.trace, name, telem.parent);
+    }
+    ~scoped_span() { finish(); }
+
+    scoped_span(const scoped_span&) = delete;
+    scoped_span& operator=(const scoped_span&) = delete;
+
+    bool active() const { return tracer_ != nullptr; }
+    span_id id() const { return rec_.id; }
+
+    /// Annotate the span (e.g. the frame's terminal status).
+    void set_code(std::uint8_t code) { rec_.code = code; }
+
+    /// Close and record the span now (idempotent).
+    void finish() {
+        if (tracer_ == nullptr) return;
+        rec_.end_ns = steady_now_ns();
+        tracer_->sink()->push(rec_);
+        tracer_ = nullptr;
+    }
+
+private:
+    void open(tracer& t, const char* name, span_id parent) {
+        tracer_ = &t;
+        rec_.id = t.next_id();
+        rec_.parent = parent;
+        rec_.name = name;
+        rec_.frame = t.current_frame();
+        rec_.tid = static_cast<std::uint32_t>(
+            std::hash<std::thread::id>{}(std::this_thread::get_id()));
+        rec_.start_ns = steady_now_ns();
+    }
+
+    tracer* tracer_ = nullptr;
+    span_record rec_{};
+};
+
+}  // namespace hawc::telemetry

@@ -204,6 +204,29 @@ TEST(latency_recorder, accumulates) {
     EXPECT_EQ(rec.count(), 2u);
 }
 
+TEST(latency_recorder, tracks_min_and_max) {
+    latency_recorder rec;
+    EXPECT_DOUBLE_EQ(rec.min_ms(), 0.0);  // empty recorder reports zeros
+    EXPECT_DOUBLE_EQ(rec.max_ms(), 0.0);
+    rec.add_ms(5.0);
+    rec.add_ms(1.0);
+    rec.add_ms(3.0);
+    EXPECT_DOUBLE_EQ(rec.min_ms(), 1.0);
+    EXPECT_DOUBLE_EQ(rec.max_ms(), 5.0);
+}
+
+TEST(latency_recorder, single_sample_stddev_is_zero) {
+    // running_stats guards the n-1 variance divisor, so one sample (or
+    // none) reports stddev 0 instead of NaN/garbage.
+    latency_recorder rec;
+    EXPECT_DOUBLE_EQ(rec.stddev_ms(), 0.0);
+    rec.add_ms(7.0);
+    EXPECT_DOUBLE_EQ(rec.stddev_ms(), 0.0);
+    rec.add_ms(9.0);
+    EXPECT_GT(rec.stddev_ms(), 0.0);
+    EXPECT_TRUE(std::isfinite(rec.stddev_ms()));
+}
+
 TEST(error, require_macro_throws_with_context) {
     try {
         HAWC_REQUIRE(1 == 2, "numbers disagree");
