@@ -19,7 +19,9 @@
 #include "common/timer.hpp"
 #include "counting/crowd_counter.hpp"
 #include "features/height_features.hpp"
+#include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
+#include "nn/dense.hpp"
 #include "quant/calibrate.hpp"
 
 using namespace hawc;
@@ -36,10 +38,15 @@ struct metrics {
     double adaptive_eps_8k_ms = 0.0;
     double conv2d_us = 0.0;
     double qconv_us = 0.0;
+    double qdense_us = 0.0;
     double e2e_count_8k_ms = 0.0;
 };
 
-constexpr metrics baseline{3.4294, 1.0028, 11.221, 22.669, 16.181, 80.693, 145.371, 66.232};
+// qdense was added to the harness in PR 4; its baseline is the serial
+// run_dense measured just before that PR parallelized it (the other
+// numbers are the seed revision's).
+constexpr metrics baseline{3.4294, 1.0028, 11.221, 22.669, 16.181, 80.693, 145.371,
+                           138.080, 66.232};
 
 /// Synthetic walkway crowd: upright person blobs inside the default ROI
 /// plus clutter, ~8000 points at the default arguments.
@@ -147,6 +154,23 @@ metrics measure() {
     }
 
     {
+        rng r{6};
+        sequential net;
+        net.emplace<dense>(512, 98, r);
+        net.emplace<relu>();
+        net.emplace<dense>(98, 2, r);
+        tensor input{{8, 512}};
+        for (std::size_t i = 0; i < input.size(); ++i) {
+            input[i] = static_cast<float>(r.normal());
+        }
+        quantized_model qm = quantize_model(net, {input.slice_sample(0)});
+        m.qdense_us = 1000.0 * time_ms(500, [&] {
+            volatile float sink = qm.forward(input)[0];
+            (void)sink;
+        });
+    }
+
+    {
         rng r{1};
         object_pool pool;
         pool.add_cloud(crowd_cloud(4, 64, 9));
@@ -169,6 +193,7 @@ void print_metrics(const char* indent, const metrics& m) {
     std::printf("%s\"adaptive_eps_8k_ms\": %.3f,\n", indent, m.adaptive_eps_8k_ms);
     std::printf("%s\"conv2d_18x18_7to16_us\": %.3f,\n", indent, m.conv2d_us);
     std::printf("%s\"qconv_18x18_7to16_us\": %.3f,\n", indent, m.qconv_us);
+    std::printf("%s\"qdense_b8_512to98to2_us\": %.3f,\n", indent, m.qdense_us);
     std::printf("%s\"e2e_count_8k_ms\": %.3f\n", indent, m.e2e_count_8k_ms);
 }
 
@@ -183,7 +208,7 @@ int main(int argc, char** argv) {
     if (thread_counts.empty()) thread_counts = {1, 4};
 
     std::printf("{\n");
-    std::printf("  \"bench\": \"PR2 parallel frame engine + hot-kernel rewrite\",\n");
+    std::printf("  \"bench\": \"hot-kernel perf snapshot (incl. int8 conv/dense)\",\n");
     std::printf("  \"cloud_points\": %zu,\n", crowd_cloud(100, 64, 42).size());
     std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
     std::printf("  \"note\": \"thread-count sweeps above hardware_concurrency time-share "
@@ -214,6 +239,7 @@ int main(int argc, char** argv) {
                 baseline.adaptive_eps_8k_ms / single.adaptive_eps_8k_ms);
     std::printf("    \"conv2d\": %.2f,\n", baseline.conv2d_us / single.conv2d_us);
     std::printf("    \"qconv\": %.2f,\n", baseline.qconv_us / single.qconv_us);
+    std::printf("    \"qdense\": %.2f,\n", baseline.qdense_us / single.qdense_us);
     std::printf("    \"e2e_count_8k\": %.2f\n", baseline.e2e_count_8k_ms / single.e2e_count_8k_ms);
     std::printf("  }\n");
     std::printf("}\n");

@@ -6,6 +6,8 @@
 // "Object" dataset (scenes without humans) rather than synthetic
 // Gaussian noise — the Table III ablation compares both.
 
+#include <span>
+
 #include "common/rng.hpp"
 #include "pointcloud/point_cloud.hpp"
 
@@ -28,6 +30,10 @@ public:
 
     /// Draw `count` points uniformly at random (with replacement).
     point_cloud sample(std::size_t count, rng& random) const;
+
+    /// All pooled points, in insertion order (replay serialization needs
+    /// to persist the pool so featurization replays bit-exactly).
+    std::span<const vec3> points() const { return points_; }
 
 private:
     std::vector<vec3> points_;

@@ -139,26 +139,35 @@ q_tensor run_dense(const q_dense_op& op, const q_tensor& in) {
     out.data.resize(batch * op.out_features);
 
     const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
-    std::vector<std::int32_t> acc(op.out_features);
 
-    for (std::size_t n = 0; n < batch; ++n) {
-        std::fill(acc.begin(), acc.end(), 0);
-        const std::int8_t* in_row = &in.data[n * op.in_features];
-        for (std::size_t i = 0; i < op.in_features; ++i) {
-            const std::int32_t x = static_cast<std::int32_t>(in_row[i]) - zp_in;
-            if (x == 0) continue;
-            const std::int8_t* w_row = &op.weights[i * op.out_features];
+    // Parallel over batch rows with the same static-partitioning contract
+    // as run_conv: each row's accumulator depends only on that row, chunk
+    // boundaries depend only on (batch, grain, pool size), and every row
+    // writes a disjoint slice of out.data — so the result is bit-identical
+    // for every thread count.
+    global_pool().parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi,
+                                                std::size_t /*slot*/) {
+        std::vector<std::int32_t> acc(op.out_features);
+        for (std::size_t n = lo; n < hi; ++n) {
+            std::fill(acc.begin(), acc.end(), 0);
+            const std::int8_t* in_row = &in.data[n * op.in_features];
+            for (std::size_t i = 0; i < op.in_features; ++i) {
+                const std::int32_t x = static_cast<std::int32_t>(in_row[i]) - zp_in;
+                if (x == 0) continue;
+                const std::int8_t* w_row = &op.weights[i * op.out_features];
+                for (std::size_t o = 0; o < op.out_features; ++o) {
+                    acc[o] += x * static_cast<std::int32_t>(w_row[o]);
+                }
+            }
+            std::int8_t* out_row = &out.data[n * op.out_features];
             for (std::size_t o = 0; o < op.out_features; ++o) {
-                acc[o] += x * static_cast<std::int32_t>(w_row[o]);
+                const float real =
+                    static_cast<float>(acc[o]) * op.in_q.scale * op.weight_scales[o] +
+                    op.bias[o];
+                out_row[o] = requantize(real, op.out_q, op.fused_relu);
             }
         }
-        std::int8_t* out_row = &out.data[n * op.out_features];
-        for (std::size_t o = 0; o < op.out_features; ++o) {
-            const float real =
-                static_cast<float>(acc[o]) * op.in_q.scale * op.weight_scales[o] + op.bias[o];
-            out_row[o] = requantize(real, op.out_q, op.fused_relu);
-        }
-    }
+    });
     return out;
 }
 

@@ -6,6 +6,11 @@
 namespace hawc {
 
 quant_params quant_params::from_range(float lo, float hi) {
+    // Non-finite bounds (a caller bypassing range_observer's filtering)
+    // would make scale/zero_point NaN; collapse them to the zero-only
+    // range instead so the parameters stay usable.
+    if (!std::isfinite(lo)) lo = 0.0f;
+    if (!std::isfinite(hi)) hi = 0.0f;
     // Always include zero so that zero padding / ReLU cutoffs are exact,
     // as TFLite requires.
     lo = std::min(lo, 0.0f);
@@ -19,6 +24,16 @@ quant_params quant_params::from_range(float lo, float hi) {
 }
 
 std::int8_t quant_params::quantize(float real) const {
+    // Non-finite inputs must map deterministically: NaN through std::clamp
+    // is unordered (both comparisons false) and casting the resulting NaN
+    // to int8 is undefined behaviour. NaN carries no magnitude, so it maps
+    // to the zero code; infinities saturate like any out-of-range value.
+    if (!std::isfinite(real)) {
+        if (std::isnan(real)) {
+            return static_cast<std::int8_t>(std::clamp(zero_point, -128, 127));
+        }
+        return real > 0.0f ? std::int8_t{127} : std::int8_t{-128};
+    }
     const float q = std::round(real / scale + static_cast<float>(zero_point));
     return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
 }
@@ -43,6 +58,10 @@ tensor dequantize_tensor(const q_tensor& quantized) {
 void range_observer::observe(const tensor& t) {
     for (std::size_t i = 0; i < t.size(); ++i) {
         const float v = t[i];
+        // One NaN in a calibration tensor would poison lo/hi (min/max of a
+        // NaN is NaN) and with it every scale/zero_point derived from this
+        // observer; an Inf would flush the scale to Inf the same way.
+        if (!std::isfinite(v)) continue;
         if (!seen) {
             lo = hi = v;
             seen = true;

@@ -40,6 +40,8 @@ q_tensor quantize_tensor(const tensor& real, const quant_params& params);
 tensor dequantize_tensor(const q_tensor& quantized);
 
 /// Track min/max over observed activations (per-tensor calibration).
+/// Non-finite values are skipped: a single NaN/Inf in a calibration
+/// tensor must not poison the derived scale/zero_point.
 struct range_observer {
     float lo = 0.0f;
     float hi = 0.0f;

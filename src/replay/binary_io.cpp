@@ -1,0 +1,147 @@
+#include "replay/binary_io.hpp"
+
+#include <istream>
+#include <limits>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace hawc::replay {
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t hash = 0xcbf29ce484222325ull;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 0x100000001b3ull;
+    }
+    return hash;
+}
+
+void byte_writer::str(std::string_view s) {
+    u32(static_cast<std::uint32_t>(s.size()));
+    raw(s.data(), s.size());
+}
+
+void byte_writer::raw(const void* data, std::size_t size) {
+    const auto* src = static_cast<const char*>(data);
+    bytes_.insert(bytes_.end(), src, src + size);
+}
+
+const char* byte_reader::cursor(std::size_t need, const char* what) {
+    if (need > size_ - offset_) {
+        throw io_error{std::string{what} + " extends past the end of the payload"};
+    }
+    const char* at = data_ + offset_;
+    offset_ += need;
+    return at;
+}
+
+std::uint8_t byte_reader::u8() {
+    return static_cast<std::uint8_t>(*cursor(1, "u8 field"));
+}
+
+std::uint16_t byte_reader::u16() {
+    std::uint16_t v;
+    std::memcpy(&v, cursor(sizeof(v), "u16 field"), sizeof(v));
+    return v;
+}
+
+std::uint32_t byte_reader::u32() {
+    std::uint32_t v;
+    std::memcpy(&v, cursor(sizeof(v), "u32 field"), sizeof(v));
+    return v;
+}
+
+std::uint64_t byte_reader::u64() {
+    std::uint64_t v;
+    std::memcpy(&v, cursor(sizeof(v), "u64 field"), sizeof(v));
+    return v;
+}
+
+std::int32_t byte_reader::i32() {
+    std::int32_t v;
+    std::memcpy(&v, cursor(sizeof(v), "i32 field"), sizeof(v));
+    return v;
+}
+
+float byte_reader::f32() {
+    float v;
+    std::memcpy(&v, cursor(sizeof(v), "f32 field"), sizeof(v));
+    return v;
+}
+
+double byte_reader::f64() {
+    double v;
+    std::memcpy(&v, cursor(sizeof(v), "f64 field"), sizeof(v));
+    return v;
+}
+
+std::string byte_reader::str() {
+    const std::uint32_t length = u32();
+    const char* at = cursor(length, "string field");
+    return std::string{at, length};
+}
+
+void byte_reader::raw(void* out, std::size_t size) {
+    std::memcpy(out, cursor(size, "raw field"), size);
+}
+
+void byte_reader::expect_exhausted(const char* what) const {
+    if (!exhausted()) {
+        throw io_error{std::string{what} + " carries " + std::to_string(remaining()) +
+                       " trailing bytes"};
+    }
+}
+
+void write_envelope(std::ostream& out, std::uint32_t magic, std::uint16_t version,
+                    const byte_writer& payload) {
+    const std::uint16_t flags = 0;
+    const auto payload_size = static_cast<std::uint64_t>(payload.bytes().size());
+    const std::uint64_t checksum = fnv1a64(payload.bytes().data(), payload.bytes().size());
+    out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
+    out.write(reinterpret_cast<const char*>(&version), sizeof(version));
+    out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
+    out.write(reinterpret_cast<const char*>(&payload_size), sizeof(payload_size));
+    out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
+    out.write(payload.bytes().data(), static_cast<std::streamsize>(payload.bytes().size()));
+    if (!out) throw io_error{"replay artifact write failed"};
+}
+
+envelope read_envelope(std::istream& in, std::uint32_t magic, std::uint16_t max_version,
+                       const char* what) {
+    std::uint32_t file_magic = 0;
+    std::uint16_t version = 0;
+    std::uint16_t flags = 0;
+    std::uint64_t payload_size = 0;
+    std::uint64_t checksum = 0;
+    in.read(reinterpret_cast<char*>(&file_magic), sizeof(file_magic));
+    in.read(reinterpret_cast<char*>(&version), sizeof(version));
+    in.read(reinterpret_cast<char*>(&flags), sizeof(flags));
+    in.read(reinterpret_cast<char*>(&payload_size), sizeof(payload_size));
+    in.read(reinterpret_cast<char*>(&checksum), sizeof(checksum));
+    if (!in) throw io_error{std::string{what} + ": truncated header"};
+    if (file_magic != magic) throw io_error{std::string{what} + ": bad magic"};
+    if (version == 0 || version > max_version) {
+        throw io_error{std::string{what} + ": unsupported format version " +
+                       std::to_string(version)};
+    }
+    // A corrupted size field must not become a multi-gigabyte allocation.
+    constexpr std::uint64_t sanity_cap = 1ull << 31;
+    if (payload_size > sanity_cap) {
+        throw io_error{std::string{what} + ": implausible payload size"};
+    }
+    envelope env;
+    env.version = version;
+    env.payload.resize(static_cast<std::size_t>(payload_size));
+    in.read(env.payload.data(), static_cast<std::streamsize>(payload_size));
+    if (!in || static_cast<std::uint64_t>(in.gcount()) != payload_size) {
+        throw io_error{std::string{what} + ": truncated payload"};
+    }
+    if (fnv1a64(env.payload.data(), env.payload.size()) != checksum) {
+        throw io_error{std::string{what} + ": checksum mismatch (corrupted payload)"};
+    }
+    return env;
+}
+
+}  // namespace hawc::replay

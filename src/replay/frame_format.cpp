@@ -1,0 +1,91 @@
+#include "replay/frame_format.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "replay/binary_io.hpp"
+
+namespace hawc::replay {
+
+std::size_t frame_corpus::total_points() const {
+    std::size_t total = 0;
+    for (const auto& f : frames) total += f.cloud.size();
+    return total;
+}
+
+point_cloud round_to_recorded(const point_cloud& cloud) {
+    point_cloud rounded;
+    rounded.reserve(cloud.size());
+    for (const auto& p : cloud) {
+        rounded.push_back({static_cast<double>(static_cast<float>(p.x)),
+                           static_cast<double>(static_cast<float>(p.y)),
+                           static_cast<double>(static_cast<float>(p.z))});
+    }
+    return rounded;
+}
+
+void save_corpus(std::ostream& out, const frame_corpus& corpus) {
+    byte_writer payload;
+    payload.str(corpus.name);
+    payload.u64(corpus.base_seed);
+    payload.u64(static_cast<std::uint64_t>(corpus.frames.size()));
+    for (const auto& frame : corpus.frames) {
+        payload.u32(frame.ground_truth);
+        payload.u64(static_cast<std::uint64_t>(frame.cloud.size()));
+        for (const auto& p : frame.cloud) {
+            payload.f32(static_cast<float>(p.x));
+            payload.f32(static_cast<float>(p.y));
+            payload.f32(static_cast<float>(p.z));
+        }
+    }
+    write_envelope(out, frame_corpus_magic, frame_corpus_version, payload);
+}
+
+frame_corpus load_corpus(std::istream& in) {
+    const envelope env = read_envelope(in, frame_corpus_magic, frame_corpus_version,
+                                       "frame corpus");
+    byte_reader reader{env.payload};
+    frame_corpus corpus;
+    corpus.name = reader.str();
+    corpus.base_seed = reader.u64();
+    const std::uint64_t frame_count = reader.u64();
+    // Each frame needs at least its 12-byte fixed header; anything larger
+    // cannot fit in the checksummed payload we just validated.
+    if (frame_count > env.payload.size()) {
+        throw io_error{"frame corpus: implausible frame count"};
+    }
+    corpus.frames.reserve(static_cast<std::size_t>(frame_count));
+    for (std::uint64_t f = 0; f < frame_count; ++f) {
+        frame_record frame;
+        frame.ground_truth = reader.u32();
+        const std::uint64_t point_count = reader.u64();
+        if (point_count > reader.remaining() / 12) {  // 3 x f32 per point
+            throw io_error{"frame corpus: implausible point count"};
+        }
+        frame.cloud.reserve(static_cast<std::size_t>(point_count));
+        for (std::uint64_t i = 0; i < point_count; ++i) {
+            const double x = reader.f32();
+            const double y = reader.f32();
+            const double z = reader.f32();
+            frame.cloud.push_back({x, y, z});
+        }
+        corpus.frames.push_back(std::move(frame));
+    }
+    reader.expect_exhausted("frame corpus");
+    return corpus;
+}
+
+void save_corpus_file(const std::filesystem::path& path, const frame_corpus& corpus) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw io_error{"cannot open " + path.string() + " for writing"};
+    save_corpus(out, corpus);
+}
+
+frame_corpus load_corpus_file(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw io_error{"cannot open " + path.string()};
+    return load_corpus(in);
+}
+
+}  // namespace hawc::replay

@@ -1,0 +1,62 @@
+#pragma once
+
+// Versioned binary format for recorded point-cloud frame sequences — the
+// "record" half of record/replay. A corpus is a named, seeded sequence of
+// raw captures (plus per-frame ground truth) that can be checked in as a
+// small golden file and replayed deterministically through the pipeline;
+// see DESIGN.md "Replay & parity" for the format layout and the
+// determinism contract.
+//
+// Point coordinates are stored as float32: golden corpora are recorded
+// sensor data, and the recorder rounds its in-memory clouds to float
+// before returning them (see round_to_recorded), so that a recorded
+// corpus, its file, and every future load of that file are bit-identical.
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "pointcloud/point_cloud.hpp"
+
+namespace hawc::replay {
+
+inline constexpr std::uint32_t frame_corpus_magic = 0x52465748;  // "HWFR"
+inline constexpr std::uint16_t frame_corpus_version = 1;
+
+/// One recorded capture: the raw cloud as the sensor (or fault injector)
+/// emitted it, plus the simulation ground truth for accuracy tracking.
+struct frame_record {
+    point_cloud cloud;
+    std::uint32_t ground_truth = 0;
+
+    bool operator==(const frame_record&) const = default;
+};
+
+/// A recorded frame sequence. `base_seed` seeds the deterministic
+/// per-frame rng streams on replay (see replay_driver.hpp).
+struct frame_corpus {
+    std::string name;
+    std::uint64_t base_seed = 0;
+    std::vector<frame_record> frames;
+
+    std::size_t size() const { return frames.size(); }
+    bool empty() const { return frames.empty(); }
+    std::size_t total_points() const;
+
+    bool operator==(const frame_corpus&) const = default;
+};
+
+/// Round every coordinate to its float32 representation — what the
+/// on-disk format preserves. Recorded corpora pass through this before
+/// being returned so save/load round-trips bit-exactly.
+point_cloud round_to_recorded(const point_cloud& cloud);
+
+void save_corpus(std::ostream& out, const frame_corpus& corpus);
+frame_corpus load_corpus(std::istream& in);
+
+void save_corpus_file(const std::filesystem::path& path, const frame_corpus& corpus);
+frame_corpus load_corpus_file(const std::filesystem::path& path);
+
+}  // namespace hawc::replay

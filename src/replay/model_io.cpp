@@ -1,0 +1,275 @@
+#include "replay/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+#include "replay/binary_io.hpp"
+
+namespace hawc::replay {
+
+namespace {
+
+template <typename Saver>
+void save_to_file(const std::filesystem::path& path, Saver&& saver) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw io_error{"cannot open " + path.string() + " for writing"};
+    saver(out);
+}
+
+std::ifstream open_input(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw io_error{"cannot open " + path.string()};
+    return in;
+}
+
+void write_q_params(byte_writer& w, const quant_params& p) {
+    w.f32(p.scale);
+    w.i32(p.zero_point);
+}
+
+quant_params read_q_params(byte_reader& r) {
+    quant_params p;
+    p.scale = r.f32();
+    p.zero_point = r.i32();
+    return p;
+}
+
+void write_i8_vector(byte_writer& w, const std::vector<std::int8_t>& v) {
+    w.u64(static_cast<std::uint64_t>(v.size()));
+    w.raw(v.data(), v.size());
+}
+
+std::vector<std::int8_t> read_i8_vector(byte_reader& r) {
+    const std::uint64_t count = r.u64();
+    if (count > r.remaining()) throw io_error{"quantized model: implausible weight count"};
+    std::vector<std::int8_t> v(static_cast<std::size_t>(count));
+    r.raw(v.data(), v.size());
+    return v;
+}
+
+void write_f32_vector(byte_writer& w, const std::vector<float>& v) {
+    w.u64(static_cast<std::uint64_t>(v.size()));
+    w.raw(v.data(), v.size() * sizeof(float));
+}
+
+std::vector<float> read_f32_vector(byte_reader& r) {
+    const std::uint64_t count = r.u64();
+    if (count > r.remaining() / sizeof(float)) {
+        throw io_error{"quantized model: implausible vector length"};
+    }
+    std::vector<float> v(static_cast<std::size_t>(count));
+    r.raw(v.data(), v.size() * sizeof(float));
+    return v;
+}
+
+// Op tags in the serialized stream (stable across versions; append-only).
+enum : std::uint8_t {
+    tag_conv = 0,
+    tag_dense = 1,
+    tag_pool = 2,
+    tag_global_pool = 3,
+    tag_flatten = 4,
+};
+
+}  // namespace
+
+void save_weights(std::ostream& out, const sequential& model) {
+    // sequential::save already frames parameters with its own magic and
+    // layout fingerprint; the envelope adds versioning and the checksum.
+    std::ostringstream inner;
+    model.save(inner);
+    const std::string bytes = inner.str();
+    byte_writer payload;
+    payload.u64(static_cast<std::uint64_t>(bytes.size()));
+    payload.raw(bytes.data(), bytes.size());
+    write_envelope(out, weights_magic, weights_version, payload);
+}
+
+void load_weights(std::istream& in, sequential& model) {
+    const envelope env = read_envelope(in, weights_magic, weights_version, "fp32 weights");
+    byte_reader reader{env.payload};
+    const std::uint64_t size = reader.u64();
+    if (size != reader.remaining()) {
+        throw io_error{"fp32 weights: inner payload length mismatch"};
+    }
+    std::string bytes(static_cast<std::size_t>(size), '\0');
+    reader.raw(bytes.data(), bytes.size());
+    std::istringstream inner{bytes};
+    model.load(inner);
+}
+
+void save_weights_file(const std::filesystem::path& path, const sequential& model) {
+    save_to_file(path, [&](std::ostream& out) { save_weights(out, model); });
+}
+
+void load_weights_file(const std::filesystem::path& path, sequential& model) {
+    auto in = open_input(path);
+    load_weights(in, model);
+}
+
+void save_quantized(std::ostream& out, const quantized_model& model) {
+    byte_writer payload;
+    write_q_params(payload, model.input_params());
+    payload.u64(static_cast<std::uint64_t>(model.op_count()));
+    for (std::size_t i = 0; i < model.op_count(); ++i) {
+        std::visit(
+            [&](const auto& op) {
+                using T = std::decay_t<decltype(op)>;
+                if constexpr (std::is_same_v<T, q_conv_op>) {
+                    payload.u8(tag_conv);
+                    payload.u64(op.kernel);
+                    payload.u64(op.in_channels);
+                    payload.u64(op.out_channels);
+                    payload.u64(op.pad);
+                    write_i8_vector(payload, op.weights);
+                    write_f32_vector(payload, op.weight_scales);
+                    write_f32_vector(payload, op.bias);
+                    write_q_params(payload, op.in_q);
+                    write_q_params(payload, op.out_q);
+                    payload.u8(op.fused_relu ? 1 : 0);
+                } else if constexpr (std::is_same_v<T, q_dense_op>) {
+                    payload.u8(tag_dense);
+                    payload.u64(op.in_features);
+                    payload.u64(op.out_features);
+                    write_i8_vector(payload, op.weights);
+                    write_f32_vector(payload, op.weight_scales);
+                    write_f32_vector(payload, op.bias);
+                    write_q_params(payload, op.in_q);
+                    write_q_params(payload, op.out_q);
+                    payload.u8(op.fused_relu ? 1 : 0);
+                } else if constexpr (std::is_same_v<T, q_pool_op>) {
+                    payload.u8(tag_pool);
+                    payload.u64(op.window);
+                } else if constexpr (std::is_same_v<T, q_global_pool_op>) {
+                    payload.u8(tag_global_pool);
+                } else {
+                    payload.u8(tag_flatten);
+                }
+            },
+            model.op_at(i));
+    }
+    write_envelope(out, qmodel_magic, qmodel_version, payload);
+}
+
+quantized_model load_quantized(std::istream& in) {
+    const envelope env = read_envelope(in, qmodel_magic, qmodel_version, "quantized model");
+    byte_reader reader{env.payload};
+    quantized_model model;
+    model.set_input_params(read_q_params(reader));
+    const std::uint64_t op_count = reader.u64();
+    if (op_count > env.payload.size()) {
+        throw io_error{"quantized model: implausible op count"};
+    }
+    for (std::uint64_t i = 0; i < op_count; ++i) {
+        switch (reader.u8()) {
+            case tag_conv: {
+                q_conv_op op;
+                op.kernel = static_cast<std::size_t>(reader.u64());
+                op.in_channels = static_cast<std::size_t>(reader.u64());
+                op.out_channels = static_cast<std::size_t>(reader.u64());
+                op.pad = static_cast<std::size_t>(reader.u64());
+                op.weights = read_i8_vector(reader);
+                op.weight_scales = read_f32_vector(reader);
+                op.bias = read_f32_vector(reader);
+                op.in_q = read_q_params(reader);
+                op.out_q = read_q_params(reader);
+                op.fused_relu = reader.u8() != 0;
+                if (op.weights.size() !=
+                        op.kernel * op.kernel * op.in_channels * op.out_channels ||
+                    op.weight_scales.size() != op.out_channels ||
+                    op.bias.size() != op.out_channels) {
+                    throw io_error{"quantized model: inconsistent conv op"};
+                }
+                model.add_op(std::move(op));
+                break;
+            }
+            case tag_dense: {
+                q_dense_op op;
+                op.in_features = static_cast<std::size_t>(reader.u64());
+                op.out_features = static_cast<std::size_t>(reader.u64());
+                op.weights = read_i8_vector(reader);
+                op.weight_scales = read_f32_vector(reader);
+                op.bias = read_f32_vector(reader);
+                op.in_q = read_q_params(reader);
+                op.out_q = read_q_params(reader);
+                op.fused_relu = reader.u8() != 0;
+                if (op.weights.size() != op.in_features * op.out_features ||
+                    op.weight_scales.size() != op.out_features ||
+                    op.bias.size() != op.out_features) {
+                    throw io_error{"quantized model: inconsistent dense op"};
+                }
+                model.add_op(std::move(op));
+                break;
+            }
+            case tag_pool: {
+                q_pool_op op;
+                op.window = static_cast<std::size_t>(reader.u64());
+                model.add_op(op);
+                break;
+            }
+            case tag_global_pool:
+                model.add_op(q_global_pool_op{});
+                break;
+            case tag_flatten:
+                model.add_op(q_flatten_op{});
+                break;
+            default:
+                throw io_error{"quantized model: unknown op tag"};
+        }
+    }
+    reader.expect_exhausted("quantized model");
+    return model;
+}
+
+void save_quantized_file(const std::filesystem::path& path, const quantized_model& model) {
+    save_to_file(path, [&](std::ostream& out) { save_quantized(out, model); });
+}
+
+quantized_model load_quantized_file(const std::filesystem::path& path) {
+    auto in = open_input(path);
+    return load_quantized(in);
+}
+
+void save_object_pool(std::ostream& out, const object_pool& pool) {
+    byte_writer payload;
+    payload.u64(static_cast<std::uint64_t>(pool.points().size()));
+    for (const auto& p : pool.points()) {
+        payload.f64(p.x);
+        payload.f64(p.y);
+        payload.f64(p.z);
+    }
+    write_envelope(out, pool_magic, pool_version, payload);
+}
+
+object_pool load_object_pool(std::istream& in) {
+    const envelope env = read_envelope(in, pool_magic, pool_version, "object pool");
+    byte_reader reader{env.payload};
+    const std::uint64_t count = reader.u64();
+    if (count > reader.remaining() / 24) {  // 3 x f64 per point
+        throw io_error{"object pool: implausible point count"};
+    }
+    point_cloud points;
+    points.reserve(static_cast<std::size_t>(count));
+    for (std::uint64_t i = 0; i < count; ++i) {
+        const double x = reader.f64();
+        const double y = reader.f64();
+        const double z = reader.f64();
+        points.push_back({x, y, z});
+    }
+    reader.expect_exhausted("object pool");
+    object_pool pool;
+    pool.add_cloud(points);
+    return pool;
+}
+
+void save_object_pool_file(const std::filesystem::path& path, const object_pool& pool) {
+    save_to_file(path, [&](std::ostream& out) { save_object_pool(out, pool); });
+}
+
+object_pool load_object_pool_file(const std::filesystem::path& path) {
+    auto in = open_input(path);
+    return load_object_pool(in);
+}
+
+}  // namespace hawc::replay

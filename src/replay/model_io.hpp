@@ -1,0 +1,52 @@
+#pragma once
+
+// Checksummed serialization for the two classifier implementations the
+// parity harness diffs — the fp32 `sequential` and the int8
+// `quantized_model` — plus the object pool their shared featurizer draws
+// padding points from. All three ride the replay binary envelope
+// (magic, version, FNV-1a checksum; see binary_io.hpp), so a corrupted
+// artifact fails loudly at load instead of silently skewing a parity run.
+//
+// fp32 weights wrap sequential's own save/load payload (which carries the
+// architecture fingerprint); the target network must be constructed with
+// the same architecture before loading. The quantized model is fully
+// self-describing and needs no pre-built skeleton.
+
+#include <cstdint>
+#include <filesystem>
+#include <iosfwd>
+
+#include "features/upsampling.hpp"
+#include "nn/sequential.hpp"
+#include "quant/q_model.hpp"
+
+namespace hawc::replay {
+
+inline constexpr std::uint32_t weights_magic = 0x574D5748;   // "HWMW"
+inline constexpr std::uint16_t weights_version = 1;
+inline constexpr std::uint32_t qmodel_magic = 0x4D515748;    // "HWQM"
+inline constexpr std::uint16_t qmodel_version = 1;
+inline constexpr std::uint32_t pool_magic = 0x4F505748;      // "HWPO"
+inline constexpr std::uint16_t pool_version = 1;
+
+/// ---- fp32 sequential weights ----
+void save_weights(std::ostream& out, const sequential& model);
+void load_weights(std::istream& in, sequential& model);
+void save_weights_file(const std::filesystem::path& path, const sequential& model);
+void load_weights_file(const std::filesystem::path& path, sequential& model);
+
+/// ---- int8 quantized model ----
+void save_quantized(std::ostream& out, const quantized_model& model);
+quantized_model load_quantized(std::istream& in);
+void save_quantized_file(const std::filesystem::path& path, const quantized_model& model);
+quantized_model load_quantized_file(const std::filesystem::path& path);
+
+/// ---- object pool (featurizer padding state) ----
+/// Points are stored as float64, so an in-memory pool round-trips
+/// bit-exactly regardless of provenance.
+void save_object_pool(std::ostream& out, const object_pool& pool);
+object_pool load_object_pool(std::istream& in);
+void save_object_pool_file(const std::filesystem::path& path, const object_pool& pool);
+object_pool load_object_pool_file(const std::filesystem::path& path);
+
+}  // namespace hawc::replay

@@ -4,9 +4,11 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "common/error.hpp"
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "nn/activations.hpp"
 #include "nn/batch_norm.hpp"
 #include "nn/conv2d.hpp"
@@ -229,6 +231,137 @@ TEST(quantize_model, rejects_empty_calibration) {
     sequential net;
     net.emplace<dense>(2, 2, r);
     EXPECT_THROW(quantize_model(net, {}), invalid_argument_error);
+}
+
+TEST(range_observer, skips_non_finite_values) {
+    range_observer obs;
+    tensor t{{1, 6}};
+    t[0] = 1.5f;
+    t[1] = std::numeric_limits<float>::quiet_NaN();
+    t[2] = -2.0f;
+    t[3] = std::numeric_limits<float>::infinity();
+    t[4] = -std::numeric_limits<float>::infinity();
+    t[5] = 0.5f;
+    obs.observe(t);
+    EXPECT_FLOAT_EQ(obs.lo, -2.0f);
+    EXPECT_FLOAT_EQ(obs.hi, 1.5f);
+    const quant_params p = obs.params();
+    EXPECT_TRUE(std::isfinite(p.scale));
+    EXPECT_GT(p.scale, 0.0f);
+}
+
+TEST(range_observer, all_non_finite_yields_usable_params) {
+    range_observer obs;
+    tensor t{{1, 2}};
+    t[0] = std::numeric_limits<float>::quiet_NaN();
+    t[1] = std::numeric_limits<float>::infinity();
+    obs.observe(t);
+    // Nothing finite was seen: params degrade to the degenerate-range
+    // default rather than a NaN scale.
+    const quant_params p = obs.params();
+    EXPECT_TRUE(std::isfinite(p.scale));
+    EXPECT_GT(p.scale, 0.0f);
+}
+
+TEST(quant_params, non_finite_inputs_quantize_deterministically) {
+    const quant_params p = quant_params::from_range(-1.0f, 3.0f);
+    EXPECT_EQ(p.quantize(std::numeric_limits<float>::quiet_NaN()),
+              static_cast<std::int8_t>(p.zero_point));
+    EXPECT_EQ(p.quantize(std::numeric_limits<float>::infinity()), 127);
+    EXPECT_EQ(p.quantize(-std::numeric_limits<float>::infinity()), -128);
+}
+
+TEST(quant_params, from_range_survives_non_finite_bounds) {
+    const quant_params p =
+        quant_params::from_range(std::numeric_limits<float>::quiet_NaN(),
+                                 std::numeric_limits<float>::infinity());
+    EXPECT_TRUE(std::isfinite(p.scale));
+    EXPECT_GT(p.scale, 0.0f);
+    EXPECT_EQ(p.quantize(0.0f), p.zero_point);
+}
+
+TEST(quantize_model, nan_calibration_sample_does_not_poison_model) {
+    rng r{21};
+    sequential net;
+    net.emplace<dense>(4, 6, r);
+    net.emplace<relu>();
+    net.emplace<dense>(6, 2, r);
+
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 8; ++i) calibration.push_back(random_tensor({1, 4}, r));
+    // One poisoned sample: a NaN and an Inf land in the input observer and
+    // every activation observer downstream.
+    calibration.push_back(random_tensor({1, 4}, r));
+    calibration.back()[0] = std::numeric_limits<float>::quiet_NaN();
+    calibration.back()[2] = std::numeric_limits<float>::infinity();
+
+    const quantized_model q = quantize_model(net, calibration);
+    const tensor out = q.forward(random_tensor({1, 4}, r));
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        EXPECT_TRUE(std::isfinite(out[i])) << "logit " << i << " is non-finite";
+    }
+}
+
+TEST(quantize_model, dense_rows_identical_across_thread_counts) {
+    rng r{22};
+    sequential net;
+    net.emplace<dense>(32, 48, r);
+    net.emplace<relu>();
+    net.emplace<dense>(48, 2, r);
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 8; ++i) calibration.push_back(random_tensor({1, 32}, r));
+    const quantized_model q = quantize_model(net, calibration);
+    const tensor batch = random_tensor({7, 32}, r);
+
+    const std::size_t original = global_pool().thread_count();
+    set_global_thread_count(1);
+    const tensor reference = q.forward(batch);
+    for (std::size_t threads : {2u, 3u, 5u, 8u}) {
+        set_global_thread_count(threads);
+        EXPECT_EQ(q.forward(batch), reference) << "at " << threads << " threads";
+    }
+    set_global_thread_count(original);
+}
+
+TEST(quantize_model, conv_relu_without_batch_norm_fuses) {
+    rng r{23};
+    sequential net;
+    net.emplace<conv2d>(2, 4, 3, padding::same, r);
+    net.emplace<relu>();  // no batch_norm between conv and relu
+    net.emplace<flatten>();
+    net.emplace<dense>(4 * 4 * 4, 2, r);  // trailing dense, no relu after
+
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 8; ++i) calibration.push_back(random_tensor({1, 4, 4, 2}, r));
+    const quantized_model q = quantize_model(net, calibration);
+
+    ASSERT_EQ(q.op_count(), 3u);  // conv(+relu), flatten, dense
+    const auto& conv_op = std::get<q_conv_op>(q.op_at(0));
+    EXPECT_TRUE(conv_op.fused_relu);
+    const auto& dense_op = std::get<q_dense_op>(q.op_at(2));
+    EXPECT_FALSE(dense_op.fused_relu);
+
+    // The grouping still computes the right thing: fused conv+relu output
+    // matches fp32 argmax on most fresh inputs.
+    std::size_t agree = 0;
+    for (int i = 0; i < 40; ++i) {
+        const tensor x = random_tensor({1, 4, 4, 2}, r);
+        const tensor fp = net.forward(x, false);
+        const tensor qo = q.forward(x);
+        if ((fp.at(0, 1) > fp.at(0, 0)) == (qo.at(0, 1) > qo.at(0, 0))) ++agree;
+    }
+    EXPECT_GE(agree, 34);
+}
+
+TEST(quantize_model, rejects_unsupported_layer) {
+    rng r{24};
+    sequential net;
+    net.emplace<dense>(4, 4, r);
+    net.emplace<batch_norm>(4);   // bn after dense is fine (folded)...
+    net.emplace<relu>();
+    net.emplace<batch_norm>(4);   // ...but a standalone bn has no home
+    std::vector<tensor> calibration{random_tensor({1, 4}, r)};
+    EXPECT_THROW(quantize_model(net, calibration), invalid_argument_error);
 }
 
 TEST(quantize_model, weight_scales_per_channel) {

@@ -1,0 +1,366 @@
+// Tests for the record/replay + parity subsystem: the checksummed binary
+// envelope, corpus and model serialization round trips (bit-exact),
+// corruption detection, deterministic recording/replaying, and the
+// differential parity checker's ability to both pass identical pairs and
+// flag genuinely divergent ones.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+
+#include "common/thread_pool.hpp"
+#include "nn/activations.hpp"
+#include "nn/dense.hpp"
+#include "quant/calibrate.hpp"
+#include "replay/binary_io.hpp"
+#include "replay/frame_format.hpp"
+#include "replay/model_io.hpp"
+#include "replay/parity_checker.hpp"
+#include "replay/replay_driver.hpp"
+
+namespace hawc::replay {
+namespace {
+
+// A small sensor keeps recording fast; clusters still form.
+capture_config test_capture() {
+    capture_config config;
+    config.sensor.channels = 16;
+    config.sensor.azimuth_steps = 512;
+    config.min_cluster_points = 8;
+    return config;
+}
+
+record_config test_record(std::uint64_t seed = 77, std::size_t frames = 4) {
+    record_config config;
+    config.name = "test";
+    config.seed = seed;
+    config.frames = frames;
+    config.max_people = 4;
+    config.capture = test_capture();
+    return config;
+}
+
+/// Deterministic stand-in classifier: human iff the cluster has at least
+/// `min_points` points. Thread-safe and rng-free, so parity across any
+/// pair of identical thresholds is exact by construction.
+class size_threshold_classifier final : public human_classifier {
+public:
+    explicit size_threshold_classifier(std::size_t min_points) : min_points_{min_points} {}
+    bool is_human(const point_cloud& cluster, rng&) const override {
+        return cluster.size() >= min_points_;
+    }
+    std::string name() const override { return "size-threshold"; }
+    bool thread_safe() const override { return true; }
+
+private:
+    std::size_t min_points_;
+};
+
+// ---- binary envelope -----------------------------------------------------
+
+TEST(binary_envelope, round_trips) {
+    byte_writer payload;
+    payload.u32(0xdeadbeef);
+    payload.str("hello");
+    payload.f64(1.5);
+    std::ostringstream out;
+    write_envelope(out, 0x41424344, 3, payload);
+
+    std::istringstream in{out.str()};
+    const envelope env = read_envelope(in, 0x41424344, 3, "test");
+    EXPECT_EQ(env.version, 3);
+    byte_reader reader{env.payload};
+    EXPECT_EQ(reader.u32(), 0xdeadbeefu);
+    EXPECT_EQ(reader.str(), "hello");
+    EXPECT_EQ(reader.f64(), 1.5);
+    reader.expect_exhausted("test");
+}
+
+TEST(binary_envelope, rejects_bad_magic) {
+    byte_writer payload;
+    payload.u32(7);
+    std::ostringstream out;
+    write_envelope(out, 0x11111111, 1, payload);
+    std::istringstream in{out.str()};
+    EXPECT_THROW(read_envelope(in, 0x22222222, 1, "test"), io_error);
+}
+
+TEST(binary_envelope, rejects_future_version) {
+    byte_writer payload;
+    payload.u32(7);
+    std::ostringstream out;
+    write_envelope(out, 0x11111111, 5, payload);
+    std::istringstream in{out.str()};
+    EXPECT_THROW(read_envelope(in, 0x11111111, 4, "test"), io_error);
+}
+
+TEST(binary_envelope, rejects_corrupted_payload) {
+    byte_writer payload;
+    payload.str("precious data");
+    std::ostringstream out;
+    write_envelope(out, 0x11111111, 1, payload);
+    std::string bytes = out.str();
+    bytes[bytes.size() - 3] ^= 0x40;  // flip a payload bit
+    std::istringstream in{bytes};
+    EXPECT_THROW(read_envelope(in, 0x11111111, 1, "test"), io_error);
+}
+
+TEST(binary_envelope, rejects_truncation) {
+    byte_writer payload;
+    for (int i = 0; i < 64; ++i) payload.u32(i);
+    std::ostringstream out;
+    write_envelope(out, 0x11111111, 1, payload);
+    const std::string bytes = out.str();
+    for (const std::size_t keep : {std::size_t{3}, std::size_t{10}, bytes.size() - 5}) {
+        std::istringstream in{bytes.substr(0, keep)};
+        EXPECT_THROW(read_envelope(in, 0x11111111, 1, "test"), io_error) << keep;
+    }
+}
+
+TEST(byte_reader, bounds_checked) {
+    byte_writer payload;
+    payload.u16(9);
+    byte_reader reader{payload.bytes()};
+    EXPECT_EQ(reader.u16(), 9);
+    EXPECT_THROW(reader.u32(), io_error);
+}
+
+// ---- frame corpus --------------------------------------------------------
+
+TEST(frame_corpus, record_is_deterministic) {
+    const frame_corpus a = record_corpus(test_record());
+    const frame_corpus b = record_corpus(test_record());
+    EXPECT_EQ(a, b);
+    const frame_corpus c = record_corpus(test_record(/*seed=*/78));
+    EXPECT_NE(a, c);
+}
+
+TEST(frame_corpus, round_trips_bit_exactly) {
+    const frame_corpus corpus = record_corpus(test_record());
+    ASSERT_EQ(corpus.size(), 4u);
+    EXPECT_GT(corpus.total_points(), 0u);
+
+    std::ostringstream out;
+    save_corpus(out, corpus);
+    std::istringstream in{out.str()};
+    const frame_corpus loaded = load_corpus(in);
+    EXPECT_EQ(loaded, corpus);  // bit-exact, including every coordinate
+}
+
+TEST(frame_corpus, corrupted_file_fails_cleanly) {
+    const frame_corpus corpus = record_corpus(test_record());
+    std::ostringstream out;
+    save_corpus(out, corpus);
+    std::string bytes = out.str();
+    bytes[bytes.size() / 2] ^= 0x01;
+    std::istringstream in{bytes};
+    EXPECT_THROW(load_corpus(in), io_error);
+}
+
+TEST(frame_corpus, fault_injected_recording_differs) {
+    record_config faulty = test_record();
+    faulty.inject_faults = true;
+    faulty.faults.beam_dropout_prob = 0.5;
+    const frame_corpus clean = record_corpus(test_record());
+    const frame_corpus degraded = record_corpus(faulty);
+    EXPECT_NE(clean, degraded);
+}
+
+TEST(frame_seed_fn, order_independent_and_distinct) {
+    const std::uint64_t s3 = frame_seed(42, 3);
+    EXPECT_EQ(frame_seed(42, 3), s3);  // pure function of (base, index)
+    EXPECT_NE(frame_seed(42, 3), frame_seed(42, 4));
+    EXPECT_NE(frame_seed(42, 3), frame_seed(43, 3));
+}
+
+// ---- model serialization -------------------------------------------------
+
+sequential make_net(rng& r) {
+    sequential net;
+    net.emplace<dense>(6, 10, r);
+    net.emplace<relu>();
+    net.emplace<dense>(10, 2, r);
+    return net;
+}
+
+tensor make_input(rng& r) {
+    tensor t{{1, 6}};
+    for (std::size_t i = 0; i < t.size(); ++i) t[i] = static_cast<float>(r.normal());
+    return t;
+}
+
+TEST(model_io, weights_round_trip_bit_exactly) {
+    rng r{5};
+    sequential net = make_net(r);
+    std::ostringstream out;
+    save_weights(out, net);
+
+    rng r2{99};  // different init, overwritten by load
+    sequential restored = make_net(r2);
+    std::istringstream in{out.str()};
+    load_weights(in, restored);
+
+    rng probe{1};
+    for (int i = 0; i < 5; ++i) {
+        const tensor x = make_input(probe);
+        EXPECT_EQ(restored.infer(x), net.infer(x));
+    }
+}
+
+TEST(model_io, weights_reject_architecture_mismatch) {
+    rng r{5};
+    sequential net = make_net(r);
+    std::ostringstream out;
+    save_weights(out, net);
+
+    sequential other;
+    other.emplace<dense>(6, 4, r);
+    std::istringstream in{out.str()};
+    EXPECT_THROW(load_weights(in, other), io_error);
+}
+
+TEST(model_io, quantized_round_trip_bit_exactly) {
+    rng r{6};
+    sequential net = make_net(r);
+    std::vector<tensor> calibration;
+    for (int i = 0; i < 8; ++i) calibration.push_back(make_input(r));
+    const quantized_model q = quantize_model(net, calibration);
+
+    std::ostringstream out;
+    save_quantized(out, q);
+    std::istringstream in{out.str()};
+    const quantized_model loaded = load_quantized(in);
+
+    ASSERT_EQ(loaded.op_count(), q.op_count());
+    rng probe{2};
+    for (int i = 0; i < 5; ++i) {
+        const tensor x = make_input(probe);
+        EXPECT_EQ(loaded.forward(x), q.forward(x));  // int8 math is exact
+    }
+}
+
+TEST(model_io, quantized_rejects_inconsistent_op) {
+    rng r{6};
+    sequential net = make_net(r);
+    std::vector<tensor> calibration{make_input(r)};
+    const quantized_model q = quantize_model(net, calibration);
+    std::ostringstream out;
+    save_quantized(out, q);
+    std::string bytes = out.str();
+    // Corrupt a byte: either the checksum or (if it survived) an op field
+    // consistency check must reject the load — never UB.
+    bytes[40] ^= 0x08;
+    std::istringstream in{bytes};
+    EXPECT_THROW(load_quantized(in), io_error);
+}
+
+TEST(model_io, object_pool_round_trips_bit_exactly) {
+    rng r{7};
+    point_cloud points;
+    for (int i = 0; i < 50; ++i) {
+        points.push_back({r.normal(), r.normal(), r.normal()});
+    }
+    object_pool pool;
+    pool.add_cloud(points);
+
+    std::ostringstream out;
+    save_object_pool(out, pool);
+    std::istringstream in{out.str()};
+    const object_pool loaded = load_object_pool(in);
+    ASSERT_EQ(loaded.points().size(), pool.points().size());
+    for (std::size_t i = 0; i < pool.points().size(); ++i) {
+        EXPECT_EQ(loaded.points()[i], pool.points()[i]);
+    }
+}
+
+// ---- replay + parity -----------------------------------------------------
+
+TEST(replay, deterministic_across_runs) {
+    const frame_corpus corpus = record_corpus(test_record());
+    const size_threshold_classifier classifier{10};
+    supervisor_config config;
+    config.capture = test_capture();
+    config.eps_selection_deadline_ms = 0;
+    config.classification_deadline_ms = 0;
+    config.frame_deadline_ms = 0;
+
+    frame_supervisor a{config, classifier};
+    frame_supervisor b{config, classifier};
+    const replay_result ra = replay_corpus(a, corpus);
+    const replay_result rb = replay_corpus(b, corpus);
+    ASSERT_EQ(ra.reports.size(), corpus.size());
+    EXPECT_EQ(ra.total_count, rb.total_count);
+    for (std::size_t i = 0; i < corpus.size(); ++i) {
+        EXPECT_EQ(ra.reports[i].count, rb.reports[i].count);
+        EXPECT_EQ(ra.reports[i].chosen_eps, rb.reports[i].chosen_eps);
+    }
+    EXPECT_EQ(ra.frames_ok + ra.frames_degraded + ra.frames_dropped, corpus.size());
+}
+
+TEST(parity, identical_pair_has_zero_divergences) {
+    const frame_corpus corpus = record_corpus(test_record());
+    const size_threshold_classifier a{10};
+    const size_threshold_classifier b{10};
+    supervisor_config config;
+    config.capture = test_capture();
+
+    telemetry::metrics_registry metrics;
+    const parity_report report =
+        check_count_parity("same_vs_same", corpus, config, a, b, &metrics);
+    EXPECT_TRUE(report.passed()) << report.summary();
+    EXPECT_EQ(report.frames, corpus.size());
+    EXPECT_EQ(metrics.find_counter("hawc_parity_divergences_total")->value(), 0u);
+    EXPECT_EQ(metrics.find_counter("hawc_parity_frames_compared_total")->value(),
+              corpus.size());
+}
+
+TEST(parity, detects_divergent_pair) {
+    const frame_corpus corpus = record_corpus(test_record(/*seed=*/123, /*frames=*/6));
+    // Thresholds straddling typical cluster sizes: the pair must disagree
+    // on at least one frame's count.
+    const size_threshold_classifier lenient{8};
+    const size_threshold_classifier strict{200};
+    supervisor_config config;
+    config.capture = test_capture();
+
+    telemetry::metrics_registry metrics;
+    const parity_report report =
+        check_count_parity("lenient_vs_strict", corpus, config, lenient, strict, &metrics);
+    EXPECT_FALSE(report.passed());
+    EXPECT_GT(metrics.find_counter("hawc_parity_divergences_total")->value(), 0u);
+    EXPECT_GT(
+        metrics.find_counter("hawc_parity_lenient_vs_strict_divergences_total")->value(),
+        0u);
+}
+
+TEST(parity, thread_sweep_is_bit_identical) {
+    const frame_corpus corpus = record_corpus(test_record());
+    const size_threshold_classifier classifier{10};
+    supervisor_config config;
+    config.capture = test_capture();
+
+    const std::size_t original = global_pool().thread_count();
+    parity_config parity;
+    parity.thread_counts = {1, 2, 5};
+    const parity_report report = check_thread_parity(corpus, config, classifier, parity);
+    set_global_thread_count(original);
+    EXPECT_TRUE(report.passed()) << report.summary();
+    EXPECT_EQ(report.comparisons, corpus.size() * 2);  // two candidate counts
+    EXPECT_EQ(global_pool().thread_count(), original);
+}
+
+TEST(parity, ladder_divergence_respects_budget) {
+    const frame_corpus corpus = record_corpus(test_record());
+    const size_threshold_classifier classifier{10};
+
+    parity_config loose;
+    loose.ladder_max_count_delta = 1000;  // nothing can exceed this
+    const parity_report report = check_ladder_divergence(
+        corpus, test_capture(), classifier, /*fixed_eps=*/0.35, loose);
+    EXPECT_TRUE(report.passed()) << report.summary();
+    EXPECT_EQ(report.comparisons, corpus.size());
+}
+
+}  // namespace
+}  // namespace hawc::replay
