@@ -76,7 +76,7 @@ int main() {
     }
 
     // Hierarchical linkage sweep.
-    for (const auto [name, link] :
+    for (const auto& [name, link] :
          {std::pair{"Hierarchical single 0.15", linkage::single},
           std::pair{"Hierarchical complete 0.8", linkage::complete},
           std::pair{"Hierarchical average 0.4", linkage::average}}) {
@@ -96,7 +96,8 @@ int main() {
                 const double stride = static_cast<double>(working.size()) /
                                       static_cast<double>(cfg.max_points);
                 for (std::size_t i = 0; i < cfg.max_points; ++i) {
-                    reduced.push_back(working[static_cast<std::size_t>(i * stride)]);
+                    reduced.push_back(
+                        working[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
                 }
                 working = std::move(reduced);
             }

@@ -31,7 +31,8 @@ int main() {
     std::cout << "fraction of samples above the Coral's 50 degC limit: "
               << text_table::num(100.0 * series.fraction_above(50.0)) << "%\n";
     std::cout << "samples: " << series.samples.size() << " (every 1.7 min, "
-              << text_table::num(series.samples.size() / 18.0, 0) << "/day)\n";
+              << text_table::num(static_cast<double>(series.samples.size()) / 18.0, 0)
+              << "/day)\n";
 
     // Daily profile sketch: mean pole temperature per 2-hour band.
     std::cout << "\nmean pole temperature by time of day:\n";

@@ -13,11 +13,14 @@
 #      past the budget)
 #   5. The golden-corpus parity gate (Release build): fp32-vs-int8 and
 #      1-vs-N-thread replays over data/golden must show zero divergences
+#   6. The static-analysis gate (scripts/lint.sh): linter self-test,
+#      banned-pattern scan, header self-sufficiency, HAWC_WERROR build,
+#      and clang-tidy when installed
 #
 # Setting HAWC_SANITIZE runs a single sanitizer configuration over the
 # full suite instead (any -fsanitize= value works):
 #
-#   scripts/check.sh                  # all five phases
+#   scripts/check.sh                  # all six phases
 #   HAWC_SANITIZE=thread scripts/check.sh
 #   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
@@ -43,27 +46,32 @@ if [[ -n "${HAWC_SANITIZE:-}" ]]; then
   exit 0
 fi
 
-echo "== phase 1/5: address,undefined over the full suite =="
+echo "== phase 1/6: address,undefined over the full suite =="
 run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
 
-echo "== phase 2/5: thread sanitizer over the concurrency tests =="
+echo "== phase 2/6: thread sanitizer over the concurrency tests =="
 run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity)\.'
 
-echo "== phase 3/5: bench snapshot smoke =="
+echo "== phase 3/6: bench snapshot smoke =="
 smoke_build="${repo_root}/build-sanitize"
 cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
 "${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
 python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
 echo "bench snapshot smoke OK"
 
-echo "== phase 4/5: telemetry overhead gate (Release, <= 2%) =="
+echo "== phase 4/6: telemetry overhead gate (Release, <= 2%) =="
 perf_build="${repo_root}/build"
 cmake -B "${perf_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${perf_build}" --target bench_telemetry_overhead -j "$(nproc)"
 "${perf_build}/bench/bench_telemetry_overhead"
 echo "telemetry overhead gate OK"
 
-echo "== phase 5/5: golden-corpus parity gate =="
+echo "== phase 5/6: golden-corpus parity gate =="
 cmake --build "${perf_build}" --target parity_checker -j "$(nproc)"
 "${perf_build}/examples/parity_checker" check "${repo_root}/data/golden"
 echo "parity gate OK"
+
+echo "== phase 6/6: static-analysis gate =="
+"${repo_root}/scripts/lint.sh" --self-test
+"${repo_root}/scripts/lint.sh"
+echo "static-analysis gate OK"

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Diff-only clang-format gate: checks C++ files changed relative to a base
+# revision (default: HEAD, i.e. uncommitted work; CI passes origin/main).
+# Deliberately never reformats the whole tree — the .clang-format config
+# documents the style, but only files you touch must satisfy it, so the
+# gate cannot generate bulk churn in unrelated code.
+#
+#   scripts/format_check.sh              # changed vs HEAD (staged+unstaged)
+#   scripts/format_check.sh origin/main  # changed vs a base ref
+#   scripts/format_check.sh --fix [ref]  # rewrite instead of checking
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+fix=0
+if [[ "${1:-}" == "--fix" ]]; then
+    fix=1
+    shift
+fi
+base="${1:-HEAD}"
+
+if ! command -v clang-format >/dev/null 2>&1; then
+    echo "format_check: clang-format not installed; skipping (CI runs it)" >&2
+    exit 0
+fi
+
+mapfile -t files < <(git diff --name-only --diff-filter=ACMR "${base}" -- \
+    '*.cpp' '*.hpp' | grep -v '^tests/lint/' || true)
+if [[ ${#files[@]} -eq 0 ]]; then
+    echo "format_check: no changed C++ files vs ${base}"
+    exit 0
+fi
+
+if [[ ${fix} -eq 1 ]]; then
+    clang-format -i "${files[@]}"
+    echo "format_check: reformatted ${#files[@]} file(s)"
+    exit 0
+fi
+
+status=0
+for f in "${files[@]}"; do
+    if ! clang-format --dry-run --Werror "${f}" 2>/dev/null; then
+        echo "format_check: ${f} needs formatting (run scripts/format_check.sh --fix ${base})"
+        status=1
+    fi
+done
+[[ ${status} -eq 0 ]] && echo "format_check: ${#files[@]} changed file(s) clean"
+exit "${status}"

@@ -1,0 +1,272 @@
+#!/usr/bin/env bash
+# Static-analysis gate (check.sh phase 6; CI job `static-analysis`).
+#
+# Phases, cheap first:
+#   1. Banned-pattern scan — project rules grep can enforce:
+#        raw-rng              rand()/srand()/std::random_device outside
+#                             common/rng (replays must be deterministic)
+#        naked-new            naked new/delete expressions (RAII only)
+#        mutex-in-lockfree    std::mutex in a file whose banner claims
+#                             lock-free behaviour
+#        double-seconds       duration<double>/duration<float> timing
+#                             outside common/timer.hpp
+#        wallclock-in-replay  any clock read inside src/replay — a wall
+#                             clock there would break bit-exact replay
+#      A hit is waived only by an inline `lint:allow(<rule>): <reason>`
+#      comment on the same line (the reason is mandatory by convention;
+#      DESIGN.md §11).
+#   2. Header self-sufficiency — every src/**/*.hpp must compile as a
+#      standalone translation unit (no include-order debt).
+#   3. HAWC_WERROR build — the hardened warning set as errors over
+#      src/tests/bench/examples (see CMakeLists.txt).
+#   4. clang-tidy over src/ TUs against the exported compile database,
+#      config in .clang-tidy (skipped with a notice when not installed;
+#      the CI static-analysis job always runs it).
+#
+# Usage:
+#   scripts/lint.sh                 # full gate (exit nonzero on any finding)
+#   scripts/lint.sh --self-test     # run the custom linters against the
+#                                   # tests/lint fixtures (registered as the
+#                                   # `lint.self_test` ctest)
+#   scripts/lint.sh --no-build      # phases 1+2 only (fast dev loop)
+#   HAWC_LINT_CMAKE_ARGS="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache" ...  # CI
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "${repo_root}"
+
+jobs="${HAWC_LINT_JOBS:-$(nproc)}"
+build_dir="${HAWC_LINT_BUILD_DIR:-${repo_root}/build-lint}"
+cxx="${CXX:-g++}"
+violations=0
+
+note() { printf '%s\n' "$*"; }
+
+# --- phase 1 machinery: banned patterns ------------------------------------
+
+# scan_rule <rule> <extended-regex> <file...>
+# Greps the comment-stripped content of each file (so prose about a pattern
+# does not trip the scan), then re-reads the raw line to honour
+# `lint:allow(<rule>)` waivers. Prints one line per violation.
+scan_rule() {
+    local rule="$1" ere="$2"
+    shift 2
+    local f hits line_no raw
+    for f in "$@"; do
+        hits="$(sed 's|//.*||' "${f}" | grep -nE "${ere}" | cut -d: -f1 || true)"
+        [[ -z "${hits}" ]] && continue
+        while IFS= read -r line_no; do
+            raw="$(sed -n "${line_no}p" "${f}")"
+            if [[ "${raw}" == *"lint:allow(${rule})"* ]]; then
+                continue
+            fi
+            note "lint[${rule}] ${f}:${line_no}: ${raw#"${raw%%[![:space:]]*}"}"
+            violations=$((violations + 1))
+        done <<< "${hits}"
+    done
+}
+
+# Files whose banner/comments claim lock-freedom; only these are in scope
+# for the mutex-in-lockfree rule.
+claims_lockfree() {
+    local f
+    for f in "$@"; do
+        if grep -qiE 'lock[-_]free' "${f}"; then
+            printf '%s\n' "${f}"
+        fi
+    done
+}
+
+ere_raw_rng='std::random_device|(^|[^[:alnum:]_])s?rand[[:space:]]*\('
+ere_naked_new='(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:]|(^|[^[:alnum:]_])delete([[:space:]]*\[[[:space:]]*\])?[[:space:]]+[[:alnum:]_*]'
+ere_mutex='std::(recursive_|shared_|timed_)?mutex'
+ere_double_seconds='duration<[[:space:]]*(double|float)'
+ere_wallclock='system_clock|high_resolution_clock|steady_clock|gettimeofday|clock_gettime|localtime|gmtime|(^|[^[:alnum:]_:])time[[:space:]]*\('
+
+phase_banned_patterns() {
+    note "== lint phase 1: banned-pattern scan =="
+    local all=() lockfree=()
+    mapfile -t all < <(find src bench tests examples \
+        \( -name '*.cpp' -o -name '*.hpp' \) -not -path 'tests/lint/*' | sort)
+
+    scan_rule raw-rng "${ere_raw_rng}" \
+        $(printf '%s\n' "${all[@]}" | grep -v '^src/common/rng\.')
+    scan_rule naked-new "${ere_naked_new}" "${all[@]}"
+    mapfile -t lockfree < <(claims_lockfree "${all[@]}")
+    if [[ ${#lockfree[@]} -gt 0 ]]; then
+        scan_rule mutex-in-lockfree "${ere_mutex}" "${lockfree[@]}"
+    fi
+    scan_rule double-seconds "${ere_double_seconds}" \
+        $(printf '%s\n' "${all[@]}" | grep -v '^src/common/timer\.hpp$')
+    scan_rule wallclock-in-replay "${ere_wallclock}" \
+        $(printf '%s\n' "${all[@]}" | grep '^src/replay/' || true)
+
+    if [[ ${violations} -eq 0 ]]; then
+        note "banned-pattern scan clean (${#all[@]} files)"
+    fi
+}
+
+# --- phase 2 machinery: header self-sufficiency ----------------------------
+
+# check_header <include-spec> <include-dir>
+# Compiles `#include "<include-spec>"` as its own TU. Returns nonzero (and
+# prints the compiler output) when the header is not self-sufficient.
+check_header() {
+    local spec="$1" incdir="$2"
+    local tu err
+    tu="$(mktemp /tmp/hawc_lint_hdr_XXXXXX.cpp)"
+    err="${tu%.cpp}.err"
+    printf '#include "%s"\nint main() { return 0; }\n' "${spec}" > "${tu}"
+    if ! "${cxx}" -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic \
+        -I "${incdir}" "${tu}" 2> "${err}"; then
+        note "lint[header-self-sufficiency] ${spec} does not compile standalone:"
+        sed 's/^/    /' "${err}"
+        rm -f "${tu}" "${err}"
+        return 1
+    fi
+    rm -f "${tu}" "${err}"
+}
+
+phase_headers() {
+    note "== lint phase 2: header self-sufficiency =="
+    local h count=0
+    while IFS= read -r h; do
+        if ! check_header "${h#src/}" "${repo_root}/src"; then
+            violations=$((violations + 1))
+        fi
+        count=$((count + 1))
+    done < <(find src -name '*.hpp' | sort)
+    note "checked ${count} public headers"
+}
+
+# --- phase 3: hardened-warnings build --------------------------------------
+
+phase_werror() {
+    note "== lint phase 3: HAWC_WERROR build (warnings are errors) =="
+    # shellcheck disable=SC2086  # HAWC_LINT_CMAKE_ARGS is intentionally split
+    cmake -B "${build_dir}" -S "${repo_root}" \
+        -DCMAKE_BUILD_TYPE=Release -DHAWC_WERROR=ON ${HAWC_LINT_CMAKE_ARGS:-}
+    cmake --build "${build_dir}" -j "${jobs}"
+    note "HAWC_WERROR build clean"
+}
+
+# --- phase 4: clang-tidy ---------------------------------------------------
+
+phase_tidy() {
+    note "== lint phase 4: clang-tidy =="
+    if ! command -v clang-tidy >/dev/null 2>&1; then
+        note "clang-tidy not installed; skipping (the CI static-analysis job runs it)"
+        return 0
+    fi
+    if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+        note "no compile database in ${build_dir}; run without --no-build first" >&2
+        violations=$((violations + 1))
+        return 0
+    fi
+    local tidy_files
+    mapfile -t tidy_files < <(find src -name '*.cpp' | sort)
+    # WarningsAsErrors: '*' in .clang-tidy turns any diagnostic into a
+    # nonzero exit; --quiet keeps warm-ccache CI logs readable.
+    if ! clang-tidy --quiet -p "${build_dir}" "${tidy_files[@]}"; then
+        violations=$((violations + 1))
+    fi
+}
+
+# --- self-test over tests/lint fixtures ------------------------------------
+
+# expect_hits <expected> <rule> <ere> <file...>
+expect_hits() {
+    local expected="$1" rule="$2"
+    shift 2
+    local before="${violations}" got
+    scan_rule "${rule}" "$@" > /dev/null
+    got=$((violations - before))
+    violations="${before}"
+    if [[ "${got}" -lt "${expected}" ]]; then
+        note "self-test FAIL: rule ${rule} found ${got} violation(s) in $*, expected >= ${expected}"
+        return 1
+    fi
+    if [[ "${expected}" -eq 0 && "${got}" -ne 0 ]]; then
+        note "self-test FAIL: rule ${rule} flagged clean fixture $* (${got} hits)"
+        return 1
+    fi
+}
+
+self_test() {
+    note "== lint self-test over tests/lint fixtures =="
+    local fx="tests/lint" failures=0
+
+    expect_hits 1 raw-rng "${ere_raw_rng}" "${fx}/bad/raw_rng.cpp" || failures=$((failures + 1))
+    expect_hits 2 naked-new "${ere_naked_new}" "${fx}/bad/naked_new.cpp" || failures=$((failures + 1))
+    expect_hits 1 mutex-in-lockfree "${ere_mutex}" \
+        $(claims_lockfree "${fx}/bad/mutex_lockfree.cpp") || failures=$((failures + 1))
+    expect_hits 1 double-seconds "${ere_double_seconds}" "${fx}/bad/double_seconds.cpp" \
+        || failures=$((failures + 1))
+    expect_hits 1 wallclock-in-replay "${ere_wallclock}" "${fx}/bad/replay/wallclock.cpp" \
+        || failures=$((failures + 1))
+
+    # The lock-free claim detector itself.
+    if [[ -z "$(claims_lockfree "${fx}/bad/mutex_lockfree.cpp")" ]]; then
+        note "self-test FAIL: claims_lockfree missed the fixture banner"
+        failures=$((failures + 1))
+    fi
+
+    # Clean fixtures: near-miss spellings and a waived hit must pass every rule.
+    local clean_files=("${fx}/clean/clean_snippets.cpp" "${fx}/clean/waived_mutex.cpp")
+    expect_hits 0 raw-rng "${ere_raw_rng}" "${clean_files[@]}" || failures=$((failures + 1))
+    expect_hits 0 naked-new "${ere_naked_new}" "${clean_files[@]}" || failures=$((failures + 1))
+    expect_hits 0 double-seconds "${ere_double_seconds}" "${clean_files[@]}" \
+        || failures=$((failures + 1))
+    local claiming
+    claiming="$(claims_lockfree "${clean_files[@]}")"
+    if [[ -n "${claiming}" ]]; then
+        expect_hits 0 mutex-in-lockfree "${ere_mutex}" ${claiming} || failures=$((failures + 1))
+    fi
+
+    # Header self-sufficiency: the broken fixture must fail, the clean pass.
+    if check_header "bad/header_missing_include.hpp" "${fx}" > /dev/null 2>&1; then
+        note "self-test FAIL: header check passed a non-self-sufficient header"
+        failures=$((failures + 1))
+    fi
+    if ! check_header "clean/clean_header.hpp" "${fx}"; then
+        note "self-test FAIL: header check rejected a self-sufficient header"
+        failures=$((failures + 1))
+    fi
+
+    if [[ ${failures} -gt 0 ]]; then
+        note "lint self-test: ${failures} failure(s)"
+        exit 1
+    fi
+    note "lint self-test OK"
+}
+
+# --- driver ----------------------------------------------------------------
+
+mode="full"
+case "${1:-}" in
+    --self-test) mode="self-test" ;;
+    --no-build) mode="no-build" ;;
+    "") ;;
+    *)
+        note "usage: scripts/lint.sh [--self-test|--no-build]" >&2
+        exit 2
+        ;;
+esac
+
+if [[ "${mode}" == "self-test" ]]; then
+    self_test
+    exit 0
+fi
+
+phase_banned_patterns
+phase_headers
+if [[ "${mode}" == "full" ]]; then
+    phase_werror
+    phase_tidy
+fi
+
+if [[ ${violations} -gt 0 ]]; then
+    note "lint: ${violations} violation(s)"
+    exit 1
+fi
+note "lint: clean"

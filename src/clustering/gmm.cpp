@@ -63,12 +63,13 @@ gmm_result gmm_cluster(const point_cloud& cloud, const gmm_config& config, rng& 
         }
         for (std::size_t c = 0; c < k; ++c) {
             result.components[c].mean = seed.centroids[c];
-            const double denom = std::max<std::size_t>(counts[c], 1);
+            const double denom = static_cast<double>(std::max<std::size_t>(counts[c], 1));
             result.components[c].variance = {
                 std::max(sq_sums[c].x / denom, config.min_variance),
                 std::max(sq_sums[c].y / denom, config.min_variance),
                 std::max(sq_sums[c].z / denom, config.min_variance)};
-            result.components[c].weight = std::max(1e-9, static_cast<double>(counts[c]) / n);
+            result.components[c].weight =
+                std::max(1e-9, static_cast<double>(counts[c]) / static_cast<double>(n));
         }
     }
 

@@ -101,7 +101,7 @@ struct thread_pool::impl {
 thread_pool::thread_pool(std::size_t threads) {
     lanes_ = threads == 0 ? 1 : threads;
     if (lanes_ == 1) return;
-    impl_ = new impl;
+    impl_ = std::make_unique<impl>();
     impl_->owner = this;
     impl_->lanes = lanes_;
     impl_->workers.reserve(lanes_ - 1);
@@ -118,7 +118,6 @@ thread_pool::~thread_pool() {
     }
     impl_->work_cv.notify_all();
     for (auto& w : impl_->workers) w.join();
-    delete impl_;
 }
 
 void thread_pool::parallel_for(std::size_t begin, std::size_t end, std::size_t grain,

@@ -19,6 +19,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <memory>
 
 namespace hawc {
 
@@ -71,7 +72,7 @@ private:
     std::atomic<std::uint64_t> inline_runs_{0};
     std::atomic<std::size_t> active_{0};
     struct impl;
-    impl* impl_ = nullptr;  // null when lanes_ == 1 (no workers spawned)
+    std::unique_ptr<impl> impl_;  // null when lanes_ == 1 (no workers spawned)
     std::size_t lanes_ = 1;
 };
 

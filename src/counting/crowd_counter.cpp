@@ -216,7 +216,7 @@ clusterer_fn make_hierarchical_clusterer(double cut_distance, const capture_conf
             const double stride =
                 static_cast<double>(cloud.size()) / static_cast<double>(hc.max_points);
             for (std::size_t i = 0; i < hc.max_points; ++i) {
-                reduced.push_back(cloud[static_cast<std::size_t>(i * stride)]);
+                reduced.push_back(cloud[static_cast<std::size_t>(static_cast<double>(i) * stride)]);
             }
             return hierarchical_cluster(reduced, hc).extract_clusters(reduced);
         }

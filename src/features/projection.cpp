@@ -151,7 +151,9 @@ tensor project_raster(const point_cloud& cloud, const vec3& anchor,
                 const double el = std::asin(std::clamp(p.z / range, -1.0, 1.0));
                 const auto [r, c] = g.cell(az, el, d);
                 float& depth = out.at(0, r, c, 0);
-                if (depth == 0.0f || range < depth) depth = static_cast<float>(range);
+                if (depth == 0.0f || range < static_cast<double>(depth)) {
+                    depth = static_cast<float>(range);
+                }
                 out.at(0, r, c, 1) += 1.0f;
             }
             break;

@@ -19,7 +19,7 @@ struct parameter {
     tensor value;
     tensor grad;
 
-    explicit parameter(std::vector<std::size_t> shape) : value{shape}, grad{shape} {}
+    explicit parameter(const std::vector<std::size_t>& dims) : value{dims}, grad{dims} {}
     parameter() = default;
 };
 

@@ -42,7 +42,7 @@ loss_result softmax_cross_entropy(const tensor& logits, std::span<const std::uin
         float* row = result.grad_logits.data() + n * classes;
 
         const float p = std::max(row[label], 1e-12f);
-        result.loss -= std::log(p);
+        result.loss -= std::log(static_cast<double>(p));
 
         std::size_t argmax = 0;
         for (std::size_t k = 1; k < classes; ++k) {

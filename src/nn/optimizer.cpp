@@ -35,11 +35,11 @@ void adam::step() {
         auto& m = m_[pi];
         auto& v = v_[pi];
         for (std::size_t i = 0; i < p.value.size(); ++i) {
-            const double g = p.grad[i];
-            m[i] = static_cast<float>(b1 * m[i] + (1.0 - b1) * g);
-            v[i] = static_cast<float>(b2 * v[i] + (1.0 - b2) * g * g);
-            const double m_hat = m[i] / bias1;
-            const double v_hat = v[i] / bias2;
+            const double g = static_cast<double>(p.grad[i]);
+            m[i] = static_cast<float>(b1 * static_cast<double>(m[i]) + (1.0 - b1) * g);
+            v[i] = static_cast<float>(b2 * static_cast<double>(v[i]) + (1.0 - b2) * g * g);
+            const double m_hat = static_cast<double>(m[i]) / bias1;
+            const double v_hat = static_cast<double>(v[i]) / bias2;
             p.value[i] -=
                 static_cast<float>(lr * m_hat / (std::sqrt(v_hat) + config_.epsilon));
         }
@@ -59,8 +59,8 @@ void sgd::step() {
         parameter& p = *params_[pi];
         auto& vel = velocity_[pi];
         for (std::size_t i = 0; i < p.value.size(); ++i) {
-            vel[i] = static_cast<float>(config_.momentum * vel[i] -
-                                        config_.learning_rate * p.grad[i]);
+            vel[i] = static_cast<float>(config_.momentum * static_cast<double>(vel[i]) -
+                                        config_.learning_rate * static_cast<double>(p.grad[i]));
             p.value[i] += vel[i];
         }
         p.grad.zero();

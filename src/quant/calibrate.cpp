@@ -229,12 +229,10 @@ eval_metrics evaluate_quantized(const quantized_model& model, const labelled_dat
     const double total = static_cast<double>(data.size());
     m.accuracy = static_cast<double>(m.true_positive + m.true_negative) / total;
     const double tp = static_cast<double>(m.true_positive);
-    m.precision = tp + m.false_positive > 0
-                      ? tp / static_cast<double>(m.true_positive + m.false_positive)
-                      : 0.0;
-    m.recall = tp + m.false_negative > 0
-                   ? tp / static_cast<double>(m.true_positive + m.false_negative)
-                   : 0.0;
+    const double fp = static_cast<double>(m.false_positive);
+    const double fn = static_cast<double>(m.false_negative);
+    m.precision = tp + fp > 0.0 ? tp / (tp + fp) : 0.0;
+    m.recall = tp + fn > 0.0 ? tp / (tp + fn) : 0.0;
     m.f1 = m.precision + m.recall > 0.0 ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
                                         : 0.0;
     return m;

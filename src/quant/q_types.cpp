@@ -34,8 +34,10 @@ std::int8_t quant_params::quantize(float real) const {
         }
         return real > 0.0f ? std::int8_t{127} : std::int8_t{-128};
     }
-    const float q = std::round(real / scale + static_cast<float>(zero_point));
-    return static_cast<std::int8_t>(std::clamp(q, -128.0f, 127.0f));
+    // real / scale is finite (scale >= span/255 > 0 from from_range) and
+    // zero_point is already clamped to int8 range, so the sum stays finite;
+    // saturate_to_int8 owns the rounding + saturation contract.
+    return saturate_to_int8(real / scale + static_cast<float>(zero_point));
 }
 
 q_tensor quantize_tensor(const tensor& real, const quant_params& params) {

@@ -5,12 +5,29 @@
 // paper applies (int8 asymmetric activations, symmetric per-channel
 // weights, int32 accumulators).
 
+#include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <vector>
 
 #include "nn/tensor.hpp"
 
 namespace hawc {
+
+/// Saturating float -> int8 conversion, the single rounding point of the
+/// whole quantization stack (quantize_tensor, the int32-accumulator
+/// requantize in q_model, calibration round trips). The contract, pinned
+/// by tests/test_quant.cpp:
+///   - rounding is half-away-from-zero (std::round): 0.5 -> 1, -0.5 -> -1;
+///   - values outside [-128, 127] saturate to the nearest endpoint, so the
+///     int8 cast is always in range (never implementation-defined);
+///   - the caller guarantees `q` is finite (quant_params::quantize screens
+///     NaN/Inf first — a NaN through std::clamp would be unordered and the
+///     int8 cast of it undefined behaviour).
+inline std::int8_t saturate_to_int8(float q) {
+    const float rounded = std::round(q);
+    return static_cast<std::int8_t>(std::clamp(rounded, -128.0f, 127.0f));
+}
 
 /// Affine quantization: real = scale * (q - zero_point).
 struct quant_params {

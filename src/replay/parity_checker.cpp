@@ -258,7 +258,7 @@ parity_report check_logit_parity(const frame_corpus& corpus, const capture_confi
                 const double delta = std::abs(double{fp_logits[k]} - double{q_logits[k]});
                 report.max_logit_delta = std::max(report.max_logit_delta, delta);
                 const double budget = parity.logit_abs_tolerance +
-                                      parity.logit_rel_tolerance * std::abs(fp_logits[k]);
+                                      parity.logit_rel_tolerance * std::abs(double{fp_logits[k]});
                 if (delta > budget) {
                     std::ostringstream detail;
                     detail << "logit[" << k << "] " << fp_logits[k] << " vs " << q_logits[k]

@@ -22,7 +22,12 @@ bool resilient_classifier::is_human(const point_cloud& cluster, rng& random) con
 
 std::string resilient_classifier::name() const {
     std::string n = primary_->name();
-    if (fallback_) n += "+" + fallback_->name();
+    if (fallback_) {
+        // Two appends, not `n += "+" + name()`: GCC 12's -Wrestrict emits a
+        // false positive on operator+(const char*, std::string&&) at -O3.
+        n += '+';
+        n += fallback_->name();
+    }
     return n;
 }
 

@@ -146,7 +146,9 @@ private:
     };
     bool name_taken_locked(std::string_view name) const;
 
-    mutable std::mutex mutex_;  // guards the entry vectors, not metric values
+    // Guards the entry vectors (registration path), not metric values; the
+    // lock-free claim above covers only add/set/record on atomic storage.
+    mutable std::mutex mutex_;  // lint:allow(mutex-in-lockfree): registration-only lock
     std::vector<entry<counter>> counters_;
     std::vector<entry<gauge>> gauges_;
     std::vector<entry<latency_histogram>> histograms_;

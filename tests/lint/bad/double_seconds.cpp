@@ -1,0 +1,7 @@
+// Deliberately violates double-seconds: elapsed-time arithmetic must go
+// through common/timer.hpp, not ad-hoc duration<double>. Never compiled.
+#include <chrono>
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+}

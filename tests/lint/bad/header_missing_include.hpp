@@ -1,0 +1,5 @@
+#pragma once
+
+// Deliberately not self-sufficient: uses std::vector without including
+// <vector>, so compiling this header as its own translation unit fails.
+inline int first_of_three() { return std::vector<int>{1, 2, 3}.front(); }

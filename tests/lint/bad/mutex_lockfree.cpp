@@ -1,0 +1,12 @@
+// A "lock-free" counter whose hot path takes a std::mutex — exactly the
+// contradiction the mutex-in-lockfree rule exists to catch. Never compiled.
+#include <mutex>
+
+struct fake_lockfree_counter {
+    void add() {
+        std::lock_guard lock{m_};
+        ++n_;
+    }
+    std::mutex m_;
+    long n_ = 0;
+};

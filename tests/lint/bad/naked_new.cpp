@@ -1,0 +1,7 @@
+// Deliberately violates naked-new: ownership must be RAII-managed
+// (std::unique_ptr / std::vector). Never compiled.
+int leak_prone() {
+    int* block = new int[16];
+    delete[] block;
+    return 0;
+}

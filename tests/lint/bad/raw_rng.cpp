@@ -1,0 +1,9 @@
+// Deliberately violates raw-rng: all randomness must flow through
+// common/rng so corpus replays stay deterministic. Never compiled.
+#include <cstdlib>
+#include <random>
+
+int bad_entropy() {
+    std::random_device rd;
+    return static_cast<int>(rd());
+}

@@ -1,0 +1,8 @@
+// Deliberately violates wallclock-in-replay: a wall-clock read anywhere
+// in src/replay would leak host time into recorded artifacts and break
+// bit-exact replay. Never compiled.
+#include <chrono>
+
+long stamp() {
+    return std::chrono::system_clock::now().time_since_epoch().count();
+}

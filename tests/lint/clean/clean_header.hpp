@@ -1,0 +1,7 @@
+#pragma once
+
+// Self-sufficient: every name it uses comes from its own includes.
+#include <cstddef>
+#include <vector>
+
+inline std::size_t count_three() { return std::vector<int>{1, 2, 3}.size(); }

@@ -1,0 +1,16 @@
+// Near-miss spellings every rule must ignore: identifiers containing
+// "new"/"delete"/"rand", RAII allocation via make_unique, and prose in
+// comments about new objects or deleted copies. Never compiled.
+#include <memory>
+
+struct renewal {};
+
+// make_unique is the sanctioned spelling; there is no naked new here.
+inline std::unique_ptr<renewal> fresh() { return std::make_unique<renewal>(); }
+
+struct widget {
+    widget(const widget&) = delete;  // deleted copy, not a delete-expression
+    int delete_count = 0;
+    int brand_new_value = 0;
+    double operand = 0.0;  // contains "rand" mid-identifier
+};

@@ -1,0 +1,9 @@
+// Claims lock-free recording (like telemetry/metrics.hpp) but carries a
+// properly-waived registration mutex: the scanner must honour the
+// lint:allow escape hatch. Never compiled.
+#include <mutex>
+
+struct mostly_lockfree_registry {
+    // Registration only; record() touches preallocated atomics.
+    std::mutex init_mutex_;  // lint:allow(mutex-in-lockfree): registration path only
+};

@@ -106,7 +106,7 @@ TEST(hawc_model_test, classifier_interface) {
             ++correct;
         }
     }
-    EXPECT_GT(static_cast<double>(correct) / data.test.size(), 0.85);
+    EXPECT_GT(static_cast<double>(correct) / static_cast<double>(data.test.size()), 0.85);
 }
 
 TEST(hawc_model_test, save_load_roundtrip) {

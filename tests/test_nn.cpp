@@ -65,7 +65,7 @@ void check_layer_gradients(layer& l, const tensor& input, bool training = true,
         probe[i] = saved - h;
         const double down = objective(l.forward(probe, training), obj_weights);
         probe[i] = saved;
-        const double numeric = (up - down) / (2.0 * h);
+        const double numeric = (up - down) / (2.0 * static_cast<double>(h));
         EXPECT_NEAR(grad_in[i], numeric, tolerance * std::max(1.0, std::abs(numeric)))
             << "input grad mismatch at " << i;
     }
@@ -84,7 +84,7 @@ void check_layer_gradients(layer& l, const tensor& input, bool training = true,
             p->value[i] = saved - h;
             const double down = objective(l.forward(input, training), obj_weights);
             p->value[i] = saved;
-            const double numeric = (up - down) / (2.0 * h);
+            const double numeric = (up - down) / (2.0 * static_cast<double>(h));
             EXPECT_NEAR(p->grad[i], numeric, tolerance * std::max(1.0, std::abs(numeric)))
                 << "param grad mismatch at " << i;
         }
@@ -213,7 +213,7 @@ TEST(batch_norm, normalizes_batch_statistics) {
     for (std::size_t c = 0; c < 2; ++c) {
         double mean = 0.0;
         const std::size_t rows = out.size() / 2;
-        for (std::size_t i = 0; i < rows; ++i) mean += out[i * 2 + c];
+        for (std::size_t i = 0; i < rows; ++i) mean += static_cast<double>(out[i * 2 + c]);
         mean /= static_cast<double>(rows);
         EXPECT_NEAR(mean, 0.0, 1e-4);
     }
@@ -240,7 +240,7 @@ TEST(loss, softmax_rows_sum_to_one) {
     const tensor probs = softmax(logits);
     for (std::size_t n = 0; n < 5; ++n) {
         double sum = 0.0;
-        for (std::size_t k = 0; k < 4; ++k) sum += probs.at(n, k);
+        for (std::size_t k = 0; k < 4; ++k) sum += static_cast<double>(probs.at(n, k));
         EXPECT_NEAR(sum, 1.0, 1e-5);
     }
 }
@@ -267,7 +267,7 @@ TEST(loss, cross_entropy_gradient_numerically) {
         const double up = softmax_cross_entropy(probe, labels).loss;
         probe[i] -= 2 * h;
         const double down = softmax_cross_entropy(probe, labels).loss;
-        const double numeric = (up - down) / (2.0 * h);
+        const double numeric = (up - down) / (2.0 * static_cast<double>(h));
         EXPECT_NEAR(result.grad_logits[i], numeric, 1e-3);
     }
 }

@@ -380,5 +380,56 @@ TEST(quantize_model, weight_scales_per_channel) {
     EXPECT_GT(op.weight_scales[1], op.weight_scales[2] * 10.0f);
 }
 
+// saturate_to_int8 is the single rounding point of the quantization stack
+// (quantize_tensor and the int32-accumulator requantize in q_model). Pin
+// the contract — half-away-from-zero, saturating — so a refactor to
+// std::rint (round-to-even) or a truncating cast cannot slip in silently.
+TEST(quant_params, rounding_is_half_away_from_zero) {
+    quant_params p;  // scale 1, zero_point 0: quantize(x) == round(x)
+    EXPECT_EQ(p.quantize(0.5f), 1);    // round-to-even would give 0
+    EXPECT_EQ(p.quantize(1.5f), 2);
+    EXPECT_EQ(p.quantize(2.5f), 3);    // round-to-even would give 2
+    EXPECT_EQ(p.quantize(-0.5f), -1);  // truncation would give 0
+    EXPECT_EQ(p.quantize(-2.5f), -3);
+    EXPECT_EQ(p.quantize(0.49f), 0);
+    EXPECT_EQ(p.quantize(-0.49f), 0);
+}
+
+TEST(quant_params, saturates_at_int8_endpoints) {
+    quant_params p;
+    EXPECT_EQ(p.quantize(127.4f), 127);
+    EXPECT_EQ(p.quantize(127.5f), 127);  // would round to 128: saturates
+    EXPECT_EQ(p.quantize(1000.0f), 127);
+    EXPECT_EQ(p.quantize(-128.4f), -128);
+    EXPECT_EQ(p.quantize(-1000.0f), -128);
+    // Magnitudes past int32 range must still saturate, not overflow.
+    EXPECT_EQ(saturate_to_int8(3.0e9f), 127);
+    EXPECT_EQ(saturate_to_int8(-3.0e9f), -128);
+}
+
+TEST(quantize_model, dense_requantize_rounding_pinned) {
+    // Hand-built 1x1 dense op with unit scales so every value is exactly
+    // representable: acc = q_in * w, real = acc + bias. bias = 0.5 parks
+    // `real` on the rounding boundary of the int32 -> int8 requantize.
+    q_dense_op op;
+    op.in_features = 1;
+    op.out_features = 1;
+    op.weights = {1};
+    op.weight_scales = {1.0f};
+    op.bias = {0.5f};
+
+    quantized_model model;
+    model.set_input_params(quant_params{});  // scale 1, zero_point 0
+    model.add_op(op);
+
+    tensor in{{1, 1}};
+    in[0] = 2.0f;  // acc = 2, real = 2.5 -> half away from zero -> 3
+    EXPECT_EQ(model.forward(in)[0], 3.0f);
+    in[0] = -3.0f;  // real = -2.5 -> -3, not -2
+    EXPECT_EQ(model.forward(in)[0], -3.0f);
+    in[0] = 200.0f;  // input saturates to 127, real = 127.5 -> stays 127
+    EXPECT_EQ(model.forward(in)[0], 127.0f);
+}
+
 }  // namespace
 }  // namespace hawc

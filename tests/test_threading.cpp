@@ -229,14 +229,14 @@ TEST(determinism, height_variation_identical) {
 // Shared HAWC model (random initialization; determinism needs no
 // training) over a small object pool.
 hawc_model& shared_model() {
-    static hawc_model* model = [] {
+    static hawc_model model = [] {
         rng pool_rng{104};
         object_pool pool;
         pool.add_cloud(synth_frame(pool_rng, 3));
         rng init{105};
-        return new hawc_model{hawc_config{}, std::move(pool), init};
+        return hawc_model{hawc_config{}, std::move(pool), init};
     }();
-    return *model;
+    return model;
 }
 
 TEST(determinism, hawc_logits_identical) {
