@@ -19,6 +19,7 @@
 #include "common/timer.hpp"
 #include "counting/crowd_counter.hpp"
 #include "features/height_features.hpp"
+#include "fleet/occupancy.hpp"
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
@@ -197,6 +198,83 @@ void print_metrics(const char* indent, const metrics& m) {
     std::printf("%s\"e2e_count_8k_ms\": %.3f\n", indent, m.e2e_count_8k_ms);
 }
 
+// Fleet occupancy read path: how fast the seqlock board absorbs
+// publishes and serves snapshots, alone and under reader contention.
+struct fleet_metrics {
+    double publish_us = 0.0;
+    double read_us = 0.0;
+    double cached_read_us = 0.0;
+    double contended_reads_per_us = 0.0;
+};
+
+fleet_metrics measure_fleet(std::size_t poles) {
+    fleet_metrics m;
+    fleet::occupancy_board board{poles};
+    fleet::occupancy_snapshot snap;
+    snap.poles.resize(poles);
+    for (std::size_t i = 0; i < poles; ++i) {
+        snap.poles[i].count = i;
+        snap.poles[i].epoch = 1;
+        snap.poles[i].rung = fleet::pole_rung::live;
+        snap.aggregate += i;
+        ++snap.included;
+    }
+    board.publish(snap);
+
+    constexpr std::size_t reps = 4096;
+    m.publish_us = 1000.0 / reps * time_ms(10, [&] {
+        for (std::size_t i = 0; i < reps; ++i) {
+            ++snap.tick;
+            board.publish(snap);
+        }
+    });
+    m.read_us = 1000.0 / reps * time_ms(10, [&] {
+        std::uint64_t acc = 0;
+        for (std::size_t i = 0; i < reps; ++i) acc += board.read().aggregate;
+        volatile std::uint64_t sink = acc;
+        (void)sink;
+    });
+    {
+        fleet::occupancy_reader reader{board};
+        m.cached_read_us = 1000.0 / reps * time_ms(10, [&] {
+            std::uint64_t acc = 0;
+            for (std::size_t i = 0; i < reps; ++i) acc += reader.snapshot().aggregate;
+            volatile std::uint64_t sink = acc;
+            (void)sink;
+        });
+    }
+    {
+        // Three readers hammering the board while the writer republishes:
+        // the service-facing contended read rate.
+        constexpr std::size_t reads_per_thread = 200000;
+        stopwatch sw;
+        std::vector<std::thread> readers;
+        for (int t = 0; t < 3; ++t) {
+            readers.emplace_back([&board] {
+                std::uint64_t acc = 0;
+                for (std::size_t i = 0; i < reads_per_thread; ++i) {
+                    acc += board.read().aggregate;
+                }
+                volatile std::uint64_t sink = acc;
+                (void)sink;
+            });
+        }
+        std::atomic<bool> done{false};
+        std::thread writer{[&] {
+            while (!done.load(std::memory_order_relaxed)) {
+                ++snap.tick;
+                board.publish(snap);
+            }
+        }};
+        for (auto& r : readers) r.join();
+        const double elapsed_us = sw.elapsed_ms() * 1000.0;
+        done.store(true);
+        writer.join();
+        m.contended_reads_per_us = 3.0 * static_cast<double>(reads_per_thread) / elapsed_us;
+    }
+    return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +303,15 @@ int main(int argc, char** argv) {
         print_metrics("      ", m);
         std::printf("    }%s\n", t + 1 < thread_counts.size() ? "," : "");
     }
+    std::printf("  },\n");
+
+    const fleet_metrics fm = measure_fleet(16);
+    std::printf("  \"fleet_occupancy_16_poles\": {\n");
+    std::printf("    \"publish_us\": %.4f,\n", fm.publish_us);
+    std::printf("    \"read_us\": %.4f,\n", fm.read_us);
+    std::printf("    \"cached_read_us\": %.4f,\n", fm.cached_read_us);
+    std::printf("    \"contended_reads_per_us_3_readers\": %.2f\n",
+                fm.contended_reads_per_us);
     std::printf("  },\n");
 
     set_global_thread_count(thread_counts.front());

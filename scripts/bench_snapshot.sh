@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR4.json: build the Release tree, run the perf
-# snapshot over the hot kernels (including the int8 conv and dense
-# kernels) at 1 and 4 pool lanes, then the kernel micro-benchmarks and
+# Regenerate BENCH_PR6.json: build the Release tree, run the perf
+# snapshot over the hot kernels (including the int8 conv/dense kernels
+# and the fleet occupancy read path) at 1 and 4 pool lanes, then the
+# kernel micro-benchmarks and
 # the Table II inference-speed bench (their text reports land next to
 # the build's bench binaries).
 #
@@ -10,7 +11,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-output="${2:-$repo_root/BENCH_PR4.json}"
+output="${2:-$repo_root/BENCH_PR6.json}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" \

@@ -12,6 +12,9 @@
 #                             outside common/timer.hpp
 #        wallclock-in-replay  any clock read inside src/replay — a wall
 #                             clock there would break bit-exact replay
+#        sleep-in-fleet       blocking sleeps inside src/fleet — the fleet
+#                             runs on tick virtual time; a sleep on a pool
+#                             lane stalls every pole sharing it
 #      A hit is waived only by an inline `lint:allow(<rule>): <reason>`
 #      comment on the same line (the reason is mandatory by convention;
 #      DESIGN.md §11).
@@ -82,6 +85,7 @@ ere_naked_new='(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:]|(^|[^[:alnum:]_])d
 ere_mutex='std::(recursive_|shared_|timed_)?mutex'
 ere_double_seconds='duration<[[:space:]]*(double|float)'
 ere_wallclock='system_clock|high_resolution_clock|steady_clock|gettimeofday|clock_gettime|localtime|gmtime|(^|[^[:alnum:]_:])time[[:space:]]*\('
+ere_sleep='sleep_for|sleep_until|(^|[^[:alnum:]_])usleep[[:space:]]*\(|(^|[^[:alnum:]_])nanosleep[[:space:]]*\(|(^|[^[:alnum:]_])sleep[[:space:]]*\('
 
 phase_banned_patterns() {
     note "== lint phase 1: banned-pattern scan =="
@@ -100,6 +104,8 @@ phase_banned_patterns() {
         $(printf '%s\n' "${all[@]}" | grep -v '^src/common/timer\.hpp$')
     scan_rule wallclock-in-replay "${ere_wallclock}" \
         $(printf '%s\n' "${all[@]}" | grep '^src/replay/' || true)
+    scan_rule sleep-in-fleet "${ere_sleep}" \
+        $(printf '%s\n' "${all[@]}" | grep '^src/fleet/' || true)
 
     if [[ ${violations} -eq 0 ]]; then
         note "banned-pattern scan clean (${#all[@]} files)"
@@ -204,6 +210,8 @@ self_test() {
         || failures=$((failures + 1))
     expect_hits 1 wallclock-in-replay "${ere_wallclock}" "${fx}/bad/replay/wallclock.cpp" \
         || failures=$((failures + 1))
+    expect_hits 2 sleep-in-fleet "${ere_sleep}" "${fx}/bad/fleet/blocking_sleep.cpp" \
+        || failures=$((failures + 1))
 
     # The lock-free claim detector itself.
     if [[ -z "$(claims_lockfree "${fx}/bad/mutex_lockfree.cpp")" ]]; then
@@ -212,11 +220,13 @@ self_test() {
     fi
 
     # Clean fixtures: near-miss spellings and a waived hit must pass every rule.
-    local clean_files=("${fx}/clean/clean_snippets.cpp" "${fx}/clean/waived_mutex.cpp")
+    local clean_files=("${fx}/clean/clean_snippets.cpp" "${fx}/clean/waived_mutex.cpp"
+                       "${fx}/clean/waived_sleep.cpp")
     expect_hits 0 raw-rng "${ere_raw_rng}" "${clean_files[@]}" || failures=$((failures + 1))
     expect_hits 0 naked-new "${ere_naked_new}" "${clean_files[@]}" || failures=$((failures + 1))
     expect_hits 0 double-seconds "${ere_double_seconds}" "${clean_files[@]}" \
         || failures=$((failures + 1))
+    expect_hits 0 sleep-in-fleet "${ere_sleep}" "${clean_files[@]}" || failures=$((failures + 1))
     local claiming
     claiming="$(claims_lockfree "${clean_files[@]}")"
     if [[ -n "${claiming}" ]]; then

@@ -138,6 +138,9 @@ void thread_pool::parallel_for(std::size_t begin, std::size_t end, std::size_t g
         return;
     }
     jobs_.fetch_add(1, std::memory_order_relaxed);
+    if (active_.load(std::memory_order_relaxed) > 0) {
+        contended_.fetch_add(1, std::memory_order_relaxed);
+    }
 
     std::lock_guard job_lock{impl_->job_mutex};
     {

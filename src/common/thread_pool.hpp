@@ -67,9 +67,25 @@ public:
     /// thread's; an instantaneous (racy-by-nature) sample.
     std::size_t active_lanes() const { return active_.load(std::memory_order_relaxed); }
 
+    /// Cumulative top-level parallel_for calls that arrived while another
+    /// caller already held lanes busy (they serialised on the job lock).
+    /// A rising rate means independent pipelines are contending for the
+    /// pool — the fleet layer's backpressure signal for load shedding.
+    std::uint64_t contended_dispatches() const {
+        return contended_.load(std::memory_order_relaxed);
+    }
+
+    /// active_lanes() / thread_count(): instantaneous fraction of lanes
+    /// busy, in [0, 1]. Racy-by-nature, meant for gauges and shedding
+    /// heuristics, not for synchronisation.
+    double utilization() const {
+        return static_cast<double>(active_lanes()) / static_cast<double>(lanes_);
+    }
+
 private:
     std::atomic<std::uint64_t> jobs_{0};
     std::atomic<std::uint64_t> inline_runs_{0};
+    std::atomic<std::uint64_t> contended_{0};
     std::atomic<std::size_t> active_{0};
     struct impl;
     std::unique_ptr<impl> impl_;  // null when lanes_ == 1 (no workers spawned)

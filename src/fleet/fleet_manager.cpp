@@ -1,0 +1,196 @@
+#include "fleet/fleet_manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/thread_pool.hpp"
+
+namespace hawc::fleet {
+
+namespace {
+
+using telemetry::labeled_name;
+
+}  // namespace
+
+fleet_manager::fleet_manager(const fleet_config& config,
+                             const std::vector<pole_setup>& poles)
+    : config_{config},
+      rungs_(poles.size(), pole_rung::excluded),
+      board_{std::max<std::size_t>(1, poles.size())} {
+    HAWC_REQUIRE(!poles.empty(), "a fleet needs at least one pole");
+    poles_.reserve(poles.size());
+    pole_metrics_.reserve(poles.size());
+    for (const auto& setup : poles) {
+        HAWC_REQUIRE(setup.primary != nullptr, "pole needs a primary classifier");
+        poles_.push_back(std::make_unique<pole_runtime>(
+            setup.pole_id, setup.seed, setup.supervisor, setup.link, setup.watchdog,
+            *setup.primary, setup.fallback, config_.max_inbox));
+
+        pole_metrics pm;
+        const std::string& id = setup.pole_id;
+        pm.frames = &metrics_.make_counter(
+            labeled_name("hawc_pole_frames_total", "pole", id),
+            "Frames processed by this pole's supervisor");
+        pm.restarts = &metrics_.make_counter(
+            labeled_name("hawc_pole_restarts_total", "pole", id),
+            "Watchdog restarts of this pole");
+        pm.quarantines = &metrics_.make_counter(
+            labeled_name("hawc_pole_quarantines_total", "pole", id),
+            "Times this pole was quarantined");
+        pm.checksum_failures = &metrics_.make_counter(
+            labeled_name("hawc_pole_checksum_failures_total", "pole", id),
+            "Corrupted link messages rejected by this pole");
+        pm.state = &metrics_.make_gauge(
+            labeled_name("hawc_pole_state", "pole", id),
+            "0 live, 1 probation, 2 quarantined");
+        pm.rung = &metrics_.make_gauge(
+            labeled_name("hawc_pole_rung", "pole", id),
+            "Fleet ladder rung: 0 live, 1 stale_count, 2 excluded");
+        pm.count = &metrics_.make_gauge(
+            labeled_name("hawc_pole_count", "pole", id),
+            "Latest good people count from this pole");
+        pole_metrics_.push_back(pm);
+    }
+
+    aggregate_gauge_ = &metrics_.make_gauge("hawc_fleet_aggregate_count",
+                                            "People count summed over included poles");
+    included_gauge_ = &metrics_.make_gauge("hawc_fleet_included_poles",
+                                           "Poles contributing to the aggregate");
+    ticks_counter_ = &metrics_.make_counter("hawc_fleet_ticks_total", "Fleet ticks run");
+    shed_ticks_counter_ = &metrics_.make_counter(
+        "hawc_fleet_shed_ticks_total", "Ticks run with a halved budget (backpressure)");
+    frames_shed_counter_ = &metrics_.make_counter(
+        "hawc_fleet_frames_shed_total", "Frames evicted from pole inboxes on overflow");
+}
+
+void fleet_manager::submit(std::size_t pole, link_message msg) {
+    HAWC_REQUIRE(pole < poles_.size(), "pole index out of range");
+    poles_[pole]->submit(std::move(msg));
+}
+
+void fleet_manager::tick() {
+    ++tick_;
+    ticks_counter_->add(1);
+
+    // Backpressure: sample once per tick, before the fan-out, so every
+    // pole sees the same budget and the tick stays deterministic.
+    const double utilization = probe_ ? probe_() : global_pool().utilization();
+    std::size_t budget = config_.frames_per_tick;
+    if (utilization >= config_.shed_at_utilization) {
+        budget = std::max<std::size_t>(1, budget / 2);
+        ++shed_ticks_;
+        shed_ticks_counter_->add(1);
+    }
+
+    // Each pole's tick touches only that pole's state; chunk boundaries
+    // don't matter for the result, so this is bit-identical for any
+    // thread count (the thread_pool contract).
+    const std::uint64_t now = tick_;
+    global_pool().parallel_for(0, poles_.size(), 1,
+                               [&](std::size_t lo, std::size_t hi, std::size_t) {
+                                   for (std::size_t i = lo; i < hi; ++i) {
+                                       poles_[i]->run_tick(now, budget);
+                                   }
+                               });
+
+    publish_tick();
+}
+
+void fleet_manager::publish_tick() {
+    occupancy_snapshot snap;
+    snap.tick = tick_;
+    snap.poles.resize(poles_.size());
+
+    std::uint64_t frames_shed = 0;
+    for (std::size_t i = 0; i < poles_.size(); ++i) {
+        const pole_runtime& p = *poles_[i];
+
+        // Ladder: freshness of the last good count decides the rung; the
+        // pole's watchdog state only gates the live rung (a quarantined
+        // pole can still serve stale within the bound).
+        pole_rung rung = pole_rung::excluded;
+        if (p.has_good_count()) {
+            const std::uint64_t age = tick_ - p.last_good_tick();
+            if (age <= config_.stale_after_ticks && p.state() == pole_state::live) {
+                rung = pole_rung::live;
+            } else if (age <= config_.exclude_after_ticks) {
+                rung = pole_rung::stale_count;
+            }
+        }
+        rungs_[i] = rung;
+
+        pole_occupancy& slot = snap.poles[i];
+        slot.rung = rung;
+        slot.epoch = p.supervisor().health().epoch;
+        if (rung != pole_rung::excluded) {
+            slot.count = p.last_good_count();
+            slot.updated_tick = p.last_good_tick();
+            snap.aggregate += slot.count;
+            ++snap.included;
+        } else {
+            slot.count = 0;
+            slot.updated_tick = p.last_good_tick();
+        }
+
+        // Mirror per-pole accounting into the labeled metrics (deltas for
+        // counters, absolutes for gauges).
+        pole_metrics& pm = pole_metrics_[i];
+        const pole_stats& st = p.stats();
+        pm.frames->add(st.processed - pm.frames_seen);
+        pm.frames_seen = st.processed;
+        pm.restarts->add(st.restarts - pm.restarts_seen);
+        pm.restarts_seen = st.restarts;
+        pm.quarantines->add(st.quarantines - pm.quarantines_seen);
+        pm.quarantines_seen = st.quarantines;
+        pm.checksum_failures->add(st.checksum_failures - pm.checksums_seen);
+        pm.checksums_seen = st.checksum_failures;
+        pm.state->set(static_cast<double>(static_cast<int>(p.state())));
+        pm.rung->set(static_cast<double>(static_cast<std::uint32_t>(rung)));
+        pm.count->set(static_cast<double>(p.last_good_count()));
+        frames_shed += st.shed_inbox_overflow;
+    }
+
+    aggregate_gauge_->set(static_cast<double>(snap.aggregate));
+    included_gauge_->set(static_cast<double>(snap.included));
+    frames_shed_counter_->add(frames_shed - frames_shed_seen_);
+    frames_shed_seen_ = frames_shed;
+
+    board_.publish(snap);
+}
+
+fleet_replay_result replay_corpus_set(fleet_manager& fleet,
+                                      const replay::pole_corpus_set& set,
+                                      std::uint64_t drain_ticks) {
+    HAWC_REQUIRE(set.pole_count() == fleet.pole_count(),
+                 "corpus set pole count must match the fleet");
+    std::size_t longest = 0;
+    for (std::size_t i = 0; i < set.poles.size(); ++i) {
+        HAWC_REQUIRE(set.poles[i].corpus.base_seed == fleet.pole(i).stream_seed(),
+                     "pole stream seed must equal its corpus base_seed");
+        longest = std::max(longest, set.poles[i].corpus.size());
+    }
+
+    fleet_replay_result result;
+    for (std::size_t frame = 0; frame < longest; ++frame) {
+        for (std::size_t i = 0; i < set.poles.size(); ++i) {
+            const auto& corpus = set.poles[i].corpus;
+            if (frame >= corpus.size()) continue;
+            link_message msg;
+            msg.frame_index = frame;
+            msg.ground_truth = corpus.frames[frame].ground_truth;
+            msg.cloud = corpus.frames[frame].cloud;
+            fleet.submit(i, std::move(msg));
+            ++result.frames_submitted;
+        }
+        fleet.tick();
+        ++result.ticks;
+    }
+    for (std::uint64_t i = 0; i < drain_ticks; ++i) {
+        fleet.tick();
+        ++result.ticks;
+    }
+    return result;
+}
+
+}  // namespace hawc::fleet

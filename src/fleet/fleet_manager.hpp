@@ -1,0 +1,154 @@
+#pragma once
+
+// The fleet runtime: N pole fault domains multiplexed over the global
+// thread_pool, one deterministic tick at a time. Each tick the manager
+//
+//   1. samples backpressure (pool utilization by default, injectable for
+//      tests) and halves the per-pole frame budget when saturated,
+//   2. runs every pole's run_tick in parallel — poles touch only their
+//      own state, so results are bit-identical for any thread count,
+//   3. walks the fleet degradation ladder per pole
+//        live        fresh count within stale_after_ticks
+//        stale_count last good count within exclude_after_ticks
+//        excluded    nothing recent enough to serve
+//      mirroring the per-frame ladder inside each supervisor,
+//   4. publishes the aggregate + per-pole occupancy through the seqlock
+//      board, and mirrors per-pole labeled metrics (`@pole=<id>`) into
+//      the fleet registry for the Prometheus/JSON exporters.
+//
+// Time is the tick counter — no wall clocks and no sleeps anywhere on
+// this path (enforced by the sleep-in-fleet lint rule), which is what
+// makes chaos soaks replayable bit for bit.
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fleet/occupancy.hpp"
+#include "fleet/pole_runtime.hpp"
+#include "replay/corpus_set.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hawc::fleet {
+
+/// Everything one pole needs. The classifier pointers follow
+/// frame_supervisor's lifetime rules (must outlive the fleet); give each
+/// pole its own wrapper when the classifier is not thread_safe() —
+/// poles run concurrently.
+struct pole_setup {
+    std::string pole_id;
+    std::uint64_t seed = 1;  // frame-stream base seed (= corpus base_seed)
+    supervisor_config supervisor{};
+    link_fault_config link{};
+    watchdog_config watchdog{};
+    const human_classifier* primary = nullptr;
+    const human_classifier* fallback = nullptr;
+};
+
+struct fleet_config {
+    /// Ladder bounds, in ticks since a pole's last good count: live up
+    /// to stale_after_ticks, stale-count up to exclude_after_ticks,
+    /// excluded beyond. The published snapshot always satisfies
+    /// within_staleness(tick, exclude_after_ticks).
+    std::uint64_t stale_after_ticks = 3;
+    std::uint64_t exclude_after_ticks = 10;
+
+    /// Buffered frames per pole; overflow sheds the oldest.
+    std::size_t max_inbox = 8;
+    /// Frames each pole may process per tick.
+    std::size_t frames_per_tick = 4;
+    /// Load shedding: when the backpressure probe reports utilization at
+    /// or above this fraction at the start of a tick, the frame budget is
+    /// halved for that tick. > 1 disables.
+    double shed_at_utilization = 1.1;
+};
+
+class fleet_manager {
+public:
+    fleet_manager(const fleet_config& config, const std::vector<pole_setup>& poles);
+
+    fleet_manager(const fleet_manager&) = delete;
+    fleet_manager& operator=(const fleet_manager&) = delete;
+
+    /// Post one frame toward pole `pole` (it travels the pole's link).
+    void submit(std::size_t pole, link_message msg);
+
+    /// Advance the whole fleet one tick and publish a fresh snapshot.
+    void tick();
+
+    std::uint64_t current_tick() const { return tick_; }
+    std::size_t pole_count() const { return poles_.size(); }
+    pole_runtime& pole(std::size_t i) { return *poles_[i]; }
+    const pole_runtime& pole(std::size_t i) const { return *poles_[i]; }
+
+    /// The rung the ladder assigned to pole `i` at the last tick().
+    pole_rung rung(std::size_t i) const { return rungs_[i]; }
+
+    const occupancy_board& board() const { return board_; }
+    occupancy_snapshot snapshot() const { return board_.read(); }
+
+    const fleet_config& config() const { return config_; }
+    std::uint64_t shed_ticks() const { return shed_ticks_; }
+
+    telemetry::metrics_registry& metrics() { return metrics_; }
+    const telemetry::metrics_registry& metrics() const { return metrics_; }
+
+    /// Replace the backpressure probe (defaults to the global pool's
+    /// utilization()). Tests inject constants to pin shedding behaviour.
+    void set_backpressure_probe(std::function<double()> probe) {
+        probe_ = std::move(probe);
+    }
+
+private:
+    struct pole_metrics {
+        telemetry::counter* frames = nullptr;
+        telemetry::counter* restarts = nullptr;
+        telemetry::counter* quarantines = nullptr;
+        telemetry::counter* checksum_failures = nullptr;
+        telemetry::gauge* state = nullptr;
+        telemetry::gauge* rung = nullptr;
+        telemetry::gauge* count = nullptr;
+        // Last published counter values, for delta mirroring.
+        std::uint64_t frames_seen = 0;
+        std::uint64_t restarts_seen = 0;
+        std::uint64_t quarantines_seen = 0;
+        std::uint64_t checksums_seen = 0;
+    };
+
+    void publish_tick();
+
+    fleet_config config_;
+    std::vector<std::unique_ptr<pole_runtime>> poles_;
+    std::vector<pole_rung> rungs_;
+    occupancy_board board_;
+    std::uint64_t tick_ = 0;
+    std::uint64_t shed_ticks_ = 0;
+    std::function<double()> probe_;
+
+    telemetry::metrics_registry metrics_;
+    std::vector<pole_metrics> pole_metrics_;
+    telemetry::gauge* aggregate_gauge_ = nullptr;
+    telemetry::gauge* included_gauge_ = nullptr;
+    telemetry::counter* ticks_counter_ = nullptr;
+    telemetry::counter* shed_ticks_counter_ = nullptr;
+    telemetry::counter* frames_shed_counter_ = nullptr;
+    std::uint64_t frames_shed_seen_ = 0;
+};
+
+/// Replay a recorded multi-pole corpus set through a fleet: tick t
+/// submits frame t of every pole (poles beyond their corpus length idle),
+/// then `drain_ticks` empty ticks let delayed messages and backlogs
+/// flush. Requires one pole per corpus, in order, with matching stream
+/// seeds — the precondition for bit-exact parity with solo replays.
+struct fleet_replay_result {
+    std::uint64_t ticks = 0;
+    std::uint64_t frames_submitted = 0;
+};
+
+fleet_replay_result replay_corpus_set(fleet_manager& fleet,
+                                      const replay::pole_corpus_set& set,
+                                      std::uint64_t drain_ticks = 8);
+
+}  // namespace hawc::fleet

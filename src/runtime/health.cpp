@@ -53,8 +53,14 @@ std::string json_u64(const char* key, std::uint64_t v) {
 
 }  // namespace
 
+bool progressed(const health_counters& earlier, const health_counters& later) {
+    if (later.epoch != earlier.epoch) return later.epoch > earlier.epoch;
+    return later.frames_total >= earlier.frames_total;
+}
+
 std::string health_counters::to_json() const {
     std::string out = "{";
+    out += json_u64("epoch", epoch) + ",";
     out += json_u64("frames_total", frames_total) + ",";
     out += json_u64("frames_ok", frames_ok) + ",";
     out += json_u64("frames_degraded", frames_degraded) + ",";

@@ -33,6 +33,13 @@ const char* to_string(fallback_rung rung);
 /// Aggregate counters across the supervisor's lifetime (or since the last
 /// reset). Plain struct so harnesses can diff snapshots.
 struct health_counters {
+    /// Monotonic restart epoch: bumped every time the supervisor's health
+    /// is reset (watchdog restart, operator reset). Snapshots taken around
+    /// a restart order by (epoch, frames_total), so a consumer polling a
+    /// supervised pole never sees its progress run backwards even though
+    /// frames_total itself rolls back to zero.
+    std::uint64_t epoch = 0;
+
     std::uint64_t frames_total = 0;
     std::uint64_t frames_ok = 0;
     std::uint64_t frames_degraded = 0;
@@ -70,5 +77,11 @@ struct health_counters {
     /// counterpart of summary(); resilient_service --json emits it.
     std::string to_json() const;
 };
+
+/// True when snapshot `later` was taken no earlier than `earlier` on the
+/// same supervisor: epoch-major, frames_total-minor. This is the ordering
+/// fleet watchdogs and scrapers must use across restarts — comparing
+/// frames_total alone goes backwards the moment a restart resets it.
+bool progressed(const health_counters& earlier, const health_counters& later);
 
 }  // namespace hawc

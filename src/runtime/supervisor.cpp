@@ -74,6 +74,7 @@ frame_supervisor::frame_supervisor(const supervisor_config& config,
 
 health_counters frame_supervisor::health() const {
     health_counters h;
+    h.epoch = health_epoch_;
     h.frames_total = rc_.frames_total->value();
     h.frames_ok = rc_.frames_ok->value();
     h.frames_degraded = rc_.frames_degraded->value();
@@ -95,11 +96,22 @@ health_counters frame_supervisor::health() const {
 }
 
 void frame_supervisor::reset_health() {
+    // The epoch bump is what keeps (epoch, frames_total) monotonic for
+    // snapshot readers while frames_total itself rolls back to zero.
+    ++health_epoch_;
     metrics_.reset();
     ingest_stats_ = {};
     clustering_stats_ = {};
     classification_stats_ = {};
     frame_stats_ = {};
+}
+
+void frame_supervisor::restart() {
+    reset_health();
+    last_good_count_ = 0;
+    stale_streak_ = 0;
+    good_streak_ = 0;
+    has_last_good_ = false;
 }
 
 void frame_supervisor::degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
@@ -287,6 +299,7 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
 
     // ---- Stale-count rung: bounded carry-forward for dropped frames ----
     if (report.status == frame_status::dropped) {
+        good_streak_ = 0;
         if (has_last_good_ && stale_streak_ < config_.max_stale_frames) {
             ++stale_streak_;
             report.count = last_good_count_;
@@ -297,9 +310,13 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
             if (has_last_good_) rc_.stale_cap_exhausted->add(1);
         }
     } else {
+        // The freshest good count is always carried forward, but the
+        // staleness budget only refills after a genuine recovery streak —
+        // alternating good/dead frames keep draining it (hysteresis).
         last_good_count_ = report.count;
-        stale_streak_ = 0;
         has_last_good_ = true;
+        ++good_streak_;
+        if (good_streak_ >= config_.recovery_streak_frames) stale_streak_ = 0;
     }
 
     // ---- Health accounting ----

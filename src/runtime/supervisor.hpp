@@ -94,6 +94,14 @@ struct supervisor_config {
     /// Staleness cap: at most this many consecutive dropped frames are
     /// answered with the last good count before admitting zero.
     std::size_t max_stale_frames = 5;
+
+    /// Ladder hysteresis: consecutive non-dropped frames required before
+    /// the staleness budget above resets. At the default of 1 every good
+    /// frame refills the budget (the pre-fleet behaviour); raising it
+    /// stops an alternating good/dead fault pattern from being answered
+    /// stale forever — the budget keeps draining across the flaps until a
+    /// genuine recovery streak arrives.
+    std::size_t recovery_streak_frames = 1;
 };
 
 /// Outcome of one supervised frame.
@@ -129,8 +137,16 @@ public:
     /// migration the registry below is authoritative; this view is
     /// assembled from it (plus the exact per-stage running_stats), so
     /// existing consumers keep compiling and the numbers keep agreeing.
+    /// Every reset/restart bumps the snapshot's monotonic epoch, so
+    /// consumers ordering by (epoch, frames_total) never observe progress
+    /// running backwards across a restart (see health.hpp::progressed).
     health_counters health() const;
     void reset_health();
+
+    /// Watchdog restart: reset_health() plus the carry-forward state (the
+    /// stale-count rung's last good count and both streak counters). A
+    /// restarted supervisor serves no stale data from before its restart.
+    void restart();
 
     /// The supervisor's metrics registry: the health counters plus the
     /// per-stage latency histograms (hawc_frame_ms, hawc_ingest_ms,
@@ -197,8 +213,11 @@ private:
     running_stats classification_stats_;
     running_stats frame_stats_;
 
+    std::uint64_t health_epoch_ = 0;
+
     std::size_t last_good_count_ = 0;
     std::size_t stale_streak_ = 0;
+    std::size_t good_streak_ = 0;
     bool has_last_good_ = false;
 };
 

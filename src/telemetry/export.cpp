@@ -32,30 +32,90 @@ std::string json_escape(const std::string& s) {
     return out;
 }
 
+// Prometheus label-value escaping: backslash, double quote, and newline
+// are the three characters the exposition format requires escaping.
+std::string prom_escape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '"': out += "\\\""; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
+// One registry name decomposed per the labeled_name() convention
+// (`base@key=value`). Names without a well-formed suffix keep the whole
+// string as the base and carry no label, which preserves the byte-exact
+// output for every pre-existing flat metric.
+struct series_parts {
+    std::string base;
+    std::string key;    // empty <=> unlabeled
+    std::string value;  // raw (unescaped)
+    bool labeled() const { return !key.empty(); }
+};
+
+series_parts split_series(const std::string& name) {
+    const auto at = name.find('@');
+    if (at == std::string::npos || at == 0) return {name, "", ""};
+    const auto eq = name.find('=', at + 1);
+    if (eq == std::string::npos || eq == at + 1) return {name, "", ""};
+    return {name.substr(0, at), name.substr(at + 1, eq - at - 1), name.substr(eq + 1)};
+}
+
+// Renders `{key="value"}`, optionally with extra pre-rendered label pairs
+// (used for histogram `le`) appended inside the braces.
+std::string prom_labels(const series_parts& p, const std::string& extra = "") {
+    if (!p.labeled()) return extra.empty() ? "" : "{" + extra + "}";
+    std::string out = "{" + p.key + "=\"" + prom_escape(p.value) + "\"";
+    if (!extra.empty()) out += "," + extra;
+    out += "}";
+    return out;
+}
+
 }  // namespace
 
 std::string to_prometheus(const metrics_registry& reg) {
+    // HELP/TYPE are per *family* (base name): the first series of a
+    // labeled family announces them, later series of the same family emit
+    // samples only — Prometheus rejects duplicate TYPE lines.
     std::string out;
+    std::vector<std::string> announced;
+    const auto announce = [&](const std::string& base, const std::string& help,
+                              const char* type) {
+        if (std::find(announced.begin(), announced.end(), base) != announced.end()) return;
+        announced.push_back(base);
+        if (!help.empty()) out += "# HELP " + base + " " + help + "\n";
+        out += "# TYPE " + base + " " + std::string{type} + "\n";
+    };
+
     for (const auto& c : reg.counter_samples()) {
-        if (!c.help.empty()) out += "# HELP " + c.name + " " + c.help + "\n";
-        out += "# TYPE " + c.name + " counter\n";
-        out += c.name + " " + num(c.value) + "\n";
+        const series_parts p = split_series(c.name);
+        announce(p.base, c.help, "counter");
+        out += p.base + prom_labels(p) + " " + num(c.value) + "\n";
     }
+    announced.clear();
     for (const auto& g : reg.gauge_samples()) {
-        if (!g.help.empty()) out += "# HELP " + g.name + " " + g.help + "\n";
-        out += "# TYPE " + g.name + " gauge\n";
-        out += g.name + " " + num(g.value) + "\n";
+        const series_parts p = split_series(g.name);
+        announce(p.base, g.help, "gauge");
+        out += p.base + prom_labels(p) + " " + num(g.value) + "\n";
     }
+    announced.clear();
     for (const auto& h : reg.histogram_samples()) {
-        if (!h.help.empty()) out += "# HELP " + h.name + " " + h.help + "\n";
-        out += "# TYPE " + h.name + " histogram\n";
+        const series_parts p = split_series(h.name);
+        announce(p.base, h.help, "histogram");
         for (std::size_t i = 0; i < h.bounds.size(); ++i) {
-            out += h.name + "_bucket{le=\"" + num(h.bounds[i]) + "\"} " +
-                   num(h.cumulative[i]) + "\n";
+            out += p.base + "_bucket" + prom_labels(p, "le=\"" + num(h.bounds[i]) + "\"") +
+                   " " + num(h.cumulative[i]) + "\n";
         }
-        out += h.name + "_bucket{le=\"+Inf\"} " + num(h.cumulative.back()) + "\n";
-        out += h.name + "_sum " + num(h.sum) + "\n";
-        out += h.name + "_count " + num(h.count) + "\n";
+        out += p.base + "_bucket" + prom_labels(p, "le=\"+Inf\"") + " " +
+               num(h.cumulative.back()) + "\n";
+        out += p.base + "_sum" + prom_labels(p) + " " + num(h.sum) + "\n";
+        out += p.base + "_count" + prom_labels(p) + " " + num(h.count) + "\n";
     }
     return out;
 }
@@ -146,6 +206,9 @@ void record_pool_gauges(metrics_registry& reg, const thread_pool& pool) {
         .set(static_cast<double>(pool.jobs_dispatched()));
     reg.make_gauge("hawc_pool_inline_runs", "Cumulative inline (non-fanned) region runs")
         .set(static_cast<double>(pool.inline_runs()));
+    reg.make_gauge("hawc_pool_contended_dispatches",
+                   "Cumulative fan-outs that arrived while lanes were busy")
+        .set(static_cast<double>(pool.contended_dispatches()));
 }
 
 }  // namespace hawc::telemetry

@@ -29,6 +29,25 @@ void atomic_max(std::atomic<double>& target, double x) {
 
 }  // namespace
 
+std::string labeled_name(std::string_view base, std::string_view key,
+                         std::string_view value) {
+    HAWC_REQUIRE(!base.empty() && !key.empty(), "labeled_name needs a base and a key");
+    HAWC_REQUIRE(base.find('@') == std::string_view::npos &&
+                     base.find('=') == std::string_view::npos,
+                 "labeled_name base must be a plain metric name");
+    HAWC_REQUIRE(key.find('@') == std::string_view::npos &&
+                     key.find('=') == std::string_view::npos,
+                 "labeled_name key must be a plain label name");
+    std::string out;
+    out.reserve(base.size() + key.size() + value.size() + 2);
+    out.append(base);
+    out.push_back('@');
+    out.append(key);
+    out.push_back('=');
+    out.append(value);
+    return out;
+}
+
 latency_histogram::latency_histogram(std::vector<double> upper_bounds_ms)
     : bounds_{std::move(upper_bounds_ms)}, buckets_(bounds_.size() + 1) {
     HAWC_REQUIRE(!bounds_.empty(), "histogram needs at least one bucket bound");

@@ -91,6 +91,18 @@ private:
     std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// Label-suffix convention for per-series metrics: compose the registry
+/// name as `base@key=value` (e.g. `hawc_pole_frames_total@pole=p3`). The
+/// registry stores it as a flat string — dedupe, lookup, and the hot path
+/// are untouched — and the exporters parse the suffix back out, rendering
+/// `base{key="value"}` in Prometheus and the composed series string as a
+/// JSON key. Names without '@' are exported exactly as before, so the
+/// convention is strictly additive. The base and key must be plain
+/// Prometheus identifiers; the value may be any string (it is escaped at
+/// export time).
+std::string labeled_name(std::string_view base, std::string_view key,
+                         std::string_view value);
+
 /// Name -> metric registry. Names follow Prometheus conventions
 /// ([a-zA-Z_][a-zA-Z0-9_]*); registering the same name twice with the same
 /// type returns the existing metric, a cross-type collision throws.

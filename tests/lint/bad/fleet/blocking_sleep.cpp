@@ -1,0 +1,17 @@
+// Deliberately violates sleep-in-fleet: the fleet runs on tick virtual
+// time over shared thread_pool lanes, so a blocking sleep anywhere in
+// src/fleet stalls every pole multiplexed onto that lane (and makes the
+// backoff schedule wall-clock-dependent, breaking replay determinism).
+// Never compiled.
+#include <chrono>
+#include <thread>
+
+void wait_for_backoff() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void wait_until_resume() {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(1);
+    std::this_thread::sleep_until(deadline);
+}

@@ -1,0 +1,18 @@
+// Near-miss spellings for the sleep-in-fleet rule, plus one
+// properly-waived hit: identifiers merely containing "sleep" and prose
+// about sleeping must not trip the scanner. Never compiled.
+#include <chrono>
+#include <thread>
+
+// A pole that was asleep is woken by its resume tick, never by a timer.
+struct sleepy_pole_stats {
+    int sleep_ticks_total = 0;  // counts quarantine ticks, no blocking
+};
+
+int ticks_asleep(const sleepy_pole_stats& s) { return s.sleep_ticks_total; }
+
+void calibration_only_pause() {
+    // Bench warm-up outside any pole's hot path; scheduling noise is the
+    // point of the measurement here.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lint:allow(sleep-in-fleet): bench warm-up fixture, not a fleet hot path
+}

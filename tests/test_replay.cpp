@@ -14,6 +14,7 @@
 #include "nn/dense.hpp"
 #include "quant/calibrate.hpp"
 #include "replay/binary_io.hpp"
+#include "replay/corpus_set.hpp"
 #include "replay/frame_format.hpp"
 #include "replay/model_io.hpp"
 #include "replay/parity_checker.hpp"
@@ -156,6 +157,48 @@ TEST(frame_corpus, corrupted_file_fails_cleanly) {
     bytes[bytes.size() / 2] ^= 0x01;
     std::istringstream in{bytes};
     EXPECT_THROW(load_corpus(in), io_error);
+}
+
+// ---- multi-pole corpus sets ---------------------------------------------
+
+TEST(corpus_set, round_trips_bit_exactly) {
+    pole_corpus_set set = record_corpus_set(test_record(/*seed=*/91, /*frames=*/2),
+                                            {"p0", "p1", "p2"});
+    ASSERT_EQ(set.pole_count(), 3u);
+    EXPECT_EQ(set.total_frames(), 6u);
+
+    std::ostringstream out;
+    save_corpus_set(out, set);
+    std::istringstream in{out.str()};
+    const pole_corpus_set loaded = load_corpus_set(in);
+    EXPECT_EQ(loaded, set);
+}
+
+TEST(corpus_set, poles_get_distinct_seeds_and_names) {
+    const pole_corpus_set set =
+        record_corpus_set(test_record(/*seed=*/91, /*frames=*/2), {"east", "west"});
+    EXPECT_EQ(set.poles[0].pole_id, "east");
+    EXPECT_EQ(set.poles[1].pole_id, "west");
+    EXPECT_NE(set.poles[0].corpus.base_seed, set.poles[1].corpus.base_seed);
+    EXPECT_NE(set.poles[0].corpus.name, set.poles[1].corpus.name);
+    EXPECT_NE(set.poles[0].corpus.frames, set.poles[1].corpus.frames)
+        << "poles must not replay the same scenes";
+
+    // Deterministic from the base config alone.
+    const pole_corpus_set again =
+        record_corpus_set(test_record(/*seed=*/91, /*frames=*/2), {"east", "west"});
+    EXPECT_EQ(again, set);
+}
+
+TEST(corpus_set, corrupted_stream_fails_cleanly) {
+    const pole_corpus_set set =
+        record_corpus_set(test_record(/*seed=*/91, /*frames=*/2), {"p0", "p1"});
+    std::ostringstream out;
+    save_corpus_set(out, set);
+    std::string bytes = out.str();
+    bytes[bytes.size() / 2] ^= 0x01;
+    std::istringstream in{bytes};
+    EXPECT_THROW(load_corpus_set(in), io_error);
 }
 
 TEST(frame_corpus, fault_injected_recording_differs) {

@@ -207,6 +207,77 @@ TEST(supervisor, stale_count_served_with_cap) {
     EXPECT_EQ(stale_again.count, recovered.count);
 }
 
+TEST(supervisor, health_epoch_makes_progress_monotonic_across_restarts) {
+    const extent_classifier classifier;
+    frame_supervisor sup{{}, classifier};
+    rng r{19};
+
+    sup.process(synth_frame(r, 1), r);
+    sup.process(synth_frame(r, 2), r);
+    const health_counters before = sup.health();
+    EXPECT_EQ(before.epoch, 0u);
+    EXPECT_EQ(before.frames_total, 2u);
+
+    // A watchdog restart wipes the counters but bumps the epoch, so the
+    // (epoch, frames_total) pair never moves backwards.
+    sup.restart();
+    const health_counters after = sup.health();
+    EXPECT_EQ(after.epoch, 1u);
+    EXPECT_EQ(after.frames_total, 0u);
+    EXPECT_TRUE(progressed(before, after));
+    EXPECT_FALSE(progressed(after, before));
+
+    sup.process(synth_frame(r, 1), r);
+    const health_counters resumed = sup.health();
+    EXPECT_TRUE(progressed(after, resumed));
+    EXPECT_TRUE(progressed(resumed, resumed));  // ties are not regressions
+
+    // The restart also wiped the stale-count carry-forward: a dead frame
+    // right after restart has nothing stale to serve... once the new
+    // epoch's good count exists again, it does.
+    frame_supervisor fresh{{}, classifier};
+    fresh.process(synth_frame(r, 2), r);
+    fresh.restart();
+    const frame_report dead = fresh.process(point_cloud{}, r);
+    EXPECT_FALSE(dead.served_stale);
+    EXPECT_EQ(dead.count, 0u);
+    EXPECT_EQ(fresh.health().epoch, 1u);
+
+    // to_json carries the epoch for fleet-side monotonic checks.
+    EXPECT_NE(fresh.health().to_json().find("\"epoch\":1"), std::string::npos);
+}
+
+TEST(supervisor, recovery_streak_hysteresis_drains_budget_while_flapping) {
+    const extent_classifier classifier;
+    supervisor_config cfg;
+    cfg.max_stale_frames = 2;
+    cfg.recovery_streak_frames = 2;  // one good frame is not a recovery
+    frame_supervisor sup{cfg, classifier};
+    rng r{20};
+    point_cloud dead;
+
+    ASSERT_EQ(sup.process(synth_frame(r, 2), r).status, frame_status::ok);
+
+    // Alternating dead/good frames never build a 2-frame good streak, so
+    // the staleness budget keeps draining instead of refilling.
+    EXPECT_TRUE(sup.process(dead, r).served_stale);                       // 1 of 2
+    EXPECT_EQ(sup.process(synth_frame(r, 1), r).status, frame_status::ok);
+    EXPECT_TRUE(sup.process(dead, r).served_stale);                       // 2 of 2
+    EXPECT_EQ(sup.process(synth_frame(r, 1), r).status, frame_status::ok);
+    const frame_report exhausted = sup.process(dead, r);
+    EXPECT_FALSE(exhausted.served_stale) << "flapping must not refill the budget";
+    EXPECT_EQ(sup.health().stale_cap_exhausted, 1u);
+
+    // Two consecutive good frames are a genuine recovery: budget refills.
+    sup.process(synth_frame(r, 1), r);
+    sup.process(synth_frame(r, 1), r);
+    EXPECT_TRUE(sup.process(dead, r).served_stale);
+
+    // The default config keeps the legacy single-frame refill.
+    supervisor_config legacy;
+    EXPECT_EQ(legacy.recovery_streak_frames, 1u);
+}
+
 // --- Watchdog: classification budget ---
 
 TEST(supervisor, classification_deadline_truncates_cluster_loop) {

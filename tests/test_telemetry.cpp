@@ -329,6 +329,49 @@ TEST(telemetry, json_snapshot_golden_string) {
     EXPECT_EQ(telemetry::to_json(reg), expected);
 }
 
+TEST(telemetry, labeled_name_composes_and_rejects_delimiters) {
+    EXPECT_EQ(telemetry::labeled_name("hawc_pole_frames_total", "pole", "p3"),
+              "hawc_pole_frames_total@pole=p3");
+    EXPECT_THROW(telemetry::labeled_name("", "pole", "p3"), error);
+    EXPECT_THROW(telemetry::labeled_name("a@b", "pole", "p3"), error);
+    EXPECT_THROW(telemetry::labeled_name("ok", "po=le", "p3"), error);
+}
+
+TEST(telemetry, prometheus_renders_label_suffix_as_label_with_escaping) {
+    telemetry::metrics_registry reg;
+    // Two series of one family, registered out of order, plus a value
+    // that needs every escape (quote, backslash, newline).
+    reg.make_counter(telemetry::labeled_name("pole_frames_total", "pole", "p1"),
+                     "Frames per pole")
+        .add(7);
+    reg.make_counter(telemetry::labeled_name("pole_frames_total", "pole", "p\"\\\n0"),
+                     "Frames per pole")
+        .add(3);
+    telemetry::latency_histogram& h = reg.make_histogram(
+        telemetry::labeled_name("pole_lat_ms", "pole", "p1"), {1.0}, "Latency per pole");
+    h.record(0.5);
+
+    const std::string expected =
+        "# HELP pole_frames_total Frames per pole\n"
+        "# TYPE pole_frames_total counter\n"
+        "pole_frames_total{pole=\"p1\"} 7\n"
+        "pole_frames_total{pole=\"p\\\"\\\\\\n0\"} 3\n"
+        "# HELP pole_lat_ms Latency per pole\n"
+        "# TYPE pole_lat_ms histogram\n"
+        "pole_lat_ms_bucket{pole=\"p1\",le=\"1\"} 1\n"
+        "pole_lat_ms_bucket{pole=\"p1\",le=\"+Inf\"} 1\n"
+        "pole_lat_ms_sum{pole=\"p1\"} 0.5\n"
+        "pole_lat_ms_count{pole=\"p1\"} 1\n";
+    EXPECT_EQ(telemetry::to_prometheus(reg), expected);
+}
+
+TEST(telemetry, json_export_keeps_composed_names_verbatim) {
+    telemetry::metrics_registry reg;
+    reg.make_counter(telemetry::labeled_name("pole_frames_total", "pole", "p0")).add(2);
+    const std::string json = telemetry::to_json(reg);
+    EXPECT_NE(json.find("\"pole_frames_total@pole=p0\": 2"), std::string::npos);
+}
+
 TEST(telemetry, chrome_trace_export_normalizes_timestamps) {
     span_record a;
     a.id = 1;
