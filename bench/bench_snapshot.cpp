@@ -1,9 +1,10 @@
 // Perf snapshot for the parallel frame engine: times the hot kernels and
 // the end-to-end single-frame count at several pool sizes and emits one
-// JSON document (BENCH_PR2.json via scripts/bench_snapshot.sh). The
+// JSON document (BENCH_PR7.json via scripts/bench_snapshot.sh). The
 // "baseline" block is the pre-engine measurement captured with the same
 // methodology on the same container class, so current/baseline ratios
-// are like-for-like.
+// are like-for-like. scripts/perf_gate.sh checks the threads_1 block
+// against the ceilings in bench/perf_floor.json.
 //
 // Usage: bench_snapshot [thread_count...]   (default: 1 4)
 
@@ -23,6 +24,7 @@
 #include "nn/activations.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "quant/calibrate.hpp"
 
 using namespace hawc;
@@ -289,6 +291,7 @@ int main(int argc, char** argv) {
     std::printf("  \"bench\": \"hot-kernel perf snapshot (incl. int8 conv/dense)\",\n");
     std::printf("  \"cloud_points\": %zu,\n", crowd_cloud(100, 64, 42).size());
     std::printf("  \"hardware_concurrency\": %u,\n", std::thread::hardware_concurrency());
+    std::printf("  \"kernel_isa\": \"%s\",\n", kernels::active_kernels().name);
     std::printf("  \"note\": \"thread-count sweeps above hardware_concurrency time-share "
                 "cores and cannot show wall-clock parallel speedup\",\n");
     std::printf("  \"baseline_seed_sequential\": {\n");

@@ -15,6 +15,7 @@
 #include <iostream>
 
 #include "fleet/fleet_manager.hpp"
+#include "nn/kernels/kernels.hpp"
 #include "telemetry/export.hpp"
 
 using namespace hawc;
@@ -146,14 +147,16 @@ int main(int argc, char** argv) {
               << "\n";
 
     std::cout << "\nPer-pole metrics scrape (excerpt):\n";
+    kernels::record_isa_gauges(campus.metrics());
     const std::string prom = telemetry::to_prometheus(campus.metrics());
     std::size_t shown = 0;
     std::size_t pos = 0;
-    while (shown < 12 && pos < prom.size()) {
+    while (shown < 16 && pos < prom.size()) {
         const std::size_t eol = prom.find('\n', pos);
         const std::string line = prom.substr(pos, eol - pos);
         pos = eol == std::string::npos ? prom.size() : eol + 1;
         if (line.find("hawc_pole_frames_total") != std::string::npos ||
+            line.find("hawc_kernel_isa") != std::string::npos ||
             line.find("hawc_fleet_aggregate") != std::string::npos) {
             std::cout << "  " << line << "\n";
             ++shown;

@@ -1,17 +1,18 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR6.json: build the Release tree, run the perf
-# snapshot over the hot kernels (including the int8 conv/dense kernels
-# and the fleet occupancy read path) at 1 and 4 pool lanes, then the
-# kernel micro-benchmarks and
-# the Table II inference-speed bench (their text reports land next to
-# the build's bench binaries).
+# Regenerate BENCH_PR7.json: build the Release tree, run the perf
+# snapshot over the hot kernels (including the int8 conv/dense kernels,
+# the SIMD kernel-layer GEMMs, and the fleet occupancy read path) at 1
+# and 4 pool lanes, gate the threads_1 numbers against
+# bench/perf_floor.json, then run the kernel micro-benchmarks and the
+# Table II inference-speed bench (their text reports land next to the
+# build's bench binaries).
 #
 #   scripts/bench_snapshot.sh [build_dir] [output_json]
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-output="${2:-$repo_root/BENCH_PR6.json}"
+output="${2:-$repo_root/BENCH_PR7.json}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" \
@@ -19,6 +20,8 @@ cmake --build "$build_dir" -j "$(nproc)" \
 
 "$build_dir/bench/bench_snapshot" 1 4 > "$output"
 echo "wrote $output"
+
+"$repo_root/scripts/perf_gate.sh" "$output"
 
 "$build_dir/bench/bench_kernels" --benchmark_min_time=0.2 \
   | tee "$build_dir/bench/bench_kernels.txt"

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Instrumented verification pipeline. By default runs seven phases:
+# Instrumented verification pipeline. By default runs eight phases:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over the full suite
 #      (degenerate-input and chaos-soak tests under heap/UB checking)
@@ -19,11 +19,14 @@
 #   7. The fleet chaos gate (Release build): the multi-pole soak test and
 #      the fleet_service example, proving fault isolation, staleness
 #      bounds, and watchdog recovery outside the sanitized builds too
+#   8. The perf-regression gate (Release build): bench_snapshot threads_1
+#      numbers vs the checked-in ceilings in bench/perf_floor.json
+#      (scripts/perf_gate.sh; HAWC_PERF_TOLERANCE scales the budget)
 #
 # Setting HAWC_SANITIZE runs a single sanitizer configuration over the
 # full suite instead (any -fsanitize= value works):
 #
-#   scripts/check.sh                  # all seven phases
+#   scripts/check.sh                  # all eight phases
 #   HAWC_SANITIZE=thread scripts/check.sh
 #   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
@@ -49,39 +52,44 @@ if [[ -n "${HAWC_SANITIZE:-}" ]]; then
   exit 0
 fi
 
-echo "== phase 1/7: address,undefined over the full suite =="
+echo "== phase 1/8: address,undefined over the full suite =="
 run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
 
-echo "== phase 2/7: thread sanitizer over the concurrency tests =="
+echo "== phase 2/8: thread sanitizer over the concurrency tests =="
 run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity|fleet[a-z_]*)\.'
 
-echo "== phase 3/7: bench snapshot smoke =="
+echo "== phase 3/8: bench snapshot smoke =="
 smoke_build="${repo_root}/build-sanitize"
 cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
 "${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
 python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
 echo "bench snapshot smoke OK"
 
-echo "== phase 4/7: telemetry overhead gate (Release, <= 2%) =="
+echo "== phase 4/8: telemetry overhead gate (Release, <= 2%) =="
 perf_build="${repo_root}/build"
 cmake -B "${perf_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${perf_build}" --target bench_telemetry_overhead -j "$(nproc)"
 "${perf_build}/bench/bench_telemetry_overhead"
 echo "telemetry overhead gate OK"
 
-echo "== phase 5/7: golden-corpus parity gate =="
+echo "== phase 5/8: golden-corpus parity gate =="
 cmake --build "${perf_build}" --target parity_checker -j "$(nproc)"
 "${perf_build}/examples/parity_checker" check "${repo_root}/data/golden"
 echo "parity gate OK"
 
-echo "== phase 6/7: static-analysis gate =="
+echo "== phase 6/8: static-analysis gate =="
 "${repo_root}/scripts/lint.sh" --self-test
 "${repo_root}/scripts/lint.sh"
 echo "static-analysis gate OK"
 
-echo "== phase 7/7: fleet chaos gate (Release) =="
+echo "== phase 7/8: fleet chaos gate (Release) =="
 cmake --build "${perf_build}" --target test_fleet fleet_service -j "$(nproc)"
 "${perf_build}/tests/test_fleet" --gtest_filter='fleet_chaos.*:fleet.*'
 "${perf_build}/examples/fleet_service" 300 > /tmp/hawc_fleet_service.txt
 grep -q "Staleness bound (10 ticks) holds: yes" /tmp/hawc_fleet_service.txt
 echo "fleet chaos gate OK"
+
+echo "== phase 8/8: perf-regression gate (Release) =="
+cmake --build "${perf_build}" --target bench_snapshot -j "$(nproc)"
+"${perf_build}/bench/bench_snapshot" 1 > /tmp/hawc_bench_perf.json
+"${repo_root}/scripts/perf_gate.sh" /tmp/hawc_bench_perf.json

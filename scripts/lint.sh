@@ -15,6 +15,11 @@
 #        sleep-in-fleet       blocking sleeps inside src/fleet — the fleet
 #                             runs on tick virtual time; a sleep on a pool
 #                             lane stalls every pole sharing it
+#        simd-outside-kernels raw SIMD intrinsics (x86 _mm*/__m*/immintrin,
+#                             NEON v*_s8/int8x16_t/arm_neon.h) outside
+#                             src/nn/kernels/ — vector code lives behind
+#                             the dispatch table so every routine keeps a
+#                             scalar fallback and new ISAs land in one place
 #      A hit is waived only by an inline `lint:allow(<rule>): <reason>`
 #      comment on the same line (the reason is mandatory by convention;
 #      DESIGN.md §11).
@@ -86,6 +91,7 @@ ere_mutex='std::(recursive_|shared_|timed_)?mutex'
 ere_double_seconds='duration<[[:space:]]*(double|float)'
 ere_wallclock='system_clock|high_resolution_clock|steady_clock|gettimeofday|clock_gettime|localtime|gmtime|(^|[^[:alnum:]_:])time[[:space:]]*\('
 ere_sleep='sleep_for|sleep_until|(^|[^[:alnum:]_])usleep[[:space:]]*\(|(^|[^[:alnum:]_])nanosleep[[:space:]]*\(|(^|[^[:alnum:]_])sleep[[:space:]]*\('
+ere_simd='_mm(256|512)?_[a-z0-9_]+|__m(128|256|512)|[[:alpha:]]*mmintrin\.h|arm_neon\.h|(^|[^[:alnum:]_])v[a-z][a-z0-9_]*_[sufp](8|16|32|64)|(^|[^[:alnum:]_])(u?int|float|poly)(8|16|32|64)x(2|4|8|16)(x[2-4])?_t'
 
 phase_banned_patterns() {
     note "== lint phase 1: banned-pattern scan =="
@@ -106,6 +112,8 @@ phase_banned_patterns() {
         $(printf '%s\n' "${all[@]}" | grep '^src/replay/' || true)
     scan_rule sleep-in-fleet "${ere_sleep}" \
         $(printf '%s\n' "${all[@]}" | grep '^src/fleet/' || true)
+    scan_rule simd-outside-kernels "${ere_simd}" \
+        $(printf '%s\n' "${all[@]}" | grep -v '^src/nn/kernels/')
 
     if [[ ${violations} -eq 0 ]]; then
         note "banned-pattern scan clean (${#all[@]} files)"
@@ -212,6 +220,8 @@ self_test() {
         || failures=$((failures + 1))
     expect_hits 2 sleep-in-fleet "${ere_sleep}" "${fx}/bad/fleet/blocking_sleep.cpp" \
         || failures=$((failures + 1))
+    expect_hits 5 simd-outside-kernels "${ere_simd}" "${fx}/bad/simd_intrinsics.cpp" \
+        || failures=$((failures + 1))
 
     # The lock-free claim detector itself.
     if [[ -z "$(claims_lockfree "${fx}/bad/mutex_lockfree.cpp")" ]]; then
@@ -227,6 +237,8 @@ self_test() {
     expect_hits 0 double-seconds "${ere_double_seconds}" "${clean_files[@]}" \
         || failures=$((failures + 1))
     expect_hits 0 sleep-in-fleet "${ere_sleep}" "${clean_files[@]}" || failures=$((failures + 1))
+    expect_hits 0 simd-outside-kernels "${ere_simd}" "${clean_files[@]}" \
+        || failures=$((failures + 1))
     local claiming
     claiming="$(claims_lockfree "${clean_files[@]}")"
     if [[ -n "${claiming}" ]]; then

@@ -5,56 +5,9 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "nn/kernels/kernels.hpp"
 
 namespace hawc {
-
-namespace {
-
-// C (m_rows x n_cols) += A (m_rows x K) * W (K x n_cols), row-major, C
-// pre-initialised with the bias. Accumulation runs over k ascending per
-// output element — the same (kh, kw, ic) order as a direct convolution,
-// so results are bit-identical to the naive loop (padding cells hold
-// exact zeros and contribute exact zero terms). Four A-rows are carried
-// at once so each W row loaded from memory feeds four accumulator rows.
-void gemm_rows(const float* __restrict__ a, std::size_t K, const float* __restrict__ w,
-               std::size_t n_cols, float* __restrict__ c, std::size_t m_rows) {
-    std::size_t m = 0;
-    for (; m + 4 <= m_rows; m += 4) {
-        const float* __restrict__ a0 = a + (m + 0) * K;
-        const float* __restrict__ a1 = a + (m + 1) * K;
-        const float* __restrict__ a2 = a + (m + 2) * K;
-        const float* __restrict__ a3 = a + (m + 3) * K;
-        float* __restrict__ c0 = c + (m + 0) * n_cols;
-        float* __restrict__ c1 = c + (m + 1) * n_cols;
-        float* __restrict__ c2 = c + (m + 2) * n_cols;
-        float* __restrict__ c3 = c + (m + 3) * n_cols;
-        for (std::size_t k = 0; k < K; ++k) {
-            const float* __restrict__ w_row = w + k * n_cols;
-            const float x0 = a0[k];
-            const float x1 = a1[k];
-            const float x2 = a2[k];
-            const float x3 = a3[k];
-            for (std::size_t j = 0; j < n_cols; ++j) {
-                const float wv = w_row[j];
-                c0[j] += x0 * wv;
-                c1[j] += x1 * wv;
-                c2[j] += x2 * wv;
-                c3[j] += x3 * wv;
-            }
-        }
-    }
-    for (; m < m_rows; ++m) {
-        const float* __restrict__ am = a + m * K;
-        float* __restrict__ cm = c + m * n_cols;
-        for (std::size_t k = 0; k < K; ++k) {
-            const float x = am[k];
-            const float* __restrict__ w_row = w + k * n_cols;
-            for (std::size_t j = 0; j < n_cols; ++j) cm[j] += x * w_row[j];
-        }
-    }
-}
-
-}  // namespace
 
 conv2d::conv2d(std::size_t in_channels, std::size_t out_channels, std::size_t kernel,
                padding pad, rng& random)
@@ -99,9 +52,14 @@ tensor conv2d::infer(const tensor& input) const {
 
     // im2col + GEMM, one output row at a time: the patch matrix for a row
     // is out_w x K floats (a few KB — it stays in L1), and its contiguous
-    // layout turns the inner loops into branch-free streaming over the
-    // (k, k, Cin, Cout) weight tensor. Rows are independent, so batch x
-    // out_h fans out across the pool with one scratch buffer per chunk.
+    // layout turns the GEMM into branch-free streaming over the
+    // (k, k, Cin, Cout) weight tensor. The dispatched sgemm accumulates k
+    // ascending per output element with separate multiply and add, so
+    // every ISA tier is bit-identical to the naive direct convolution
+    // (padding cells hold exact zeros and contribute exact zero terms).
+    // Rows are independent, so batch x out_h fans out across the pool
+    // with one scratch buffer per chunk.
+    const kernels::kernel_ops& kern = kernels::active_kernels();
     global_pool().parallel_for(0, batch * out_h, 4, [&](std::size_t lo, std::size_t hi,
                                                         std::size_t /*slot*/) {
         std::vector<float> col(out_w * K);
@@ -130,7 +88,7 @@ tensor conv2d::infer(const tensor& input) const {
             for (std::size_t ow = 0; ow < out_w; ++ow) {
                 std::copy_n(b, out_channels_, out_row + ow * out_channels_);
             }
-            gemm_rows(col.data(), K, w, out_channels_, out_row, out_w);
+            kern.sgemm(col.data(), K, w, out_channels_, out_row, out_w);
         }
     });
     return out;

@@ -4,6 +4,7 @@
 #include <numeric>
 
 #include "common/error.hpp"
+#include "nn/kernels/kernels.hpp"
 
 namespace hawc {
 
@@ -39,17 +40,17 @@ tensor dense::infer(const tensor& input) const {
     const std::size_t batch = input.dim(0);
     const float* w = weights_.value.data();
 
+    // Bias-initialise every output row, then hand the whole batch to the
+    // dispatched sgemm as one (batch x in_features) * (in_features x
+    // out_features) accumulation. Per-element sums still run k ascending
+    // with separate multiply and add (kernels.hpp contract), matching the
+    // old per-row loop term for term.
     for (std::size_t n = 0; n < batch; ++n) {
-        const float* in_row = input.data() + n * in_features_;
         float* out_row = out.data() + n * out_features_;
         for (std::size_t o = 0; o < out_features_; ++o) out_row[o] = bias_.value[o];
-        for (std::size_t i = 0; i < in_features_; ++i) {
-            const float x = in_row[i];
-            if (x == 0.0f) continue;  // post-ReLU inputs are often sparse
-            const float* w_row = &w[i * out_features_];
-            for (std::size_t o = 0; o < out_features_; ++o) out_row[o] += x * w_row[o];
-        }
     }
+    kernels::active_kernels().sgemm(input.data(), in_features_, w, out_features_, out.data(),
+                                    batch);
     return out;
 }
 

@@ -1,0 +1,132 @@
+#include <cstdlib>
+#include <string>
+
+#include "common/error.hpp"
+#include "nn/kernels/kernels_impl.hpp"
+
+namespace hawc::kernels {
+
+const char* isa_name(isa_tier tier) {
+    switch (tier) {
+        case isa_tier::avx2: return "avx2";
+        case isa_tier::neon: return "neon";
+        case isa_tier::scalar: break;
+    }
+    return "scalar";
+}
+
+namespace {
+
+std::vector<const kernel_ops*> build_registry() {
+    std::vector<const kernel_ops*> tiers;
+    if (const kernel_ops* avx2 = avx2_kernels()) tiers.push_back(avx2);
+    if (const kernel_ops* neon = neon_kernels()) tiers.push_back(neon);
+    tiers.push_back(scalar_kernels());
+    return tiers;
+}
+
+const kernel_ops& select_at_startup() {
+    const char* env = std::getenv("HAWC_KERNEL_ISA");
+    if (env != nullptr && *env != '\0' && std::string_view{env} != "auto") {
+        const kernel_ops* forced = find_kernels(env);
+        HAWC_REQUIRE(forced != nullptr,
+                     "HAWC_KERNEL_ISA names a tier not registered in this process: " +
+                         std::string{env});
+        return *forced;
+    }
+    return *registered_kernels().front();
+}
+
+// Test-only override; read on the hot path with a relaxed-equivalent
+// plain load (flipped only between pipeline runs, see the header).
+const kernel_ops* g_forced = nullptr;
+
+}  // namespace
+
+const std::vector<const kernel_ops*>& registered_kernels() {
+    static const std::vector<const kernel_ops*> tiers = build_registry();
+    return tiers;
+}
+
+const kernel_ops* find_kernels(std::string_view name) {
+    for (const kernel_ops* tier : registered_kernels()) {
+        if (name == tier->name) return tier;
+    }
+    return nullptr;
+}
+
+const kernel_ops& active_kernels() {
+    if (g_forced != nullptr) return *g_forced;
+    static const kernel_ops& chosen = select_at_startup();
+    return chosen;
+}
+
+void set_active_kernels_for_testing(const kernel_ops* ops) { g_forced = ops; }
+
+void record_isa_gauges(telemetry::metrics_registry& reg) {
+    const kernel_ops& active = active_kernels();
+    reg.make_gauge(telemetry::labeled_name("hawc_kernel_isa", "isa", active.name),
+                   "dispatched SIMD kernel tier (1 = active)")
+        .set(1.0);
+    reg.make_gauge("hawc_kernel_isa_tier",
+                   "dispatched SIMD kernel tier as a number (0 scalar, 1 neon, 2 avx2)")
+        .set(static_cast<double>(active.tier));
+}
+
+packed_qweights pack_qweights(const std::int8_t* w, std::size_t k, std::size_t n) {
+    packed_qweights packed;
+    packed.k = k;
+    packed.n = n;
+    const std::size_t kp = packed.k_pairs();
+    packed.data.assign(packed.col_blocks() * kp * 2 * q_block, 0);
+    for (std::size_t b = 0; b < packed.col_blocks(); ++b) {
+        std::int16_t* block = packed.data.data() + b * kp * 2 * q_block;
+        for (std::size_t p = 0; p < kp; ++p) {
+            std::int16_t* pair = block + p * 2 * q_block;
+            for (std::size_t j = 0; j < q_block; ++j) {
+                const std::size_t col = b * q_block + j;
+                if (col >= n) continue;  // padded columns stay zero
+                pair[2 * j] = static_cast<std::int16_t>(w[(2 * p) * n + col]);
+                if (2 * p + 1 < k) {
+                    pair[2 * j + 1] = static_cast<std::int16_t>(w[(2 * p + 1) * n + col]);
+                }
+            }
+        }
+    }
+    return packed;
+}
+
+namespace reference {
+
+void qgemm(const std::int16_t* a, std::size_t a_stride, std::size_t k,
+           const std::int8_t* w, std::size_t n, std::int32_t* acc,
+           std::size_t acc_stride, std::size_t m_rows) {
+    for (std::size_t m = 0; m < m_rows; ++m) {
+        const std::int16_t* am = a + m * a_stride;
+        std::int32_t* cm = acc + m * acc_stride;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const std::int32_t x = am[kk];
+            const std::int8_t* w_row = w + kk * n;
+            for (std::size_t j = 0; j < n; ++j) {
+                cm[j] += x * static_cast<std::int32_t>(w_row[j]);
+            }
+        }
+    }
+}
+
+void sgemm(const float* a, std::size_t k, const float* w, std::size_t n, float* c,
+           std::size_t m_rows) {
+    for (std::size_t m = 0; m < m_rows; ++m) {
+        const float* am = a + m * k;
+        float* cm = c + m * n;
+        for (std::size_t kk = 0; kk < k; ++kk) {
+            const float x = am[kk];
+            const float* w_row = w + kk * n;
+            for (std::size_t j = 0; j < n; ++j) cm[j] += x * w_row[j];
+        }
+    }
+}
+
+}  // namespace reference
+
+}  // namespace hawc::kernels

@@ -6,60 +6,12 @@
 
 #include "common/error.hpp"
 #include "common/thread_pool.hpp"
+#include "nn/kernels/kernels.hpp"
+#include "quant/requantize.hpp"
 
 namespace hawc {
 
 namespace {
-
-std::int8_t requantize(float real, const quant_params& out_q, bool fused_relu) {
-    if (fused_relu && real < 0.0f) real = 0.0f;
-    return out_q.quantize(real);
-}
-
-// acc (m_rows x n_cols) += A (m_rows x K) * W (K x n_cols), row-major;
-// A holds zero-point-offset activations, so padding cells (stored as 0)
-// drop out exactly. Integer accumulation is order-independent, and the
-// worst case |x| * |w| * K is far below the int32 range for any layer in
-// these models. Four A-rows per pass reuse each loaded W row.
-void q_gemm_rows(const std::int16_t* a, std::size_t K, const std::int8_t* w, std::size_t n_cols,
-                 std::int32_t* acc, std::size_t m_rows) {
-    std::size_t m = 0;
-    for (; m + 4 <= m_rows; m += 4) {
-        const std::int16_t* a0 = a + (m + 0) * K;
-        const std::int16_t* a1 = a + (m + 1) * K;
-        const std::int16_t* a2 = a + (m + 2) * K;
-        const std::int16_t* a3 = a + (m + 3) * K;
-        std::int32_t* c0 = acc + (m + 0) * n_cols;
-        std::int32_t* c1 = acc + (m + 1) * n_cols;
-        std::int32_t* c2 = acc + (m + 2) * n_cols;
-        std::int32_t* c3 = acc + (m + 3) * n_cols;
-        for (std::size_t k = 0; k < K; ++k) {
-            const std::int8_t* w_row = w + k * n_cols;
-            const std::int32_t x0 = a0[k];
-            const std::int32_t x1 = a1[k];
-            const std::int32_t x2 = a2[k];
-            const std::int32_t x3 = a3[k];
-            for (std::size_t j = 0; j < n_cols; ++j) {
-                const auto wv = static_cast<std::int32_t>(w_row[j]);
-                c0[j] += x0 * wv;
-                c1[j] += x1 * wv;
-                c2[j] += x2 * wv;
-                c3[j] += x3 * wv;
-            }
-        }
-    }
-    for (; m < m_rows; ++m) {
-        const std::int16_t* am = a + m * K;
-        std::int32_t* cm = acc + m * n_cols;
-        for (std::size_t k = 0; k < K; ++k) {
-            const std::int32_t x = am[k];
-            const std::int8_t* w_row = w + k * n_cols;
-            for (std::size_t j = 0; j < n_cols; ++j) {
-                cm[j] += x * static_cast<std::int32_t>(w_row[j]);
-            }
-        }
-    }
-}
 
 q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
     HAWC_REQUIRE(in.shape.size() == 4, "q_conv expects rank-4 input");
@@ -77,20 +29,25 @@ q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
 
     const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
     const std::size_t K = op.kernel * op.kernel * op.in_channels;
+    const std::size_t a_stride = kernels::q_row_stride(K);
+    const std::size_t pn = op.packed.padded_n();
+    const kernels::kernel_ops& kern = kernels::active_kernels();
 
     // Same im2col + GEMM structure as the float path (see nn/conv2d.cpp):
-    // the patch matrix stores (x - zp_in) widened to int16 so the inner
-    // loops are branch-free int32 multiply-accumulates.
+    // the patch matrix stores (x - zp_in) widened to int16 so the
+    // dispatched microkernel runs branch-free over the packed weights.
+    // Integer accumulation is exact, so every ISA tier and every blocking
+    // produces bit-identical accumulators (kernels.hpp contract).
     global_pool().parallel_for(0, batch * out_h, 4, [&](std::size_t lo, std::size_t hi,
                                                         std::size_t /*slot*/) {
-        std::vector<std::int16_t> col(out_w * K);
-        std::vector<std::int32_t> acc(out_w * op.out_channels);
+        std::vector<std::int16_t> col(out_w * a_stride);
+        std::vector<std::int32_t> acc(out_w * pn);
         for (std::size_t r = lo; r < hi; ++r) {
             const std::size_t n = r / out_h;
             const std::size_t oh = r % out_h;
             std::fill(col.begin(), col.end(), std::int16_t{0});
             for (std::size_t ow = 0; ow < out_w; ++ow) {
-                std::int16_t* dst = col.data() + ow * K;
+                std::int16_t* dst = col.data() + ow * a_stride;
                 for (std::size_t kh = 0; kh < op.kernel; ++kh) {
                     const std::ptrdiff_t ih = static_cast<std::ptrdiff_t>(oh + kh) -
                                               static_cast<std::ptrdiff_t>(op.pad);
@@ -111,17 +68,12 @@ q_tensor run_conv(const q_conv_op& op, const q_tensor& in) {
                 }
             }
             std::fill(acc.begin(), acc.end(), 0);
-            q_gemm_rows(col.data(), K, op.weights.data(), op.out_channels, acc.data(), out_w);
+            kern.qgemm(col.data(), a_stride, op.packed, acc.data(), out_w);
             std::int8_t* out_row = &out.data[(n * out_h + oh) * out_w * op.out_channels];
             for (std::size_t ow = 0; ow < out_w; ++ow) {
-                const std::int32_t* acc_px = acc.data() + ow * op.out_channels;
-                std::int8_t* out_px = out_row + ow * op.out_channels;
-                for (std::size_t oc = 0; oc < op.out_channels; ++oc) {
-                    const float real = static_cast<float>(acc_px[oc]) * op.in_q.scale *
-                                           op.weight_scales[oc] +
-                                       op.bias[oc];
-                    out_px[oc] = requantize(real, op.out_q, op.fused_relu);
-                }
+                requantize_row(acc.data() + ow * pn, op.out_channels, op.in_q.scale,
+                               op.weight_scales.data(), op.bias.data(), op.out_q,
+                               op.fused_relu, out_row + ow * op.out_channels);
             }
         }
     });
@@ -139,33 +91,35 @@ q_tensor run_dense(const q_dense_op& op, const q_tensor& in) {
     out.data.resize(batch * op.out_features);
 
     const auto zp_in = static_cast<std::int32_t>(op.in_q.zero_point);
+    const std::size_t a_stride = kernels::q_row_stride(op.in_features);
+    const std::size_t pn = op.packed.padded_n();
+    const kernels::kernel_ops& kern = kernels::active_kernels();
 
     // Parallel over batch rows with the same static-partitioning contract
-    // as run_conv: each row's accumulator depends only on that row, chunk
-    // boundaries depend only on (batch, grain, pool size), and every row
-    // writes a disjoint slice of out.data — so the result is bit-identical
-    // for every thread count.
+    // as run_conv: chunk boundaries depend only on (batch, grain, pool
+    // size) and each row writes a disjoint slice of out.data. Every chunk
+    // is one blocked qgemm over the packed weight tiles — the microkernel
+    // register-tiles multiple batch rows against each 8-column block, and
+    // integer accumulation makes the result bit-identical for every chunk
+    // shape and thread count.
     global_pool().parallel_for(0, batch, 1, [&](std::size_t lo, std::size_t hi,
                                                 std::size_t /*slot*/) {
-        std::vector<std::int32_t> acc(op.out_features);
+        const std::size_t rows = hi - lo;
+        std::vector<std::int16_t> xw(rows * a_stride, 0);
+        std::vector<std::int32_t> acc(rows * pn, 0);
         for (std::size_t n = lo; n < hi; ++n) {
-            std::fill(acc.begin(), acc.end(), 0);
             const std::int8_t* in_row = &in.data[n * op.in_features];
+            std::int16_t* x_row = xw.data() + (n - lo) * a_stride;
             for (std::size_t i = 0; i < op.in_features; ++i) {
-                const std::int32_t x = static_cast<std::int32_t>(in_row[i]) - zp_in;
-                if (x == 0) continue;
-                const std::int8_t* w_row = &op.weights[i * op.out_features];
-                for (std::size_t o = 0; o < op.out_features; ++o) {
-                    acc[o] += x * static_cast<std::int32_t>(w_row[o]);
-                }
+                x_row[i] =
+                    static_cast<std::int16_t>(static_cast<std::int32_t>(in_row[i]) - zp_in);
             }
-            std::int8_t* out_row = &out.data[n * op.out_features];
-            for (std::size_t o = 0; o < op.out_features; ++o) {
-                const float real =
-                    static_cast<float>(acc[o]) * op.in_q.scale * op.weight_scales[o] +
-                    op.bias[o];
-                out_row[o] = requantize(real, op.out_q, op.fused_relu);
-            }
+        }
+        kern.qgemm(xw.data(), a_stride, op.packed, acc.data(), rows);
+        for (std::size_t n = lo; n < hi; ++n) {
+            requantize_row(acc.data() + (n - lo) * pn, op.out_features, op.in_q.scale,
+                           op.weight_scales.data(), op.bias.data(), op.out_q, op.fused_relu,
+                           &out.data[n * op.out_features]);
         }
     });
     return out;
@@ -235,6 +189,28 @@ q_tensor run_flatten(const q_tensor& in) {
 }
 
 }  // namespace
+
+void quantized_model::add_op(q_op op) {
+    // Pack conv/dense weights into the kernel layer's tiled layout once,
+    // at model-build time. The unpacked row-major weights stay on the op
+    // as the source of truth (serialization, the parity harness's scalar
+    // reference, and introspection all read them).
+    std::visit(
+        [](auto& concrete) {
+            using T = std::decay_t<decltype(concrete)>;
+            if constexpr (std::is_same_v<T, q_conv_op>) {
+                const std::size_t k =
+                    concrete.kernel * concrete.kernel * concrete.in_channels;
+                concrete.packed =
+                    kernels::pack_qweights(concrete.weights.data(), k, concrete.out_channels);
+            } else if constexpr (std::is_same_v<T, q_dense_op>) {
+                concrete.packed = kernels::pack_qweights(
+                    concrete.weights.data(), concrete.in_features, concrete.out_features);
+            }
+        },
+        op);
+    ops_.push_back(std::move(op));
+}
 
 tensor quantized_model::forward(const tensor& input) const {
     q_tensor x = quantize_tensor(input, input_params_);

@@ -8,6 +8,7 @@
 
 #include <variant>
 
+#include "nn/kernels/kernels.hpp"
 #include "nn/layer.hpp"
 #include "quant/q_types.hpp"
 
@@ -25,6 +26,9 @@ struct q_conv_op {
     quant_params in_q;
     quant_params out_q;
     bool fused_relu = false;
+    /// Derived, not serialized: the kernel-layer packed-B layout, built
+    /// once by quantized_model::add_op (model load / calibration time).
+    kernels::packed_qweights packed;
 };
 
 /// Quantized fully-connected layer. Weight layout (Fin, Fout).
@@ -37,6 +41,8 @@ struct q_dense_op {
     quant_params in_q;
     quant_params out_q;
     bool fused_relu = false;
+    /// Derived, not serialized: packed-B layout, built by add_op.
+    kernels::packed_qweights packed;
 };
 
 struct q_pool_op {
@@ -61,7 +67,10 @@ public:
     quantized_model() = default;
 
     void set_input_params(const quant_params& p) { input_params_ = p; }
-    void add_op(q_op op) { ops_.push_back(std::move(op)); }
+
+    /// Append an op. Conv/dense weights are packed into the kernel
+    /// layer's layout here — once per model load, never on the hot path.
+    void add_op(q_op op);
 
     std::size_t op_count() const { return ops_.size(); }
     const q_op& op_at(std::size_t i) const { return ops_[i]; }

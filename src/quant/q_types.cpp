@@ -23,23 +23,6 @@ quant_params quant_params::from_range(float lo, float hi) {
     return p;
 }
 
-std::int8_t quant_params::quantize(float real) const {
-    // Non-finite inputs must map deterministically: NaN through std::clamp
-    // is unordered (both comparisons false) and casting the resulting NaN
-    // to int8 is undefined behaviour. NaN carries no magnitude, so it maps
-    // to the zero code; infinities saturate like any out-of-range value.
-    if (!std::isfinite(real)) {
-        if (std::isnan(real)) {
-            return static_cast<std::int8_t>(std::clamp(zero_point, -128, 127));
-        }
-        return real > 0.0f ? std::int8_t{127} : std::int8_t{-128};
-    }
-    // real / scale is finite (scale >= span/255 > 0 from from_range) and
-    // zero_point is already clamped to int8 range, so the sum stays finite;
-    // saturate_to_int8 owns the rounding + saturation contract.
-    return saturate_to_int8(real / scale + static_cast<float>(zero_point));
-}
-
 q_tensor quantize_tensor(const tensor& real, const quant_params& params) {
     q_tensor out;
     out.shape = real.shape();

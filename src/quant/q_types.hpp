@@ -37,7 +37,26 @@ struct quant_params {
     /// Derive parameters covering [lo, hi] with int8 range [-128, 127].
     static quant_params from_range(float lo, float hi);
 
-    std::int8_t quantize(float real) const;
+    /// Inline (it sits under every int8 activation element): non-finite
+    /// inputs must map deterministically — NaN through std::clamp is
+    /// unordered (both comparisons false) and casting the resulting NaN
+    /// to int8 is undefined behaviour. NaN carries no magnitude, so it
+    /// maps to the zero code; infinities saturate like any out-of-range
+    /// value. The kernel layer's fused requantize tiers replicate this
+    /// exact contract (nn/kernels/kernels.hpp; nn cannot link against
+    /// quant) — tests/test_kernels.cpp pins them together.
+    std::int8_t quantize(float real) const {
+        if (!std::isfinite(real)) {
+            if (std::isnan(real)) {
+                return static_cast<std::int8_t>(std::clamp(zero_point, -128, 127));
+            }
+            return real > 0.0f ? std::int8_t{127} : std::int8_t{-128};
+        }
+        // real / scale is finite (scale >= span/255 > 0 from from_range)
+        // and zero_point is already clamped to int8 range, so the sum
+        // stays finite; saturate_to_int8 owns rounding + saturation.
+        return saturate_to_int8(real / scale + static_cast<float>(zero_point));
+    }
     float dequantize(std::int8_t q) const { return scale * (static_cast<float>(q) - static_cast<float>(zero_point)); }
 };
 

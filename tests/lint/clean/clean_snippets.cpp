@@ -14,3 +14,12 @@ struct widget {
     int brand_new_value = 0;
     double operand = 0.0;  // contains "rand" mid-identifier
 };
+
+// Near-misses for simd-outside-kernels: no _mm prefix, single-underscore
+// m256, a v*_ identifier without a lane-type suffix, and plain int8_t.
+struct vector_stats {
+    int summ_256 = 0;
+    int matrix_m256 = 0;
+    double vmax_speed = 0.0;
+    signed char narrow = 0;  // int8_t spelled out; int8x16_t would trip
+};
