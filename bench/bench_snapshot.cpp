@@ -1,6 +1,7 @@
-// Perf snapshot for the parallel frame engine: times the hot kernels and
-// the end-to-end single-frame count at several pool sizes and emits one
-// JSON document (BENCH_PR7.json via scripts/bench_snapshot.sh). The
+// Perf snapshot for the parallel frame engine: times the hot kernels,
+// the end-to-end single-frame count at several pool sizes, the fleet
+// occupancy read path, and the observability event pipeline, and emits
+// one JSON document (BENCH_PR8.json via scripts/bench_snapshot.sh). The
 // "baseline" block is the pre-engine measurement captured with the same
 // methodology on the same container class, so current/baseline ratios
 // are like-for-like. scripts/perf_gate.sh checks the threads_1 block
@@ -22,6 +23,9 @@
 #include "features/height_features.hpp"
 #include "fleet/occupancy.hpp"
 #include "nn/activations.hpp"
+#include "obs/event_log.hpp"
+#include "obs/flight_recorder.hpp"
+#include "obs/slo.hpp"
 #include "nn/conv2d.hpp"
 #include "nn/dense.hpp"
 #include "nn/kernels/kernels.hpp"
@@ -277,6 +281,92 @@ fleet_metrics measure_fleet(std::size_t poles) {
     return m;
 }
 
+// Observability hot paths: what one event, one recorded frame, and one
+// SLO sweep cost a pole that is otherwise busy counting people.
+struct obs_metrics {
+    double event_publish_us = 0.0;
+    double event_suppressed_us = 0.0;
+    double recorder_record_us = 0.0;
+    double slo_evaluate_us = 0.0;
+    double json_tail_256_us = 0.0;
+};
+
+obs_metrics measure_obs() {
+    obs_metrics m;
+    constexpr std::size_t reps = 4096;
+
+    telemetry::event ev = telemetry::make_event(
+        telemetry::event_kind::stage_failure, telemetry::event_severity::warning,
+        "bench stage failure");
+    ev.set_pole("pole-0");
+    ev.add_field("streak", 3.0);
+
+    {
+        obs::event_log accepting{{.capacity = 1024, .tokens_per_tick = 0.0, .burst = 0.0}};
+        m.event_publish_us = 1000.0 / reps * time_ms(10, [&] {
+            for (std::size_t i = 0; i < reps; ++i) accepting.publish(ev);
+        });
+        m.json_tail_256_us = 1000.0 * time_ms(20, [&] {
+            volatile std::size_t sink = obs::to_json_lines(accepting.tail(256)).size();
+            (void)sink;
+        });
+    }
+    {
+        // One token ever: after the first accept, every publish takes the
+        // token-bucket rejection path.
+        obs::event_log suppressing{{.capacity = 64, .tokens_per_tick = 0.0, .burst = 1.0}};
+        suppressing.publish(ev);
+        m.event_suppressed_us = 1000.0 / reps * time_ms(10, [&] {
+            for (std::size_t i = 0; i < reps; ++i) suppressing.publish(ev);
+        });
+    }
+    {
+        const point_cloud frame = crowd_cloud(100, 64, 42);
+        obs::flight_recorder recorder{{.frame_capacity = 16}, "pole-0", 7};
+        const supervisor_carry carry;
+        frame_report report;
+        report.count = 100;
+        constexpr std::size_t frames = 256;
+        std::vector<point_cloud> inbox;
+        auto refill = [&] {
+            inbox.assign(frames, frame);
+        };
+        refill();
+        double best = 1e300;
+        for (int pass = 0; pass < 10; ++pass) {
+            stopwatch sw;
+            for (std::size_t i = 0; i < frames; ++i) {
+                recorder.record(i, 100, std::move(inbox[i]), carry, report);
+            }
+            best = std::min(best, sw.elapsed_ms());
+            refill();
+        }
+        m.recorder_record_us = 1000.0 * best / static_cast<double>(frames);
+    }
+    {
+        telemetry::metrics_registry reg;
+        telemetry::counter& dropped = reg.make_counter("bench_dropped_total", "bench");
+        telemetry::counter& frames = reg.make_counter("bench_frames_total", "bench");
+        telemetry::gauge& stale = reg.make_gauge("bench_staleness", "bench");
+        stale.set(2.0);
+        obs::slo_engine engine{reg, reg,
+                               obs::parse_slo_rules(
+                                   "alert drop_burn if "
+                                   "ratio(bench_dropped_total/bench_frames_total) > 0.05 "
+                                   "window 8/32 resolve 8\n"
+                                   "alert staleness if value(bench_staleness) > 6 for 3\n")};
+        std::uint64_t tick = 0;
+        m.slo_evaluate_us = 1000.0 / reps * time_ms(10, [&] {
+            for (std::size_t i = 0; i < reps; ++i) {
+                frames.add(10);
+                dropped.add(i % 50 == 0 ? 1 : 0);
+                engine.evaluate(tick++);
+            }
+        });
+    }
+    return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -315,6 +405,15 @@ int main(int argc, char** argv) {
     std::printf("    \"cached_read_us\": %.4f,\n", fm.cached_read_us);
     std::printf("    \"contended_reads_per_us_3_readers\": %.2f\n",
                 fm.contended_reads_per_us);
+    std::printf("  },\n");
+
+    const obs_metrics om = measure_obs();
+    std::printf("  \"obs_event_pipeline\": {\n");
+    std::printf("    \"event_publish_us\": %.4f,\n", om.event_publish_us);
+    std::printf("    \"event_suppressed_us\": %.4f,\n", om.event_suppressed_us);
+    std::printf("    \"recorder_record_us\": %.4f,\n", om.recorder_record_us);
+    std::printf("    \"slo_evaluate_2_rules_us\": %.4f,\n", om.slo_evaluate_us);
+    std::printf("    \"events_to_jsonl_tail256_us\": %.2f\n", om.json_tail_256_us);
     std::printf("  },\n");
 
     set_global_thread_count(thread_counts.front());

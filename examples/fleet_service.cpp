@@ -16,6 +16,7 @@
 
 #include "fleet/fleet_manager.hpp"
 #include "nn/kernels/kernels.hpp"
+#include "obs/build_info.hpp"
 #include "telemetry/export.hpp"
 
 using namespace hawc;
@@ -147,7 +148,7 @@ int main(int argc, char** argv) {
               << "\n";
 
     std::cout << "\nPer-pole metrics scrape (excerpt):\n";
-    kernels::record_isa_gauges(campus.metrics());
+    obs::register_build_info(campus.metrics());  // includes the ISA gauges
     const std::string prom = telemetry::to_prometheus(campus.metrics());
     std::size_t shown = 0;
     std::size_t pos = 0;
@@ -157,6 +158,7 @@ int main(int argc, char** argv) {
         pos = eol == std::string::npos ? prom.size() : eol + 1;
         if (line.find("hawc_pole_frames_total") != std::string::npos ||
             line.find("hawc_kernel_isa") != std::string::npos ||
+            line.find("hawc_build_info") != std::string::npos ||
             line.find("hawc_fleet_aggregate") != std::string::npos) {
             std::cout << "  " << line << "\n";
             ++shown;

@@ -21,6 +21,7 @@
 #include "classifiers/quantized_classifier.hpp"
 #include "common/thread_pool.hpp"
 #include "nn/kernels/kernels.hpp"
+#include "obs/build_info.hpp"
 #include "runtime/fault_injection.hpp"
 #include "runtime/supervisor.hpp"
 #include "sim/trajectory.hpp"
@@ -87,7 +88,7 @@ int main() {
             // A scraper would GET this payload from the pole's /metrics
             // endpoint; here we print a few signal lines of it.
             telemetry::record_pool_gauges(supervisor.metrics(), global_pool());
-            kernels::record_isa_gauges(supervisor.metrics());
+            obs::register_build_info(supervisor.metrics());  // includes ISA gauges
             const std::string scrape = telemetry::to_prometheus(supervisor.metrics());
             std::cout << "\n-- Prometheus scrape @ " << t << "s (excerpt) --\n";
             for (std::size_t pos = 0; pos < scrape.size();) {
@@ -97,6 +98,7 @@ int main() {
                 if (line.rfind("hawc_frames_", 0) == 0 ||
                     line.rfind("hawc_pool_utilization", 0) == 0 ||
                     line.rfind("hawc_kernel_isa", 0) == 0 ||
+                    line.rfind("hawc_build_info", 0) == 0 ||
                     line.rfind("hawc_fallback_", 0) == 0) {
                     std::cout << "  " << line << "\n";
                 }

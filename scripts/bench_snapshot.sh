@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_PR7.json: build the Release tree, run the perf
+# Regenerate BENCH_PR8.json: build the Release tree, run the perf
 # snapshot over the hot kernels (including the int8 conv/dense kernels,
-# the SIMD kernel-layer GEMMs, and the fleet occupancy read path) at 1
+# the SIMD kernel-layer GEMMs, and the fleet occupancy read path, and the obs event pipeline) at 1
 # and 4 pool lanes, gate the threads_1 numbers against
 # bench/perf_floor.json, then run the kernel micro-benchmarks and the
 # Table II inference-speed bench (their text reports land next to the
@@ -12,7 +12,7 @@ set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 build_dir="${1:-$repo_root/build}"
-output="${2:-$repo_root/BENCH_PR7.json}"
+output="${2:-$repo_root/BENCH_PR8.json}"
 
 cmake -S "$repo_root" -B "$build_dir" -DCMAKE_BUILD_TYPE=Release >/dev/null
 cmake --build "$build_dir" -j "$(nproc)" \

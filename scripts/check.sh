@@ -1,11 +1,11 @@
 #!/usr/bin/env bash
-# Instrumented verification pipeline. By default runs eight phases:
+# Instrumented verification pipeline. By default runs nine phases:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over the full suite
 #      (degenerate-input and chaos-soak tests under heap/UB checking)
 #   2. ThreadSanitizer over the concurrency tests (the thread-pool
 #      contract, cross-thread-count determinism sweeps, parallel soak,
-#      and the telemetry registry/span suite)
+#      the telemetry registry/span suite, and the multi-writer event log)
 #   3. A bench-snapshot smoke run (the perf harness still builds, runs,
 #      and emits parseable JSON)
 #   4. The telemetry overhead gate on an unsanitized Release build
@@ -22,11 +22,16 @@
 #   8. The perf-regression gate (Release build): bench_snapshot threads_1
 #      numbers vs the checked-in ceilings in bench/perf_floor.json
 #      (scripts/perf_gate.sh; HAWC_PERF_TOLERANCE scales the budget)
+#   9. The flight-recorder drill (Release build): the fault-injected
+#      eight-pole postmortem example must dump a bundle that replays
+#      bit-exactly and complete an SLO alert fire/resolve cycle, and
+#      bench_obs_overhead must show the obs stack costing <= 2% on
+#      clean frames
 #
 # Setting HAWC_SANITIZE runs a single sanitizer configuration over the
 # full suite instead (any -fsanitize= value works):
 #
-#   scripts/check.sh                  # all eight phases
+#   scripts/check.sh                  # all nine phases
 #   HAWC_SANITIZE=thread scripts/check.sh
 #   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
@@ -52,44 +57,53 @@ if [[ -n "${HAWC_SANITIZE:-}" ]]; then
   exit 0
 fi
 
-echo "== phase 1/8: address,undefined over the full suite =="
+echo "== phase 1/9: address,undefined over the full suite =="
 run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
 
-echo "== phase 2/8: thread sanitizer over the concurrency tests =="
-run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity|fleet[a-z_]*)\.'
+echo "== phase 2/9: thread sanitizer over the concurrency tests =="
+run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity|fleet[a-z_]*|obs[a-z_]*)\.'
 
-echo "== phase 3/8: bench snapshot smoke =="
+echo "== phase 3/9: bench snapshot smoke =="
 smoke_build="${repo_root}/build-sanitize"
 cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
 "${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
 python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
 echo "bench snapshot smoke OK"
 
-echo "== phase 4/8: telemetry overhead gate (Release, <= 2%) =="
+echo "== phase 4/9: telemetry overhead gate (Release, <= 2%) =="
 perf_build="${repo_root}/build"
 cmake -B "${perf_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${perf_build}" --target bench_telemetry_overhead -j "$(nproc)"
 "${perf_build}/bench/bench_telemetry_overhead"
 echo "telemetry overhead gate OK"
 
-echo "== phase 5/8: golden-corpus parity gate =="
+echo "== phase 5/9: golden-corpus parity gate =="
 cmake --build "${perf_build}" --target parity_checker -j "$(nproc)"
 "${perf_build}/examples/parity_checker" check "${repo_root}/data/golden"
 echo "parity gate OK"
 
-echo "== phase 6/8: static-analysis gate =="
+echo "== phase 6/9: static-analysis gate =="
 "${repo_root}/scripts/lint.sh" --self-test
 "${repo_root}/scripts/lint.sh"
 echo "static-analysis gate OK"
 
-echo "== phase 7/8: fleet chaos gate (Release) =="
+echo "== phase 7/9: fleet chaos gate (Release) =="
 cmake --build "${perf_build}" --target test_fleet fleet_service -j "$(nproc)"
 "${perf_build}/tests/test_fleet" --gtest_filter='fleet_chaos.*:fleet.*'
 "${perf_build}/examples/fleet_service" 300 > /tmp/hawc_fleet_service.txt
 grep -q "Staleness bound (10 ticks) holds: yes" /tmp/hawc_fleet_service.txt
 echo "fleet chaos gate OK"
 
-echo "== phase 8/8: perf-regression gate (Release) =="
+echo "== phase 8/9: perf-regression gate (Release) =="
 cmake --build "${perf_build}" --target bench_snapshot -j "$(nproc)"
 "${perf_build}/bench/bench_snapshot" 1 > /tmp/hawc_bench_perf.json
 "${repo_root}/scripts/perf_gate.sh" /tmp/hawc_bench_perf.json
+
+echo "== phase 9/9: flight-recorder drill + obs overhead gate (Release) =="
+cmake --build "${perf_build}" --target pole_postmortem bench_obs_overhead -j "$(nproc)"
+"${perf_build}/examples/pole_postmortem" 240 /tmp/hawc_postmortem_drill.hawcpm \
+  > /tmp/hawc_pole_postmortem.txt
+grep -q "postmortem replay: bit-exact" /tmp/hawc_pole_postmortem.txt
+grep -q "Alert poles_excluded: fired and resolved" /tmp/hawc_pole_postmortem.txt
+"${perf_build}/bench/bench_obs_overhead"
+echo "flight-recorder drill OK"

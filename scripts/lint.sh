@@ -20,6 +20,11 @@
 #                             src/nn/kernels/ — vector code lives behind
 #                             the dispatch table so every routine keeps a
 #                             scalar fallback and new ISAs land in one place
+#        raw-logging          std::cout/cerr/clog and printf-family calls
+#                             in src/ outside src/obs/ — library code
+#                             reports through events, metrics, and spans,
+#                             never straight to stdio (bounded snprintf
+#                             into a caller buffer stays legal)
 #      A hit is waived only by an inline `lint:allow(<rule>): <reason>`
 #      comment on the same line (the reason is mandatory by convention;
 #      DESIGN.md §11).
@@ -92,6 +97,7 @@ ere_double_seconds='duration<[[:space:]]*(double|float)'
 ere_wallclock='system_clock|high_resolution_clock|steady_clock|gettimeofday|clock_gettime|localtime|gmtime|(^|[^[:alnum:]_:])time[[:space:]]*\('
 ere_sleep='sleep_for|sleep_until|(^|[^[:alnum:]_])usleep[[:space:]]*\(|(^|[^[:alnum:]_])nanosleep[[:space:]]*\(|(^|[^[:alnum:]_])sleep[[:space:]]*\('
 ere_simd='_mm(256|512)?_[a-z0-9_]+|__m(128|256|512)|[[:alpha:]]*mmintrin\.h|arm_neon\.h|(^|[^[:alnum:]_])v[a-z][a-z0-9_]*_[sufp](8|16|32|64)|(^|[^[:alnum:]_])(u?int|float|poly)(8|16|32|64)x(2|4|8|16)(x[2-4])?_t'
+ere_raw_logging='std::(cout|cerr|clog)|(^|[^[:alnum:]_])(printf|fprintf|vprintf|vfprintf|puts|fputs)[[:space:]]*\('
 
 phase_banned_patterns() {
     note "== lint phase 1: banned-pattern scan =="
@@ -114,6 +120,8 @@ phase_banned_patterns() {
         $(printf '%s\n' "${all[@]}" | grep '^src/fleet/' || true)
     scan_rule simd-outside-kernels "${ere_simd}" \
         $(printf '%s\n' "${all[@]}" | grep -v '^src/nn/kernels/')
+    scan_rule raw-logging "${ere_raw_logging}" \
+        $(printf '%s\n' "${all[@]}" | grep '^src/' | grep -v '^src/obs/' || true)
 
     if [[ ${violations} -eq 0 ]]; then
         note "banned-pattern scan clean (${#all[@]} files)"
@@ -222,6 +230,8 @@ self_test() {
         || failures=$((failures + 1))
     expect_hits 5 simd-outside-kernels "${ere_simd}" "${fx}/bad/simd_intrinsics.cpp" \
         || failures=$((failures + 1))
+    expect_hits 7 raw-logging "${ere_raw_logging}" "${fx}/bad/raw_logging.cpp" \
+        || failures=$((failures + 1))
 
     # The lock-free claim detector itself.
     if [[ -z "$(claims_lockfree "${fx}/bad/mutex_lockfree.cpp")" ]]; then
@@ -238,6 +248,8 @@ self_test() {
         || failures=$((failures + 1))
     expect_hits 0 sleep-in-fleet "${ere_sleep}" "${clean_files[@]}" || failures=$((failures + 1))
     expect_hits 0 simd-outside-kernels "${ere_simd}" "${clean_files[@]}" \
+        || failures=$((failures + 1))
+    expect_hits 0 raw-logging "${ere_raw_logging}" "${clean_files[@]}" \
         || failures=$((failures + 1))
     local claiming
     claiming="$(claims_lockfree "${clean_files[@]}")"

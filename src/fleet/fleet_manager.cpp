@@ -62,6 +62,50 @@ fleet_manager::fleet_manager(const fleet_config& config,
         "hawc_fleet_shed_ticks_total", "Ticks run with a halved budget (backpressure)");
     frames_shed_counter_ = &metrics_.make_counter(
         "hawc_fleet_frames_shed_total", "Frames evicted from pole inboxes on overflow");
+
+    fleet_frames_counter_ = &metrics_.make_counter(
+        "hawc_fleet_frames_total", "Frames processed across all poles");
+    fleet_dropped_counter_ = &metrics_.make_counter(
+        "hawc_fleet_frames_dropped_total",
+        "Frames that ended dropped (unrecoverable) across all poles");
+    fleet_quarantines_counter_ = &metrics_.make_counter(
+        "hawc_fleet_quarantines_total", "Watchdog quarantines across all poles");
+    excluded_gauge_ = &metrics_.make_gauge(
+        "hawc_fleet_excluded_poles", "Poles excluded from the aggregate this tick");
+    max_staleness_gauge_ = &metrics_.make_gauge(
+        "hawc_fleet_max_staleness_ticks",
+        "Oldest included count's age in ticks (the staleness-bound witness)");
+}
+
+void fleet_manager::attach_observability(obs::event_log& log) {
+    event_log_ = &log;
+    for (auto& pole : poles_) pole->attach_events(&log);
+}
+
+void fleet_manager::enable_flight_recorders(const obs::flight_recorder_config& config) {
+    for (auto& pole : poles_) pole->enable_flight_recorder(config, event_log_, nullptr);
+}
+
+void fleet_manager::install_slo(std::vector<obs::slo_rule> rules, std::uint64_t period) {
+    HAWC_REQUIRE(period > 0, "SLO evaluation period must be positive");
+    slo_period_ = period;
+    slo_.emplace(metrics_, metrics_, std::move(rules), event_log_);
+}
+
+std::vector<obs::postmortem_bundle> fleet_manager::collect_postmortems() {
+    std::vector<obs::postmortem_bundle> out;
+    for (auto& pole : poles_) {
+        if (pole->recorder() == nullptr) continue;
+        auto dumps = pole->recorder()->take_dumps();
+        out.insert(out.end(), std::make_move_iterator(dumps.begin()),
+                   std::make_move_iterator(dumps.end()));
+    }
+    return out;
+}
+
+obs::health_summary fleet_manager::fleet_health() const {
+    if (slo_) return slo_->summary();
+    return {};
 }
 
 void fleet_manager::submit(std::size_t pole, link_message msg) {
@@ -95,6 +139,11 @@ void fleet_manager::tick() {
                                });
 
     publish_tick();
+
+    // Observability rides the same virtual clock: bucket refills and SLO
+    // evaluations are functions of the tick counter, never wall time.
+    if (event_log_ != nullptr) event_log_->advance_tick(tick_);
+    if (slo_ && tick_ % slo_period_ == 0) slo_->evaluate(tick_);
 }
 
 void fleet_manager::publish_tick() {
@@ -103,6 +152,10 @@ void fleet_manager::publish_tick() {
     snap.poles.resize(poles_.size());
 
     std::uint64_t frames_shed = 0;
+    std::uint64_t frames_total = 0;
+    std::uint64_t dropped_total = 0;
+    std::uint64_t quarantines_total = 0;
+    std::uint64_t max_staleness = 0;
     for (std::size_t i = 0; i < poles_.size(); ++i) {
         const pole_runtime& p = *poles_[i];
 
@@ -128,6 +181,7 @@ void fleet_manager::publish_tick() {
             slot.updated_tick = p.last_good_tick();
             snap.aggregate += slot.count;
             ++snap.included;
+            max_staleness = std::max(max_staleness, tick_ - p.last_good_tick());
         } else {
             slot.count = 0;
             slot.updated_tick = p.last_good_tick();
@@ -149,6 +203,12 @@ void fleet_manager::publish_tick() {
         pm.rung->set(static_cast<double>(static_cast<std::uint32_t>(rung)));
         pm.count->set(static_cast<double>(p.last_good_count()));
         frames_shed += st.shed_inbox_overflow;
+        // pole_stats are cumulative over the pole's lifetime (they do not
+        // reset on restart, unlike the supervisor's epoch-scoped health),
+        // so the fleet rollup is a plain monotonic sum.
+        frames_total += st.processed;
+        dropped_total += st.processed - st.good_frames;
+        quarantines_total += st.quarantines;
     }
 
     aggregate_gauge_->set(static_cast<double>(snap.aggregate));
@@ -156,7 +216,31 @@ void fleet_manager::publish_tick() {
     frames_shed_counter_->add(frames_shed - frames_shed_seen_);
     frames_shed_seen_ = frames_shed;
 
+    fleet_frames_counter_->add(frames_total - fleet_frames_seen_);
+    fleet_frames_seen_ = frames_total;
+    fleet_dropped_counter_->add(dropped_total - fleet_dropped_seen_);
+    fleet_dropped_seen_ = dropped_total;
+    fleet_quarantines_counter_->add(quarantines_total - fleet_quarantines_seen_);
+    fleet_quarantines_seen_ = quarantines_total;
+    excluded_gauge_->set(static_cast<double>(poles_.size() - snap.included));
+    max_staleness_gauge_->set(static_cast<double>(max_staleness));
+
     board_.publish(snap);
+}
+
+std::vector<obs::slo_rule> default_fleet_slo_rules() {
+    // Expressed in the rule grammar rather than built struct-by-struct:
+    // the defaults double as living documentation of slo.hpp's syntax.
+    return obs::parse_slo_rules(R"(
+# Included counts must stay fresh (the staleness bound is 10 ticks).
+alert occupancy_stale if value(hawc_fleet_max_staleness_ticks) > 6 for 3 resolve 3 severity warning
+# Any pole excluded from the aggregate is degraded coverage.
+alert poles_excluded if value(hawc_fleet_excluded_poles) > 0 for 2 resolve 4 severity error
+# Sustained drop ratio across the fleet (multi-window burn rate).
+alert drop_ratio if ratio(hawc_fleet_frames_dropped_total/hawc_fleet_frames_total) > 0.05 window 8/32 resolve 8 severity error
+# Quarantines per tick; steady-state fleets quarantine ~never.
+alert quarantine_rate if rate(hawc_fleet_quarantines_total) > 0.02 window 16/64 resolve 16 severity critical
+)");
 }
 
 fleet_replay_result replay_corpus_set(fleet_manager& fleet,

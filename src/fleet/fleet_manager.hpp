@@ -23,11 +23,14 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fleet/occupancy.hpp"
 #include "fleet/pole_runtime.hpp"
+#include "obs/event_log.hpp"
+#include "obs/slo.hpp"
 #include "replay/corpus_set.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -101,6 +104,31 @@ public:
         probe_ = std::move(probe);
     }
 
+    /// Route every pole's events into `log` (which must outlive the
+    /// fleet) and advance its rate-limiter buckets once per tick.
+    void attach_observability(obs::event_log& log);
+
+    /// Arm a black-box flight recorder on every pole. Bundles snapshot
+    /// the attached event log (if any) at dump time.
+    void enable_flight_recorders(const obs::flight_recorder_config& config);
+
+    /// Install SLO rules evaluated over this fleet's metrics registry
+    /// every `period` ticks. Alert transitions flow into the attached
+    /// event log; attach_observability first if events are wanted.
+    void install_slo(std::vector<obs::slo_rule> rules, std::uint64_t period = 1);
+
+    /// Drain every pole's pending postmortem bundles (single-threaded;
+    /// call between ticks).
+    std::vector<obs::postmortem_bundle> collect_postmortems();
+
+    /// The SLO rollup, or an empty (healthy, zero-rule) summary when no
+    /// rules are installed.
+    obs::health_summary fleet_health() const;
+
+    obs::slo_engine* slo() { return slo_ ? &*slo_ : nullptr; }
+    const obs::slo_engine* slo() const { return slo_ ? &*slo_ : nullptr; }
+    obs::event_log* events() { return event_log_; }
+
 private:
     struct pole_metrics {
         telemetry::counter* frames = nullptr;
@@ -135,7 +163,26 @@ private:
     telemetry::counter* shed_ticks_counter_ = nullptr;
     telemetry::counter* frames_shed_counter_ = nullptr;
     std::uint64_t frames_shed_seen_ = 0;
+
+    // Fleet-level rollups (sums over poles, published as deltas).
+    telemetry::counter* fleet_frames_counter_ = nullptr;
+    telemetry::counter* fleet_dropped_counter_ = nullptr;
+    telemetry::counter* fleet_quarantines_counter_ = nullptr;
+    telemetry::gauge* excluded_gauge_ = nullptr;
+    telemetry::gauge* max_staleness_gauge_ = nullptr;
+    std::uint64_t fleet_frames_seen_ = 0;
+    std::uint64_t fleet_dropped_seen_ = 0;
+    std::uint64_t fleet_quarantines_seen_ = 0;
+
+    obs::event_log* event_log_ = nullptr;
+    std::optional<obs::slo_engine> slo_;
+    std::uint64_t slo_period_ = 1;
 };
+
+/// A starter rule set for the metrics every fleet_manager publishes:
+/// occupancy staleness, excluded poles, drop ratio, quarantine rate.
+/// Callers append rules for their own service-level metrics.
+std::vector<obs::slo_rule> default_fleet_slo_rules();
 
 /// Replay a recorded multi-pole corpus set through a fleet: tick t
 /// submits frame t of every pole (poles beyond their corpus length idle),

@@ -41,7 +41,25 @@ pole_runtime::pole_runtime(std::string pole_id, std::uint64_t seed,
 
 void pole_runtime::submit(link_message msg) { link_.send(std::move(msg)); }
 
+void pole_runtime::attach_events(telemetry::event_sink* sink) {
+    events_.set_target(sink);
+    events_.set_pole(id_);
+    supervisor_.set_event_sink(sink != nullptr ? &events_ : nullptr);
+}
+
+void pole_runtime::enable_flight_recorder(const obs::flight_recorder_config& config,
+                                          const obs::event_log* events,
+                                          const telemetry::trace_sink* spans) {
+    recorder_.emplace(config, id_, stream_seed_);
+    recorder_->attach_sources(events, spans);
+}
+
+void pole_runtime::emit(telemetry::event ev) {
+    if (events_.target() != nullptr) events_.publish(ev);
+}
+
 void pole_runtime::run_tick(std::uint64_t tick, std::size_t budget) {
+    events_.set_tick(tick);
     auto arrivals = link_.receive();
 
     if (state_ == pole_state::quarantined) {
@@ -50,10 +68,18 @@ void pole_runtime::run_tick(std::uint64_t tick, std::size_t budget) {
         // Backoff expired: restart the supervisor (bumping its health
         // epoch) and start proving a recovery streak.
         supervisor_.restart();
+        if (recorder_) recorder_->reset_ring();  // new epoch, new black box
         ++stats_.restarts;
         state_ = pole_state::probation;
         probation_progress_ = 0;
         last_progress_tick_ = tick;
+        {
+            telemetry::event ev =
+                telemetry::make_event(telemetry::event_kind::pole_restarted,
+                                      telemetry::event_severity::info, "probation");
+            ev.add_field("attempt", static_cast<double>(attempt_));
+            emit(ev);
+        }
         return;  // first frames flow next tick; this one was spent restarting
     }
 
@@ -83,6 +109,14 @@ void pole_runtime::process_message(link_message msg, std::uint64_t tick) {
     if (!verify_checksum(msg)) {
         ++stats_.checksum_failures;
         ++checksum_streak_;
+        {
+            telemetry::event ev =
+                telemetry::make_event(telemetry::event_kind::link_corruption,
+                                      telemetry::event_severity::warning, "checksum");
+            ev.frame = msg.frame_index;
+            ev.add_field("streak", static_cast<double>(checksum_streak_));
+            emit(ev);
+        }
         if (checksum_streak_ >= watchdog_.max_checksum_failures) quarantine(tick);
         return;
     }
@@ -97,10 +131,24 @@ void pole_runtime::process_message(link_message msg, std::uint64_t tick) {
     // healthy poles in a faulted fleet stay bit-identical to their
     // single-supervisor baselines.
     rng random{replay::frame_seed(stream_seed_, static_cast<std::size_t>(msg.frame_index))};
+    // The carry must be captured before process() mutates it: a postmortem
+    // replay re-arms the ladder with the oldest retained frame's carry.
+    supervisor_carry carry_before;
+    if (recorder_) carry_before = supervisor_.carry();
     const frame_report report = supervisor_.process(msg.cloud, random);
     ++stats_.processed;
     last_progress_tick_ = tick;
     if (record_history_) history_.push_back({msg.frame_index, report.count, report.status});
+    if (recorder_ &&
+        recorder_->record(msg.frame_index, msg.ground_truth, std::move(msg.cloud), carry_before,
+                          report)) {
+        telemetry::event ev =
+            telemetry::make_event(telemetry::event_kind::recorder_dump,
+                                  telemetry::event_severity::error, "deadline_storm");
+        ev.frame = msg.frame_index;
+        ev.add_field("pending", static_cast<double>(recorder_->pending_dumps()));
+        emit(ev);
+    }
 
     if (report.status == frame_status::dropped) {
         ++dropped_streak_;
@@ -123,6 +171,12 @@ void pole_runtime::process_message(link_message msg, std::uint64_t tick) {
         if (probation_progress_ >= watchdog_.probation_recovery_streak) {
             state_ = pole_state::live;
             attempt_ = 0;  // a real recovery clears the escalation
+            telemetry::event ev =
+                telemetry::make_event(telemetry::event_kind::pole_recovered,
+                                      telemetry::event_severity::info, "live");
+            ev.frame = msg.frame_index;
+            ev.add_field("streak", static_cast<double>(probation_progress_));
+            emit(ev);
         }
     }
 }
@@ -150,6 +204,25 @@ void pole_runtime::quarantine(std::uint64_t tick) {
     dropped_streak_ = 0;
     checksum_streak_ = 0;
     probation_progress_ = 0;
+
+    {
+        telemetry::event ev =
+            telemetry::make_event(telemetry::event_kind::pole_quarantined,
+                                  telemetry::event_severity::error, "watchdog");
+        ev.add_field("attempt", static_cast<double>(attempt_));
+        ev.add_field("resume_tick", static_cast<double>(resume_tick_));
+        emit(ev);
+    }
+
+    // The black box closes its loop here: quarantine is exactly the
+    // moment the last N frames are forensically interesting.
+    if (recorder_ && recorder_->trigger_dump(obs::dump_trigger::quarantine, tick)) {
+        telemetry::event ev =
+            telemetry::make_event(telemetry::event_kind::recorder_dump,
+                                  telemetry::event_severity::error, "quarantine");
+        ev.add_field("pending", static_cast<double>(recorder_->pending_dumps()));
+        emit(ev);
+    }
 }
 
 bool pole_runtime::seen_recently(std::uint64_t frame_index) {

@@ -27,10 +27,12 @@
 #include <array>
 #include <cstdint>
 #include <deque>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "fleet/pole_link.hpp"
+#include "obs/flight_recorder.hpp"
 #include "runtime/supervisor.hpp"
 
 namespace hawc::fleet {
@@ -129,10 +131,28 @@ public:
     void set_record_history(bool on) { record_history_ = on; }
     const std::vector<frame_outcome>& history() const { return history_; }
 
+    /// Route this pole's lifecycle events (quarantine, restart, recovery,
+    /// link corruption, ladder transitions) into `sink`, tagged with the
+    /// pole id and current tick. Pass nullptr to detach. The supervisor's
+    /// own stage/ladder events flow through the same tagger.
+    void attach_events(telemetry::event_sink* sink);
+
+    /// Arm the black-box flight recorder. `events`/`spans` are optional
+    /// context snapshotted into postmortem bundles at dump time.
+    void enable_flight_recorder(const obs::flight_recorder_config& config,
+                                const obs::event_log* events = nullptr,
+                                const telemetry::trace_sink* spans = nullptr);
+
+    obs::flight_recorder* recorder() { return recorder_ ? &*recorder_ : nullptr; }
+    const obs::flight_recorder* recorder() const {
+        return recorder_ ? &*recorder_ : nullptr;
+    }
+
 private:
     void process_message(link_message msg, std::uint64_t tick);
     void quarantine(std::uint64_t tick);
     bool seen_recently(std::uint64_t frame_index);
+    void emit(telemetry::event ev);
 
     std::string id_;
     std::uint64_t stream_seed_;
@@ -165,6 +185,12 @@ private:
     pole_stats stats_;
     bool record_history_ = false;
     std::vector<frame_outcome> history_;
+
+    // Observability: the tagger stamps pole id + tick on everything this
+    // pole emits; the recorder is only touched from run_tick (same
+    // single-thread-per-pole contract as the rest of the state).
+    telemetry::tagging_event_sink events_;
+    std::optional<obs::flight_recorder> recorder_;
 };
 
 }  // namespace hawc::fleet

@@ -1,0 +1,80 @@
+#include "obs/build_info.hpp"
+
+#include <array>
+
+#include "nn/kernels/kernels.hpp"
+
+#ifndef HAWC_VERSION_STRING
+#define HAWC_VERSION_STRING "0.0.0-dev"
+#endif
+
+#if defined(__has_feature)
+#if __has_feature(address_sanitizer) && !defined(__SANITIZE_ADDRESS__)
+#define __SANITIZE_ADDRESS__ 1
+#endif
+#if __has_feature(thread_sanitizer) && !defined(__SANITIZE_THREAD__)
+#define __SANITIZE_THREAD__ 1
+#endif
+#endif
+
+namespace hawc::obs {
+
+namespace {
+
+std::string compiler_id() {
+#if defined(__clang__)
+    return "clang-" + std::to_string(__clang_major__) + "." +
+           std::to_string(__clang_minor__) + "." + std::to_string(__clang_patchlevel__);
+#elif defined(__GNUC__)
+    return "gcc-" + std::to_string(__GNUC__) + "." + std::to_string(__GNUC_MINOR__) +
+           "." + std::to_string(__GNUC_PATCHLEVEL__);
+#else
+    return "unknown";
+#endif
+}
+
+std::string sanitizer_id() {
+#if defined(__SANITIZE_THREAD__)
+    return "thread";
+#elif defined(__SANITIZE_ADDRESS__)
+    return "address";
+#else
+    return "none";
+#endif
+}
+
+}  // namespace
+
+build_info current_build_info() {
+    build_info info;
+    info.version = HAWC_VERSION_STRING;
+    info.compiler = compiler_id();
+    info.isa = kernels::isa_name(kernels::active_kernels().tier);
+    info.sanitizer = sanitizer_id();
+    return info;
+}
+
+void register_build_info(telemetry::metrics_registry& reg, telemetry::event_sink* events) {
+    const build_info info = current_build_info();
+    const std::array<telemetry::metric_label, 4> labels{{
+        {"version", info.version},
+        {"compiler", info.compiler},
+        {"isa", info.isa},
+        {"sanitizer", info.sanitizer},
+    }};
+    reg.make_gauge(telemetry::labeled_name("hawc_build_info", labels),
+                   "Build identity (constant 1; labels carry the payload)")
+        .set(1.0);
+    kernels::record_isa_gauges(reg);
+
+    if (events != nullptr) {
+        telemetry::event ev = telemetry::make_event(
+            telemetry::event_kind::isa_dispatch, telemetry::event_severity::info,
+            info.isa.c_str());
+        ev.add_field("tier", static_cast<double>(
+                                 static_cast<int>(kernels::active_kernels().tier)));
+        events->publish(ev);
+    }
+}
+
+}  // namespace hawc::obs

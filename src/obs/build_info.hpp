@@ -1,0 +1,35 @@
+#pragma once
+
+// Build identity surfaced as metrics: the standard Prometheus pattern of
+// a constant `hawc_build_info{...} 1` gauge whose labels carry the
+// version, compiler, active kernel ISA, and sanitizer mode. Scraping it
+// from every pole answers "which binary is that pole actually running?"
+// without shelling into the device — mixed-version fleets show up as two
+// distinct label sets on one dashboard.
+
+#include <string>
+
+#include "telemetry/event.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hawc::obs {
+
+struct build_info {
+    std::string version;    // HAWC_VERSION_STRING compile definition
+    std::string compiler;   // e.g. "gcc-12.2.0"
+    std::string isa;        // runtime-dispatched kernel tier (scalar/neon/avx2)
+    std::string sanitizer;  // "none", "address", "thread", ...
+};
+
+/// The identity of this binary. The ISA field reflects the *runtime*
+/// dispatch decision, not the compile flags.
+build_info current_build_info();
+
+/// Register `hawc_build_info{version=...,compiler=...,isa=...,sanitizer=...} 1`
+/// in `reg`, and optionally announce the kernel dispatch decision as an
+/// isa_dispatch event (services call this once at startup). Idempotent:
+/// re-registering the same labels is a no-op set(1).
+void register_build_info(telemetry::metrics_registry& reg,
+                         telemetry::event_sink* events = nullptr);
+
+}  // namespace hawc::obs

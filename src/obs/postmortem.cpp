@@ -1,0 +1,173 @@
+#include "obs/postmortem.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+#include "replay/binary_io.hpp"
+#include "replay/replay_driver.hpp"
+
+namespace hawc::obs {
+
+const char* to_string(dump_trigger trigger) {
+    switch (trigger) {
+        case dump_trigger::manual: return "manual";
+        case dump_trigger::quarantine: return "quarantine";
+        case dump_trigger::deadline_storm: return "deadline_storm";
+    }
+    return "unknown";
+}
+
+namespace {
+
+void write_carry(replay::byte_writer& w, const supervisor_carry& carry) {
+    w.u8(carry.has_last_good ? 1 : 0);
+    w.u64(carry.last_good_count);
+    w.u64(carry.stale_streak);
+    w.u64(carry.good_streak);
+}
+
+supervisor_carry read_carry(replay::byte_reader& r) {
+    supervisor_carry carry;
+    carry.has_last_good = r.u8() != 0;
+    carry.last_good_count = r.u64();
+    carry.stale_streak = r.u64();
+    carry.good_streak = r.u64();
+    return carry;
+}
+
+}  // namespace
+
+void save_postmortem(std::ostream& out, const postmortem_bundle& bundle) {
+    replay::byte_writer payload;
+    payload.str(bundle.pole_id);
+    payload.u64(bundle.base_seed);
+    payload.u8(static_cast<std::uint8_t>(bundle.trigger));
+    payload.u64(bundle.tick);
+
+    payload.u32(static_cast<std::uint32_t>(bundle.frames.size()));
+    for (const recorded_frame& frame : bundle.frames) {
+        payload.u64(frame.frame_index);
+        payload.u32(frame.ground_truth);
+        write_carry(payload, frame.carry);
+        payload.u64(frame.count);
+        payload.u8(static_cast<std::uint8_t>(frame.status));
+        payload.u64(frame.cloud.size());
+        for (const vec3& p : frame.cloud) {
+            payload.f32(static_cast<float>(p.x));
+            payload.f32(static_cast<float>(p.y));
+            payload.f32(static_cast<float>(p.z));
+        }
+    }
+
+    payload.str(bundle.events_jsonl);
+    payload.str(bundle.trace_json);
+    replay::write_envelope(out, postmortem_magic, postmortem_version, payload);
+}
+
+postmortem_bundle load_postmortem(std::istream& in) {
+    const replay::envelope env =
+        replay::read_envelope(in, postmortem_magic, postmortem_version, "postmortem bundle");
+    replay::byte_reader r{env.payload};
+
+    postmortem_bundle bundle;
+    bundle.pole_id = r.str();
+    bundle.base_seed = r.u64();
+    const std::uint8_t trigger = r.u8();
+    if (trigger > static_cast<std::uint8_t>(dump_trigger::deadline_storm)) {
+        throw io_error{"postmortem bundle: unknown dump trigger"};
+    }
+    bundle.trigger = static_cast<dump_trigger>(trigger);
+    bundle.tick = r.u64();
+
+    const std::uint32_t frame_count = r.u32();
+    // Each frame needs at least its fixed header; anything larger cannot
+    // fit in the checksummed payload we just validated.
+    if (frame_count > env.payload.size()) {
+        throw io_error{"postmortem bundle: implausible frame count"};
+    }
+    bundle.frames.reserve(frame_count);
+    for (std::uint32_t i = 0; i < frame_count; ++i) {
+        recorded_frame frame;
+        frame.frame_index = r.u64();
+        frame.ground_truth = r.u32();
+        frame.carry = read_carry(r);
+        frame.count = r.u64();
+        const std::uint8_t status = r.u8();
+        if (status > static_cast<std::uint8_t>(frame_status::dropped)) {
+            throw io_error{"postmortem bundle: unknown frame status"};
+        }
+        frame.status = static_cast<frame_status>(status);
+        const std::uint64_t points = r.u64();
+        if (points > r.remaining() / 12) {  // 3 x f32 per point
+            throw io_error{"postmortem bundle: implausible point count"};
+        }
+        frame.cloud.reserve(static_cast<std::size_t>(points));
+        for (std::uint64_t p = 0; p < points; ++p) {
+            const double x = r.f32();
+            const double y = r.f32();
+            const double z = r.f32();
+            frame.cloud.push_back({x, y, z});
+        }
+        bundle.frames.push_back(std::move(frame));
+    }
+
+    bundle.events_jsonl = r.str();
+    bundle.trace_json = r.str();
+    r.expect_exhausted("postmortem bundle");
+    return bundle;
+}
+
+void save_postmortem_file(const std::filesystem::path& path, const postmortem_bundle& bundle) {
+    std::ofstream out{path, std::ios::binary};
+    if (!out) throw io_error{"cannot open " + path.string() + " for writing"};
+    save_postmortem(out, bundle);
+    if (!out) throw io_error{"failed writing " + path.string()};
+}
+
+postmortem_bundle load_postmortem_file(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw io_error{"cannot open " + path.string()};
+    return load_postmortem(in);
+}
+
+postmortem_replay_result replay_postmortem(const postmortem_bundle& bundle,
+                                           frame_supervisor& supervisor) {
+    postmortem_replay_result result;
+    result.frames = bundle.frames.size();
+    if (bundle.frames.empty()) {
+        result.bit_exact = true;
+        return result;
+    }
+
+    // Arm the ladder exactly as it was before the oldest retained frame,
+    // then drive the recorded frames through the standard replay driver
+    // with their original stream indices.
+    supervisor.restore_carry(bundle.frames.front().carry);
+
+    replay::frame_corpus corpus;
+    corpus.name = bundle.pole_id;
+    corpus.base_seed = bundle.base_seed;
+    corpus.frames.reserve(bundle.frames.size());
+    std::vector<std::uint64_t> indices;
+    indices.reserve(bundle.frames.size());
+    for (const recorded_frame& frame : bundle.frames) {
+        corpus.frames.push_back({frame.cloud, frame.ground_truth});
+        indices.push_back(frame.frame_index);
+    }
+
+    const replay::replay_result replayed =
+        replay::replay_corpus_indexed(supervisor, corpus, indices);
+    for (std::size_t i = 0; i < bundle.frames.size(); ++i) {
+        const frame_report& report = replayed.reports[i];
+        if (report.count == bundle.frames[i].count &&
+            report.status == bundle.frames[i].status) {
+            ++result.matches;
+        } else {
+            result.divergent.push_back(i);
+        }
+    }
+    result.bit_exact = result.matches == result.frames;
+    return result;
+}
+
+}  // namespace hawc::obs

@@ -1,0 +1,385 @@
+#include "obs/slo.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace hawc::obs {
+
+namespace {
+
+[[noreturn]] void parse_fail(std::size_t line, const std::string& why) {
+    throw error{"slo rules line " + std::to_string(line) + ": " + why};
+}
+
+bool parse_severity(std::string_view s, telemetry::event_severity& out) {
+    for (std::size_t i = 0; i < telemetry::event_severity_count; ++i) {
+        const auto sev = static_cast<telemetry::event_severity>(i);
+        if (s == to_string(sev)) {
+            out = sev;
+            return true;
+        }
+    }
+    return false;
+}
+
+std::string format_number(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "%.9g", v);
+    return buf;
+}
+
+}  // namespace
+
+std::vector<slo_rule> parse_slo_rules(std::string_view text) {
+    std::vector<slo_rule> rules;
+    std::istringstream lines{std::string{text}};
+    std::string line;
+    std::size_t line_no = 0;
+    while (std::getline(lines, line)) {
+        ++line_no;
+        if (const auto hash = line.find('#'); hash != std::string::npos) {
+            line.erase(hash);
+        }
+        std::istringstream words{line};
+        std::vector<std::string> tok;
+        for (std::string w; words >> w;) tok.push_back(std::move(w));
+        if (tok.empty()) continue;
+
+        if (tok.size() < 6 || tok[0] != "alert" || tok[2] != "if") {
+            parse_fail(line_no, "expected 'alert NAME if SIGNAL CMP THRESHOLD ...'");
+        }
+        slo_rule rule;
+        rule.name = tok[1];
+        if (rule.name.find('@') != std::string::npos ||
+            rule.name.find('=') != std::string::npos) {
+            parse_fail(line_no, "alert name must not contain '@' or '='");
+        }
+
+        // SIGNAL := kind(metric) with ratio taking num/den.
+        const std::string& sig = tok[3];
+        const auto open = sig.find('(');
+        if (open == std::string::npos || sig.back() != ')' || open + 2 > sig.size()) {
+            parse_fail(line_no, "malformed signal '" + sig + "'");
+        }
+        const std::string kind = sig.substr(0, open);
+        const std::string inner = sig.substr(open + 1, sig.size() - open - 2);
+        if (inner.empty()) parse_fail(line_no, "signal '" + sig + "' names no metric");
+        if (kind == "p50" || kind == "p95" || kind == "p99") {
+            rule.signal = slo_signal::quantile;
+            rule.quantile = kind == "p50" ? 0.50 : kind == "p95" ? 0.95 : 0.99;
+            rule.metric = inner;
+        } else if (kind == "value") {
+            rule.signal = slo_signal::value;
+            rule.metric = inner;
+        } else if (kind == "rate") {
+            rule.signal = slo_signal::rate;
+            rule.metric = inner;
+        } else if (kind == "ratio") {
+            rule.signal = slo_signal::ratio;
+            const auto slash = inner.find('/');
+            if (slash == std::string::npos || slash == 0 || slash + 1 == inner.size()) {
+                parse_fail(line_no, "ratio needs 'ratio(numerator/denominator)'");
+            }
+            rule.metric = inner.substr(0, slash);
+            rule.denominator = inner.substr(slash + 1);
+        } else {
+            parse_fail(line_no, "unknown signal kind '" + kind + "'");
+        }
+
+        if (tok[4] == ">") {
+            rule.cmp = slo_comparison::above;
+        } else if (tok[4] == "<") {
+            rule.cmp = slo_comparison::below;
+        } else {
+            parse_fail(line_no, "comparison must be '>' or '<', got '" + tok[4] + "'");
+        }
+        try {
+            std::size_t used = 0;
+            rule.threshold = std::stod(tok[5], &used);
+            if (used != tok[5].size()) throw std::invalid_argument{tok[5]};
+        } catch (const std::exception&) {
+            parse_fail(line_no, "threshold '" + tok[5] + "' is not a number");
+        }
+
+        for (std::size_t i = 6; i < tok.size(); i += 2) {
+            if (i + 1 >= tok.size()) {
+                parse_fail(line_no, "option '" + tok[i] + "' is missing its value");
+            }
+            const std::string& key = tok[i];
+            const std::string& val = tok[i + 1];
+            const auto parse_count = [&](const char* what) {
+                const long long n = std::atoll(val.c_str());
+                if (n <= 0) {
+                    parse_fail(line_no,
+                               std::string{what} + " '" + val + "' must be a positive integer");
+                }
+                return static_cast<std::size_t>(n);
+            };
+            if (key == "window") {
+                const auto slash = val.find('/');
+                if (slash == std::string::npos) {
+                    parse_fail(line_no, "window needs 'short/long', got '" + val + "'");
+                }
+                const long long s = std::atoll(val.substr(0, slash).c_str());
+                const long long l = std::atoll(val.substr(slash + 1).c_str());
+                if (s <= 0 || l < s) {
+                    parse_fail(line_no, "window needs 0 < short <= long, got '" + val + "'");
+                }
+                rule.short_window = static_cast<std::size_t>(s);
+                rule.long_window = static_cast<std::size_t>(l);
+            } else if (key == "for") {
+                rule.fire_after = parse_count("for");
+            } else if (key == "resolve") {
+                rule.resolve_after = parse_count("resolve");
+            } else if (key == "severity") {
+                if (!parse_severity(val, rule.severity)) {
+                    parse_fail(line_no, "unknown severity '" + val + "'");
+                }
+            } else {
+                parse_fail(line_no, "unknown option '" + key + "'");
+            }
+        }
+        rules.push_back(std::move(rule));
+    }
+    return rules;
+}
+
+std::string to_string(const slo_rule& rule) {
+    std::string signal;
+    switch (rule.signal) {
+        case slo_signal::quantile:
+            signal = rule.quantile == 0.50 ? "p50" : rule.quantile == 0.95 ? "p95" : "p99";
+            signal += "(" + rule.metric + ")";
+            break;
+        case slo_signal::value: signal = "value(" + rule.metric + ")"; break;
+        case slo_signal::rate: signal = "rate(" + rule.metric + ")"; break;
+        case slo_signal::ratio:
+            signal = "ratio(" + rule.metric + "/" + rule.denominator + ")";
+            break;
+    }
+    std::string out = "alert " + rule.name + " if " + signal + " " +
+                      (rule.cmp == slo_comparison::above ? ">" : "<") + " " +
+                      format_number(rule.threshold);
+    out += " window " + std::to_string(rule.short_window) + "/" +
+           std::to_string(rule.long_window);
+    out += " for " + std::to_string(rule.fire_after);
+    out += " resolve " + std::to_string(rule.resolve_after);
+    out += " severity ";
+    out += to_string(rule.severity);
+    return out;
+}
+
+std::string health_summary::render() const {
+    if (firing == 0) return "healthy (" + std::to_string(rules) + " rules)";
+    std::string out = std::to_string(firing) + "/" + std::to_string(rules) +
+                      " firing (worst ";
+    out += to_string(worst);
+    out += "):";
+    for (std::size_t i = 0; i < firing_names.size(); ++i) {
+        out += i == 0 ? " " : ", ";
+        out += firing_names[i];
+    }
+    return out;
+}
+
+slo_engine::slo_engine(const telemetry::metrics_registry& source,
+                       telemetry::metrics_registry& output, std::vector<slo_rule> rules,
+                       telemetry::event_sink* events)
+    : source_{&source}, output_{&output}, events_{events} {
+    alerts_.reserve(rules.size());
+    runtimes_.reserve(rules.size());
+    for (auto& rule : rules) {
+        for (const auto& existing : alerts_) {
+            HAWC_REQUIRE(existing.rule.name != rule.name, "duplicate SLO rule name");
+        }
+        rule_runtime rt;
+        if (rule.signal == slo_signal::rate || rule.signal == slo_signal::ratio) {
+            rt.numerator.assign(rule.long_window + 1, 0.0);
+            rt.denominator.assign(rule.long_window + 1, 0.0);
+        }
+        using telemetry::labeled_name;
+        rt.firing_gauge = &output_->make_gauge(
+            labeled_name("hawc_alert_firing", "alert", rule.name),
+            "1 while this SLO alert is firing");
+        rt.value_gauge = &output_->make_gauge(
+            labeled_name("hawc_alert_value", "alert", rule.name),
+            "Last evaluated signal value for this alert");
+        rt.fired_counter = &output_->make_counter(
+            labeled_name("hawc_alerts_fired_total", "alert", rule.name),
+            "Times this alert transitioned to firing");
+        rt.resolved_counter = &output_->make_counter(
+            labeled_name("hawc_alerts_resolved_total", "alert", rule.name),
+            "Times this alert resolved");
+        runtimes_.push_back(std::move(rt));
+
+        alert_state state;
+        state.rule = std::move(rule);
+        alerts_.push_back(std::move(state));
+    }
+    firing_total_gauge_ = &output_->make_gauge("hawc_alerts_firing",
+                                               "SLO alerts currently firing");
+    worst_severity_gauge_ = &output_->make_gauge(
+        "hawc_alerts_worst_severity", "Worst severity among firing alerts (0 debug..4 critical)");
+}
+
+void slo_engine::push_sample(rule_runtime& rt, double num, double den) {
+    rt.numerator[rt.next] = num;
+    rt.denominator[rt.next] = den;
+    rt.next = (rt.next + 1) % rt.numerator.size();
+    rt.filled = std::min(rt.filled + 1, rt.numerator.size());
+}
+
+bool slo_engine::burn_over(const rule_runtime& rt, std::size_t window, slo_comparison cmp,
+                           double threshold, bool is_ratio, double& burn_out) const {
+    // Needs window+1 samples: warm-up evaluations never breach, so an
+    // engine started mid-incident ramps in rather than firing on its
+    // first partial delta.
+    if (rt.filled < window + 1) {
+        burn_out = 0.0;
+        return false;
+    }
+    const std::size_t size = rt.numerator.size();
+    const std::size_t newest = (rt.next + size - 1) % size;
+    const std::size_t oldest = (rt.next + size - 1 - window) % size;
+    const double dnum = rt.numerator[newest] - rt.numerator[oldest];
+    if (is_ratio) {
+        const double dden = rt.denominator[newest] - rt.denominator[oldest];
+        burn_out = dden > 0.0 ? dnum / dden : 0.0;
+    } else {
+        burn_out = dnum / static_cast<double>(window);
+    }
+    return cmp == slo_comparison::above ? burn_out > threshold : burn_out < threshold;
+}
+
+bool slo_engine::sample_breach(std::size_t i, double& value_out) {
+    const slo_rule& rule = alerts_[i].rule;
+    rule_runtime& rt = runtimes_[i];
+    value_out = 0.0;
+    switch (rule.signal) {
+        case slo_signal::quantile: {
+            const auto* hist = source_->find_histogram(rule.metric);
+            if (hist == nullptr || hist->count() == 0) return false;
+            value_out = hist->quantile(rule.quantile);
+            break;
+        }
+        case slo_signal::value: {
+            const auto* g = source_->find_gauge(rule.metric);
+            if (g == nullptr) return false;
+            value_out = g->value();
+            break;
+        }
+        case slo_signal::rate: {
+            const auto* c = source_->find_counter(rule.metric);
+            if (c == nullptr) return false;
+            push_sample(rt, static_cast<double>(c->value()), 0.0);
+            double short_burn = 0.0;
+            double long_burn = 0.0;
+            const bool s = burn_over(rt, rule.short_window, rule.cmp, rule.threshold,
+                                     false, short_burn);
+            const bool l = burn_over(rt, rule.long_window, rule.cmp, rule.threshold,
+                                     false, long_burn);
+            value_out = short_burn;
+            return s && l;
+        }
+        case slo_signal::ratio: {
+            const auto* num = source_->find_counter(rule.metric);
+            const auto* den = source_->find_counter(rule.denominator);
+            if (num == nullptr || den == nullptr) return false;
+            push_sample(rt, static_cast<double>(num->value()),
+                        static_cast<double>(den->value()));
+            double short_burn = 0.0;
+            double long_burn = 0.0;
+            const bool s = burn_over(rt, rule.short_window, rule.cmp, rule.threshold,
+                                     true, short_burn);
+            const bool l = burn_over(rt, rule.long_window, rule.cmp, rule.threshold,
+                                     true, long_burn);
+            value_out = short_burn;
+            return s && l;
+        }
+    }
+    return rule.cmp == slo_comparison::above ? value_out > rule.threshold
+                                             : value_out < rule.threshold;
+}
+
+void slo_engine::evaluate(std::uint64_t tick) {
+    ++evaluations_;
+    for (std::size_t i = 0; i < alerts_.size(); ++i) {
+        alert_state& state = alerts_[i];
+        rule_runtime& rt = runtimes_[i];
+
+        double value = 0.0;
+        const bool breach = sample_breach(i, value);
+        state.last_value = value;
+        state.last_breach = breach;
+        rt.value_gauge->set(value);
+
+        if (breach) {
+            ++state.breach_streak;
+            state.clear_streak = 0;
+        } else {
+            ++state.clear_streak;
+            state.breach_streak = 0;
+        }
+
+        if (!state.firing && breach && state.breach_streak >= state.rule.fire_after) {
+            state.firing = true;
+            state.since_tick = tick;
+            ++state.fired_count;
+            rt.firing_gauge->set(1.0);
+            rt.fired_counter->add(1);
+            if (events_ != nullptr) {
+                telemetry::event ev = telemetry::make_event(
+                    telemetry::event_kind::alert_firing, state.rule.severity,
+                    state.rule.name);
+                ev.tick = tick;
+                ev.add_field("value", value);
+                ev.add_field("threshold", state.rule.threshold);
+                events_->publish(ev);
+            }
+        } else if (state.firing && !breach && state.clear_streak >= state.rule.resolve_after) {
+            state.firing = false;
+            ++state.resolved_count;
+            rt.firing_gauge->set(0.0);
+            rt.resolved_counter->add(1);
+            if (events_ != nullptr) {
+                telemetry::event ev = telemetry::make_event(
+                    telemetry::event_kind::alert_resolved, telemetry::event_severity::info,
+                    state.rule.name);
+                ev.tick = tick;
+                ev.add_field("value", value);
+                ev.add_field("firing_ticks", static_cast<double>(tick - state.since_tick));
+                events_->publish(ev);
+            }
+        }
+    }
+
+    const health_summary sum = summary();
+    firing_total_gauge_->set(static_cast<double>(sum.firing));
+    worst_severity_gauge_->set(sum.firing > 0
+                                   ? static_cast<double>(static_cast<int>(sum.worst))
+                                   : 0.0);
+}
+
+const alert_state* slo_engine::find(std::string_view name) const {
+    for (const auto& state : alerts_) {
+        if (state.rule.name == name) return &state;
+    }
+    return nullptr;
+}
+
+health_summary slo_engine::summary() const {
+    health_summary out;
+    out.rules = alerts_.size();
+    for (const auto& state : alerts_) {
+        if (!state.firing) continue;
+        ++out.firing;
+        out.firing_names.push_back(state.rule.name);
+        if (out.firing == 1 || state.rule.severity > out.worst) out.worst = state.rule.severity;
+    }
+    return out;
+}
+
+}  // namespace hawc::obs

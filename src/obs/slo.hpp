@@ -1,0 +1,139 @@
+#pragma once
+
+// Declarative SLO alerting over a metrics_registry. Rules are evaluated
+// periodically (in virtual tick time — deterministic, replayable) and
+// carry burn-rate windows plus firing/resolve hysteresis, so a single
+// bad scrape neither fires nor clears an alert.
+//
+// Rule grammar (one rule per line; '#' starts a comment):
+//
+//   alert NAME if SIGNAL CMP THRESHOLD [window S/L] [for N] [resolve M]
+//         [severity LEVEL]
+//
+//   SIGNAL := p50(metric) | p95(metric) | p99(metric)   histogram quantile
+//           | value(metric)                             gauge value
+//           | rate(metric)                              counter delta/eval
+//           | ratio(num/den)                            counter burn ratio
+//   CMP    := > | <
+//   LEVEL  := debug | info | warning | error | critical
+//
+// Semantics: quantile/value signals compare the instantaneous sample.
+// rate/ratio signals compare burn rates over BOTH windows (short and
+// long, in evaluations) — the classic multi-window burn-rate pattern:
+// the short window reacts fast, the long window stops flapping. A rule
+// breaches only when both windows breach. `for N` requires N consecutive
+// breaching evaluations before firing; `resolve M` requires M clean
+// evaluations before a firing alert resolves. Defaults: window 1/1,
+// for 1, resolve 1, severity warning.
+//
+// Firing/resolved transitions surface three ways: alert_firing /
+// alert_resolved events into an event_sink, 0/1 gauges
+// (hawc_alert_firing{alert=...}) plus fired/resolved counters in the
+// output registry, and the health_summary() rollup fleet_manager exposes.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "telemetry/event.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace hawc::obs {
+
+enum class slo_signal : std::uint8_t { quantile, value, rate, ratio };
+enum class slo_comparison : std::uint8_t { above, below };
+
+struct slo_rule {
+    std::string name;
+    slo_signal signal = slo_signal::value;
+    std::string metric;       // histogram / gauge / counter (rate, ratio numerator)
+    std::string denominator;  // ratio only
+    double quantile = 0.99;   // quantile signal only
+    slo_comparison cmp = slo_comparison::above;
+    double threshold = 0.0;
+    std::size_t short_window = 1;  // evaluations
+    std::size_t long_window = 1;   // evaluations, >= short_window
+    std::size_t fire_after = 1;    // consecutive breaches before firing
+    std::size_t resolve_after = 1;  // consecutive clears before resolving
+    telemetry::event_severity severity = telemetry::event_severity::warning;
+};
+
+/// Parse the grammar above; throws hawc::error with a line number on
+/// malformed input. Blank lines and comments are skipped.
+std::vector<slo_rule> parse_slo_rules(std::string_view text);
+
+/// Render a rule back to its grammar line (canonical form).
+std::string to_string(const slo_rule& rule);
+
+/// Live state of one rule inside the engine.
+struct alert_state {
+    slo_rule rule;
+    bool firing = false;
+    double last_value = 0.0;      // most recent signal sample (short burn)
+    bool last_breach = false;
+    std::uint64_t since_tick = 0;  // when the current firing began
+    std::uint64_t fired_count = 0;
+    std::uint64_t resolved_count = 0;
+    std::size_t breach_streak = 0;
+    std::size_t clear_streak = 0;
+};
+
+/// Fleet-wide rollup.
+struct health_summary {
+    std::size_t rules = 0;
+    std::size_t firing = 0;
+    telemetry::event_severity worst = telemetry::event_severity::debug;  // among firing
+    std::vector<std::string> firing_names;
+
+    bool healthy() const { return firing == 0; }
+    std::string render() const;  // "healthy (4 rules)" / "2/4 firing (worst error): a, b"
+};
+
+class slo_engine {
+public:
+    /// Evaluates `rules` against `source`, writing alert gauges/counters
+    /// into `output` (commonly the same registry) and transition events
+    /// into `events` (may be null). Both registries must outlive the
+    /// engine; rule names must be unique and metric-name safe.
+    slo_engine(const telemetry::metrics_registry& source,
+               telemetry::metrics_registry& output, std::vector<slo_rule> rules,
+               telemetry::event_sink* events = nullptr);
+
+    /// One evaluation pass at virtual time `tick`. Single-threaded.
+    void evaluate(std::uint64_t tick);
+
+    std::uint64_t evaluations() const { return evaluations_; }
+    const std::vector<alert_state>& alerts() const { return alerts_; }
+    const alert_state* find(std::string_view name) const;
+    health_summary summary() const;
+
+private:
+    struct rule_runtime {
+        // Ring of the last long_window+1 cumulative samples (rate/ratio).
+        std::vector<double> numerator;
+        std::vector<double> denominator;
+        std::size_t filled = 0;
+        std::size_t next = 0;
+        telemetry::gauge* firing_gauge = nullptr;
+        telemetry::gauge* value_gauge = nullptr;
+        telemetry::counter* fired_counter = nullptr;
+        telemetry::counter* resolved_counter = nullptr;
+    };
+
+    bool sample_breach(std::size_t i, double& value_out);
+    void push_sample(rule_runtime& rt, double num, double den);
+    bool burn_over(const rule_runtime& rt, std::size_t window, slo_comparison cmp,
+                   double threshold, bool is_ratio, double& burn_out) const;
+
+    const telemetry::metrics_registry* source_;
+    telemetry::metrics_registry* output_;
+    telemetry::event_sink* events_;
+    std::vector<alert_state> alerts_;
+    std::vector<rule_runtime> runtimes_;
+    telemetry::gauge* firing_total_gauge_ = nullptr;
+    telemetry::gauge* worst_severity_gauge_ = nullptr;
+    std::uint64_t evaluations_ = 0;
+};
+
+}  // namespace hawc::obs

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "common/error.hpp"
 #include "lidar/scanner.hpp"
 
 namespace hawc::replay {
@@ -44,11 +45,16 @@ frame_corpus record_corpus(const record_config& config) {
     return corpus;
 }
 
-replay_result replay_corpus(frame_supervisor& supervisor, const frame_corpus& corpus) {
+namespace {
+
+replay_result replay_frames(frame_supervisor& supervisor, const frame_corpus& corpus,
+                            const std::uint64_t* indices) {
     replay_result result;
     result.reports.reserve(corpus.size());
     for (std::size_t i = 0; i < corpus.size(); ++i) {
-        rng random{frame_seed(corpus.base_seed, i)};
+        const std::size_t stream =
+            indices != nullptr ? static_cast<std::size_t>(indices[i]) : i;
+        rng random{frame_seed(corpus.base_seed, stream)};
         frame_report report = supervisor.process(corpus.frames[i].cloud, random);
         switch (report.status) {
             case frame_status::ok: ++result.frames_ok; break;
@@ -62,6 +68,19 @@ replay_result replay_corpus(frame_supervisor& supervisor, const frame_corpus& co
         result.reports.push_back(std::move(report));
     }
     return result;
+}
+
+}  // namespace
+
+replay_result replay_corpus(frame_supervisor& supervisor, const frame_corpus& corpus) {
+    return replay_frames(supervisor, corpus, nullptr);
+}
+
+replay_result replay_corpus_indexed(frame_supervisor& supervisor, const frame_corpus& corpus,
+                                    std::span<const std::uint64_t> indices) {
+    HAWC_REQUIRE(indices.size() == corpus.size(),
+                 "indexed replay needs one stream index per frame");
+    return replay_frames(supervisor, corpus, indices.data());
 }
 
 }  // namespace hawc::replay

@@ -11,6 +11,7 @@
 // noise.
 
 #include <cstdint>
+#include <span>
 
 #include "dataset/capture_pipeline.hpp"
 #include "replay/frame_format.hpp"
@@ -64,5 +65,14 @@ struct replay_result {
 /// Feed every frame of `corpus` through `supervisor` with the corpus's
 /// deterministic per-frame rng streams.
 replay_result replay_corpus(frame_supervisor& supervisor, const frame_corpus& corpus);
+
+/// Like replay_corpus, but frame i's rng stream is seeded from
+/// frame_seed(corpus.base_seed, indices[i]) instead of i. This is the
+/// flight-recorder postmortem path (src/obs): a dumped bundle holds the
+/// LAST N frames of a longer stream, so bit-exact re-execution must
+/// reuse each frame's original stream index, not its ring position.
+/// indices.size() must equal corpus.size().
+replay_result replay_corpus_indexed(frame_supervisor& supervisor, const frame_corpus& corpus,
+                                    std::span<const std::uint64_t> indices);
 
 }  // namespace hawc::replay

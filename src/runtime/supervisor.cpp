@@ -114,8 +114,37 @@ void frame_supervisor::restart() {
     has_last_good_ = false;
 }
 
+supervisor_carry frame_supervisor::carry() const {
+    supervisor_carry c;
+    c.has_last_good = has_last_good_;
+    c.last_good_count = last_good_count_;
+    c.stale_streak = stale_streak_;
+    c.good_streak = good_streak_;
+    return c;
+}
+
+void frame_supervisor::restore_carry(const supervisor_carry& carry) {
+    has_last_good_ = carry.has_last_good;
+    last_good_count_ = static_cast<std::size_t>(carry.last_good_count);
+    stale_streak_ = static_cast<std::size_t>(carry.stale_streak);
+    good_streak_ = static_cast<std::size_t>(carry.good_streak);
+}
+
+void frame_supervisor::emit(telemetry::event ev) const {
+    if (events_ == nullptr) return;
+    ev.frame = frame_seq_;
+    events_->publish(ev);
+}
+
 void frame_supervisor::degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
                                std::string detail) const {
+    if (events_ != nullptr) {
+        telemetry::event ev = telemetry::make_event(
+            telemetry::event_kind::stage_failure, telemetry::event_severity::warning,
+            to_string(kind));
+        ev.add_field("stage", static_cast<double>(static_cast<int>(stage)));
+        emit(ev);
+    }
     report.failures.push_back({stage, kind, std::move(detail)});
     if (report.status == frame_status::ok) report.status = frame_status::degraded;
 }
@@ -170,6 +199,14 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
     }
     if (clean_size < config_.min_raw_points) {
         rc_.truncated_frames->add(1);
+        if (events_ != nullptr) {
+            telemetry::event ev = telemetry::make_event(
+                telemetry::event_kind::stage_failure, telemetry::event_severity::warning,
+                to_string(failure_kind::truncated_frame));
+            ev.add_field("stage", static_cast<double>(static_cast<int>(pipeline_stage::capture)));
+            ev.add_field("raw_points", static_cast<double>(clean_size));
+            emit(ev);
+        }
         report.failures.push_back({pipeline_stage::capture, failure_kind::truncated_frame,
                                    std::to_string(clean_size) + " raw points < " +
                                        std::to_string(config_.min_raw_points)});
@@ -242,6 +279,11 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
         report.used_fixed_eps = true;
         rc_.fixed_eps_fallbacks->add(1);
         degrade(report, pipeline_stage::clustering, why, std::move(why_detail));
+        telemetry::event ev = telemetry::make_event(telemetry::event_kind::ladder_fixed_eps,
+                                                    telemetry::event_severity::info,
+                                                    to_string(why));
+        ev.add_field("eps", report.chosen_eps);
+        emit(ev);
     }
 
     // ---- Classification: per-cluster float-model rung + deadline ----
@@ -270,6 +312,11 @@ void frame_supervisor::run_stages(const point_cloud& raw, rng& random,
         rc_.float_model_fallbacks->add(rescues);
         degrade(report, pipeline_stage::classification, failure_kind::classifier_fault,
                 std::to_string(rescues) + " cluster(s) rescued by the fallback model");
+        telemetry::event ev = telemetry::make_event(telemetry::event_kind::ladder_float_model,
+                                                    telemetry::event_severity::info,
+                                                    "fp32 fallback rescued clusters");
+        ev.add_field("rescues", static_cast<double>(rescues));
+        emit(ev);
     }
 }
 
@@ -305,9 +352,29 @@ frame_report frame_supervisor::process(const point_cloud& raw, rng& random) {
             report.count = last_good_count_;
             report.served_stale = true;
             rc_.stale_counts_served->add(1);
+            if (events_ != nullptr) {
+                telemetry::event ev = telemetry::make_event(
+                    telemetry::event_kind::ladder_stale_count,
+                    telemetry::event_severity::warning, "serving last good count");
+                ev.add_field("count", static_cast<double>(report.count));
+                ev.add_field("stale_streak", static_cast<double>(stale_streak_));
+                emit(ev);
+            }
         } else {
             report.count = 0;
-            if (has_last_good_) rc_.stale_cap_exhausted->add(1);
+            if (has_last_good_) {
+                rc_.stale_cap_exhausted->add(1);
+                emit(telemetry::make_event(telemetry::event_kind::stale_cap_exhausted,
+                                           telemetry::event_severity::error,
+                                           "staleness budget spent, serving zero"));
+            }
+        }
+        if (events_ != nullptr) {
+            telemetry::event ev = telemetry::make_event(telemetry::event_kind::frame_dropped,
+                                                        telemetry::event_severity::error,
+                                                        "frame unrecoverable");
+            ev.add_field("count", static_cast<double>(report.count));
+            emit(ev);
         }
     } else {
         // The freshest good count is always carried forward, but the

@@ -25,6 +25,7 @@
 #include "counting/crowd_counter.hpp"
 #include "runtime/failure.hpp"
 #include "runtime/health.hpp"
+#include "telemetry/event.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/trace.hpp"
 
@@ -104,6 +105,20 @@ struct supervisor_config {
     std::size_t recovery_streak_frames = 1;
 };
 
+/// The stale-count rung's carry-forward state: everything process()
+/// consults from previous frames when deciding a frame's count and
+/// status. A fresh supervisor with this state restored reproduces a
+/// recorded frame sequence bit-exactly — the contract the flight
+/// recorder's postmortem bundles (src/obs) are built on.
+struct supervisor_carry {
+    bool has_last_good = false;
+    std::uint64_t last_good_count = 0;
+    std::uint64_t stale_streak = 0;
+    std::uint64_t good_streak = 0;
+
+    bool operator==(const supervisor_carry&) const = default;
+};
+
 /// Outcome of one supervised frame.
 struct frame_report {
     frame_status status = frame_status::ok;
@@ -163,6 +178,21 @@ public:
     /// with the frame span's code carrying the terminal frame_status.
     void set_trace_sink(telemetry::trace_sink* sink) { tracer_.set_sink(sink); }
 
+    /// Install a structured-event sink (nullptr disables; the default).
+    /// The supervisor then emits stage_failure / frame_dropped /
+    /// ladder_* events as it walks the degradation ladder. Clean frames
+    /// emit nothing, so with a sink installed the clean-frame cost is a
+    /// handful of null checks (the obs overhead gate pins this ≤ 2%).
+    void set_event_sink(telemetry::event_sink* sink) { events_ = sink; }
+    telemetry::event_sink* event_sink() const { return events_; }
+
+    /// Snapshot / restore the stale-count rung's carry state. restore
+    /// does not touch metrics or the health epoch — it only arms the
+    /// ladder the way a recorded supervisor's was armed, which is what
+    /// postmortem replay needs.
+    supervisor_carry carry() const;
+    void restore_carry(const supervisor_carry& carry);
+
     const supervisor_config& config() const { return config_; }
 
     /// The counting stage (for multiplicity configuration etc.).
@@ -173,6 +203,7 @@ private:
                     telemetry::span_id frame_span);
     void degrade(frame_report& report, pipeline_stage stage, failure_kind kind,
                  std::string detail) const;
+    void emit(telemetry::event ev) const;
 
     /// Pointers into metrics_ for the hot path (registered once in the
     /// constructor, so recording never takes the registry lock).
@@ -204,6 +235,7 @@ private:
     telemetry::metrics_registry metrics_;
     runtime_counters rc_{};
     telemetry::tracer tracer_;
+    telemetry::event_sink* events_ = nullptr;
     std::uint64_t frame_seq_ = 0;
 
     // Exact Welford stats backing the legacy health_counters view (the

@@ -1,0 +1,89 @@
+#include "telemetry/event.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace hawc::telemetry {
+
+std::string_view to_string(event_severity severity) {
+    switch (severity) {
+        case event_severity::debug: return "debug";
+        case event_severity::info: return "info";
+        case event_severity::warning: return "warning";
+        case event_severity::error: return "error";
+        case event_severity::critical: return "critical";
+    }
+    return "unknown";
+}
+
+std::string_view to_string(event_kind kind) {
+    switch (kind) {
+        case event_kind::stage_failure: return "stage_failure";
+        case event_kind::frame_dropped: return "frame_dropped";
+        case event_kind::ladder_fixed_eps: return "ladder_fixed_eps";
+        case event_kind::ladder_float_model: return "ladder_float_model";
+        case event_kind::ladder_stale_count: return "ladder_stale_count";
+        case event_kind::stale_cap_exhausted: return "stale_cap_exhausted";
+        case event_kind::link_corruption: return "link_corruption";
+        case event_kind::pole_quarantined: return "pole_quarantined";
+        case event_kind::pole_restarted: return "pole_restarted";
+        case event_kind::pole_recovered: return "pole_recovered";
+        case event_kind::isa_dispatch: return "isa_dispatch";
+        case event_kind::alert_firing: return "alert_firing";
+        case event_kind::alert_resolved: return "alert_resolved";
+        case event_kind::recorder_dump: return "recorder_dump";
+    }
+    return "unknown";
+}
+
+namespace {
+
+template <std::size_t N>
+void copy_truncated(std::array<char, N>& dst, std::string_view src) {
+    const std::size_t n = std::min(src.size(), N - 1);
+    std::memcpy(dst.data(), src.data(), n);
+    dst[n] = '\0';
+}
+
+}  // namespace
+
+void event::set_pole(std::string_view id) { copy_truncated(pole, id); }
+
+void event::set_what(std::string_view detail) { copy_truncated(what, detail); }
+
+void event::add_field(const char* key, double value) {
+    if (field_count >= event_max_fields) return;
+    fields[field_count] = {key, value};
+    ++field_count;
+}
+
+double event::field_or(std::string_view key, double fallback) const {
+    for (std::size_t i = 0; i < field_count; ++i) {
+        if (fields[i].key != nullptr && key == fields[i].key) return fields[i].value;
+    }
+    return fallback;
+}
+
+event make_event(event_kind kind, event_severity severity, std::string_view what) {
+    event ev;
+    ev.kind = kind;
+    ev.severity = severity;
+    if (!what.empty()) ev.set_what(what);
+    return ev;
+}
+
+bool tagging_event_sink::publish(const event& ev) {
+    if (target_ == nullptr) return false;
+    event tagged = ev;
+    tagged.tick = tick_;
+    if (tagged.pole[0] == '\0') tagged.pole = pole_;
+    return target_->publish(tagged);
+}
+
+void tagging_event_sink::set_pole(std::string_view id) {
+    const std::size_t n = std::min(id.size(), pole_.size() - 1);
+    std::memcpy(pole_.data(), id.data(), n);
+    pole_[n] = '\0';
+}
+
+}  // namespace hawc::telemetry

@@ -48,30 +48,62 @@ std::string prom_escape(const std::string& s) {
     return out;
 }
 
+// HELP text escaping: the exposition format allows help to span one
+// line only, with `\\` and `\n` as the two escape sequences. Anything
+// else passes through verbatim.
+std::string prom_escape_help(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            default: out += c;
+        }
+    }
+    return out;
+}
+
 // One registry name decomposed per the labeled_name() convention
-// (`base@key=value`). Names without a well-formed suffix keep the whole
-// string as the base and carry no label, which preserves the byte-exact
-// output for every pre-existing flat metric.
+// (`base@k1=v1@k2=v2@...`). Names without a well-formed suffix (every
+// segment needs a non-empty key before '=') keep the whole string as the
+// base and carry no labels, which preserves the byte-exact output for
+// every pre-existing flat metric.
 struct series_parts {
     std::string base;
-    std::string key;    // empty <=> unlabeled
-    std::string value;  // raw (unescaped)
-    bool labeled() const { return !key.empty(); }
+    std::vector<std::string> keys;    // empty <=> unlabeled
+    std::vector<std::string> values;  // raw (unescaped), parallel to keys
+    bool labeled() const { return !keys.empty(); }
 };
 
 series_parts split_series(const std::string& name) {
     const auto at = name.find('@');
-    if (at == std::string::npos || at == 0) return {name, "", ""};
-    const auto eq = name.find('=', at + 1);
-    if (eq == std::string::npos || eq == at + 1) return {name, "", ""};
-    return {name.substr(0, at), name.substr(at + 1, eq - at - 1), name.substr(eq + 1)};
+    if (at == std::string::npos || at == 0) return {name, {}, {}};
+    series_parts parts;
+    parts.base = name.substr(0, at);
+    std::size_t pos = at + 1;
+    while (pos <= name.size()) {
+        std::size_t end = name.find('@', pos);
+        if (end == std::string::npos) end = name.size();
+        const std::size_t eq = name.find('=', pos);
+        if (eq == std::string::npos || eq == pos || eq >= end) return {name, {}, {}};
+        parts.keys.push_back(name.substr(pos, eq - pos));
+        parts.values.push_back(name.substr(eq + 1, end - eq - 1));
+        if (end == name.size()) break;
+        pos = end + 1;
+    }
+    return parts;
 }
 
-// Renders `{key="value"}`, optionally with extra pre-rendered label pairs
-// (used for histogram `le`) appended inside the braces.
+// Renders `{k1="v1",k2="v2"}`, optionally with extra pre-rendered label
+// pairs (used for histogram `le`) appended inside the braces.
 std::string prom_labels(const series_parts& p, const std::string& extra = "") {
     if (!p.labeled()) return extra.empty() ? "" : "{" + extra + "}";
-    std::string out = "{" + p.key + "=\"" + prom_escape(p.value) + "\"";
+    std::string out = "{";
+    for (std::size_t i = 0; i < p.keys.size(); ++i) {
+        if (i > 0) out += ",";
+        out += p.keys[i] + "=\"" + prom_escape(p.values[i]) + "\"";
+    }
     if (!extra.empty()) out += "," + extra;
     out += "}";
     return out;
@@ -89,7 +121,7 @@ std::string to_prometheus(const metrics_registry& reg) {
                               const char* type) {
         if (std::find(announced.begin(), announced.end(), base) != announced.end()) return;
         announced.push_back(base);
-        if (!help.empty()) out += "# HELP " + base + " " + help + "\n";
+        if (!help.empty()) out += "# HELP " + base + " " + prom_escape_help(help) + "\n";
         out += "# TYPE " + base + " " + std::string{type} + "\n";
     };
 

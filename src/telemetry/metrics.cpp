@@ -38,6 +38,8 @@ std::string labeled_name(std::string_view base, std::string_view key,
     HAWC_REQUIRE(key.find('@') == std::string_view::npos &&
                      key.find('=') == std::string_view::npos,
                  "labeled_name key must be a plain label name");
+    HAWC_REQUIRE(value.find('@') == std::string_view::npos,
+                 "labeled_name values must not contain '@'");
     std::string out;
     out.reserve(base.size() + key.size() + value.size() + 2);
     out.append(base);
@@ -45,6 +47,29 @@ std::string labeled_name(std::string_view base, std::string_view key,
     out.append(key);
     out.push_back('=');
     out.append(value);
+    return out;
+}
+
+std::string labeled_name(std::string_view base, std::span<const metric_label> labels) {
+    if (labels.empty()) {
+        HAWC_REQUIRE(!base.empty() && base.find('@') == std::string_view::npos &&
+                         base.find('=') == std::string_view::npos,
+                     "labeled_name base must be a plain metric name");
+        return std::string{base};
+    }
+    std::string out = labeled_name(base, labels[0].key, labels[0].value);
+    for (std::size_t i = 1; i < labels.size(); ++i) {
+        HAWC_REQUIRE(!labels[i].key.empty() &&
+                         labels[i].key.find('@') == std::string_view::npos &&
+                         labels[i].key.find('=') == std::string_view::npos,
+                     "labeled_name key must be a plain label name");
+        HAWC_REQUIRE(labels[i].value.find('@') == std::string_view::npos,
+                     "labeled_name values must not contain '@'");
+        out.push_back('@');
+        out.append(labels[i].key);
+        out.push_back('=');
+        out.append(labels[i].value);
+    }
     return out;
 }
 

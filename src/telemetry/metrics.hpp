@@ -98,10 +98,23 @@ private:
 /// `base{key="value"}` in Prometheus and the composed series string as a
 /// JSON key. Names without '@' are exported exactly as before, so the
 /// convention is strictly additive. The base and key must be plain
-/// Prometheus identifiers; the value may be any string (it is escaped at
-/// export time).
+/// Prometheus identifiers; the value may be any string without '@' (the
+/// segment delimiter) and is escaped at export time.
 std::string labeled_name(std::string_view base, std::string_view key,
                          std::string_view value);
+
+/// One label of a multi-label series.
+struct metric_label {
+    std::string_view key;
+    std::string_view value;
+};
+
+/// Multi-label variant of the convention above: `base@k1=v1@k2=v2@...`.
+/// The exporters parse every `@key=value` segment back out and render
+/// `base{k1="v1",k2="v2"}`. Values must not contain '@' (keys already
+/// cannot) — the flat encoding needs an unambiguous segment delimiter;
+/// everything else is escaped at export time as usual.
+std::string labeled_name(std::string_view base, std::span<const metric_label> labels);
 
 /// Name -> metric registry. Names follow Prometheus conventions
 /// ([a-zA-Z_][a-zA-Z0-9_]*); registering the same name twice with the same

@@ -23,3 +23,15 @@ struct vector_stats {
     double vmax_speed = 0.0;
     signed char narrow = 0;  // int8_t spelled out; int8x16_t would trip
 };
+
+// Near-misses for raw-logging: bounded formatting into a buffer is the
+// sanctioned spelling (no stream, no stdout), and identifiers merely
+// containing the banned names must not trip.
+#include <cstdio>
+inline int format_count(char* buf, std::size_t n, int count) {
+    return std::snprintf(buf, n, "count=%d", count);  // not printf()
+}
+struct logging_stats {
+    int sprintf_like_calls = 0;  // identifier, not a call
+    int outputs = 0;             // contains "puts" mid-identifier
+};

@@ -335,6 +335,44 @@ TEST(telemetry, labeled_name_composes_and_rejects_delimiters) {
     EXPECT_THROW(telemetry::labeled_name("", "pole", "p3"), error);
     EXPECT_THROW(telemetry::labeled_name("a@b", "pole", "p3"), error);
     EXPECT_THROW(telemetry::labeled_name("ok", "po=le", "p3"), error);
+    // '@' delimits segments, so values may not contain it either.
+    EXPECT_THROW(telemetry::labeled_name("ok", "pole", "p@3"), error);
+}
+
+TEST(telemetry, labeled_name_composes_multiple_pairs) {
+    const telemetry::metric_label labels[] = {
+        {"version", "0.8.0"}, {"isa", "avx2"}, {"sanitizer", "none"}};
+    EXPECT_EQ(telemetry::labeled_name("hawc_build_info", labels),
+              "hawc_build_info@version=0.8.0@isa=avx2@sanitizer=none");
+    EXPECT_EQ(telemetry::labeled_name("bare", std::span<const telemetry::metric_label>{}),
+              "bare");
+    const telemetry::metric_label bad[] = {{"isa", "av@x2"}};
+    EXPECT_THROW(telemetry::labeled_name("hawc_build_info", bad), error);
+}
+
+TEST(telemetry, prometheus_renders_multi_label_series) {
+    telemetry::metrics_registry reg;
+    const telemetry::metric_label labels[] = {
+        {"version", "0.8.0"}, {"compiler", "gcc-12"}, {"isa", "avx2"}};
+    reg.make_gauge(telemetry::labeled_name("build_info", labels), "Build identity")
+        .set(1.0);
+    const std::string expected =
+        "# HELP build_info Build identity\n"
+        "# TYPE build_info gauge\n"
+        "build_info{version=\"0.8.0\",compiler=\"gcc-12\",isa=\"avx2\"} 1\n";
+    EXPECT_EQ(telemetry::to_prometheus(reg), expected);
+}
+
+// Exposition format 0.0.4: HELP text must escape backslash and newline,
+// or a multi-line help string corrupts the scrape.
+TEST(telemetry, prometheus_escapes_help_text) {
+    telemetry::metrics_registry reg;
+    reg.make_counter("odd_total", "line one\nline two \\ backslash").add(1);
+    const std::string expected =
+        "# HELP odd_total line one\\nline two \\\\ backslash\n"
+        "# TYPE odd_total counter\n"
+        "odd_total 1\n";
+    EXPECT_EQ(telemetry::to_prometheus(reg), expected);
 }
 
 TEST(telemetry, prometheus_renders_label_suffix_as_label_with_escaping) {
