@@ -1,16 +1,20 @@
 // Perf snapshot for the parallel frame engine: times the hot kernels,
 // the end-to-end single-frame count at several pool sizes, the fleet
-// occupancy read path, and the observability event pipeline, and emits
-// one JSON document (BENCH_PR8.json via scripts/bench_snapshot.sh). The
+// occupancy read path, the observability event pipeline, and the
+// corpus-container codec/pack/stream-decode path, and emits one JSON
+// document (BENCH_PR9.json via scripts/bench_snapshot.sh). The
 // "baseline" block is the pre-engine measurement captured with the same
 // methodology on the same container class, so current/baseline ratios
 // are like-for-like. scripts/perf_gate.sh checks the threads_1 block
-// against the ceilings in bench/perf_floor.json.
+// against the ceilings — and the corpus_container block against the
+// floors — in bench/perf_floor.json.
 //
 // Usage: bench_snapshot [thread_count...]   (default: 1 4)
 
 #include <cstdio>
 #include <cstdlib>
+#include <sstream>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -30,6 +34,8 @@
 #include "nn/dense.hpp"
 #include "nn/kernels/kernels.hpp"
 #include "quant/calibrate.hpp"
+#include "replay/codec.hpp"
+#include "replay/container.hpp"
 
 using namespace hawc;
 
@@ -367,6 +373,110 @@ obs_metrics measure_obs() {
     return m;
 }
 
+// The corpus-container path (replay/container): packing a recorded
+// corpus into chunked compressed "HWCC" form and streaming it back out,
+// plus the raw codec on the two canonical inputs — float32 point clouds
+// (the honest, nearly-incompressible case the fleet actually records)
+// and redundant text (the JSONL/trace best case postmortem bundles see).
+struct container_metrics {
+    double uncompressed_mb = 0.0;
+    double ratio = 1.0;              // uncompressed / stored, cloud corpus
+    double pack_mbps = 0.0;          // uncompressed MB/s through pack_corpus
+    double stream_decode_mbps = 0.0; // uncompressed MB/s through a frame walk
+    double codec_cloud_compress_mbps = 0.0;
+    double codec_cloud_decompress_mbps = 0.0;
+    double codec_text_compress_mbps = 0.0;
+    double codec_text_decompress_mbps = 0.0;
+    double codec_text_ratio = 1.0;
+};
+
+container_metrics measure_container() {
+    container_metrics m;
+
+    replay::frame_corpus corpus;
+    corpus.name = "bench";
+    corpus.base_seed = 42;
+    for (std::size_t f = 0; f < 32; ++f) {
+        replay::frame_record rec;
+        rec.ground_truth = 100;
+        rec.cloud = replay::round_to_recorded(crowd_cloud(100, 64, 42 + f));
+        corpus.frames.push_back(std::move(rec));
+    }
+
+    std::string packed;
+    m.pack_mbps = 0.0;
+    {
+        std::uint64_t uncompressed = 0;
+        std::uint64_t stored = 0;
+        const double pack_ms = time_ms(3, [&] {
+            std::ostringstream out;
+            replay::pack_corpus(out, corpus, {.frames_per_chunk = 8});
+            packed = out.str();
+        });
+        std::istringstream in{packed};
+        replay::container_reader reader{in};
+        for (const replay::chunk_entry& chunk : reader.chunks()) {
+            uncompressed += chunk.uncompressed_size;
+            stored += chunk.stored_size;
+        }
+        m.uncompressed_mb = static_cast<double>(uncompressed) / 1.0e6;
+        m.ratio = static_cast<double>(uncompressed) / static_cast<double>(stored);
+        m.pack_mbps = m.uncompressed_mb / (pack_ms / 1000.0);
+        const double walk_ms = time_ms(3, [&] {
+            std::istringstream walk_in{packed};
+            replay::container_reader walker{walk_in};
+            std::size_t acc = 0;
+            for (std::uint64_t f = 0; f < walker.frame_count(0); ++f) {
+                acc += walker.frame(0, f).cloud.size();
+            }
+            volatile std::size_t sink = acc;
+            (void)sink;
+        });
+        m.stream_decode_mbps = m.uncompressed_mb / (walk_ms / 1000.0);
+    }
+
+    const auto codec_rate = [](const std::vector<char>& input, double* compress_mbps,
+                               double* decompress_mbps) {
+        const double mb = static_cast<double>(input.size()) / 1.0e6;
+        std::vector<char> out;
+        const double c_ms = time_ms(5, [&] {
+            replay::lz_compress_into(input.data(), input.size(), out);
+        });
+        *compress_mbps = mb / (c_ms / 1000.0);
+        std::vector<char> round(input.size());
+        const double d_ms = time_ms(5, [&] {
+            replay::lz_decompress_into(out.data(), out.size(), round.data(), round.size());
+        });
+        *decompress_mbps = mb / (d_ms / 1000.0);
+        return static_cast<double>(input.size()) / static_cast<double>(out.size());
+    };
+
+    {
+        std::vector<char> cloud_bytes;
+        for (const auto& frame : corpus.frames) {
+            for (const vec3& p : frame.cloud) {
+                const float xyz[3] = {static_cast<float>(p.x), static_cast<float>(p.y),
+                                      static_cast<float>(p.z)};
+                const auto* raw = reinterpret_cast<const char*>(xyz);
+                cloud_bytes.insert(cloud_bytes.end(), raw, raw + sizeof(xyz));
+            }
+            if (cloud_bytes.size() > (std::size_t{8} << 20)) break;
+        }
+        codec_rate(cloud_bytes, &m.codec_cloud_compress_mbps,
+                   &m.codec_cloud_decompress_mbps);
+    }
+    {
+        std::string text;
+        while (text.size() < (std::size_t{4} << 20)) {
+            text += "{\"kind\":\"stage_failure\",\"pole\":\"pole-0\",\"streak\":3}\n";
+        }
+        const std::vector<char> text_bytes(text.begin(), text.end());
+        m.codec_text_ratio = codec_rate(text_bytes, &m.codec_text_compress_mbps,
+                                        &m.codec_text_decompress_mbps);
+    }
+    return m;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -414,6 +524,21 @@ int main(int argc, char** argv) {
     std::printf("    \"recorder_record_us\": %.4f,\n", om.recorder_record_us);
     std::printf("    \"slo_evaluate_2_rules_us\": %.4f,\n", om.slo_evaluate_us);
     std::printf("    \"events_to_jsonl_tail256_us\": %.2f\n", om.json_tail_256_us);
+    std::printf("  },\n");
+
+    const container_metrics cm = measure_container();
+    std::printf("  \"corpus_container\": {\n");
+    std::printf("    \"uncompressed_mb\": %.2f,\n", cm.uncompressed_mb);
+    std::printf("    \"cloud_corpus_ratio\": %.3f,\n", cm.ratio);
+    std::printf("    \"pack_mbps\": %.1f,\n", cm.pack_mbps);
+    std::printf("    \"stream_decode_mbps\": %.1f,\n", cm.stream_decode_mbps);
+    std::printf("    \"codec_cloud_compress_mbps\": %.1f,\n", cm.codec_cloud_compress_mbps);
+    std::printf("    \"codec_cloud_decompress_mbps\": %.1f,\n",
+                cm.codec_cloud_decompress_mbps);
+    std::printf("    \"codec_text_compress_mbps\": %.1f,\n", cm.codec_text_compress_mbps);
+    std::printf("    \"codec_text_decompress_mbps\": %.1f,\n",
+                cm.codec_text_decompress_mbps);
+    std::printf("    \"codec_text_ratio\": %.1f\n", cm.codec_text_ratio);
     std::printf("  },\n");
 
     set_global_thread_count(thread_counts.front());

@@ -10,18 +10,35 @@
 //   parity_checker record <golden-dir>
 //   parity_checker check  <golden-dir> [--metrics]
 //
+// Plus the corpus-container drill (replay/container.hpp): pack an
+// envelope corpus or corpus set into a chunked compressed "HWCC"
+// container, unpack one back to its envelope form, and verify a
+// container by streaming every chunk (checksums + decode) — optionally
+// frame-for-frame bit-exact against the golden envelope it was packed
+// from:
+//
+//   parity_checker pack   <in.frames|in.hwfs> <out.hwcc> [--chunk N]
+//   parity_checker unpack <in.hwcc> <out-file>
+//   parity_checker verify <in.hwcc> [golden-file]
+//
 // Everything that defines the golden setup (sensor geometry, model
 // architecture, seeds) is a constant below: `check` rebuilds the exact
 // model skeleton before loading weights, so the artifacts carry no
 // configuration of their own beyond the serialized tensors.
 
+#include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "classifiers/hawc_model.hpp"
 #include "classifiers/quantized_classifier.hpp"
+#include "replay/container.hpp"
+#include "replay/corpus_set.hpp"
 #include "replay/model_io.hpp"
 #include "replay/parity_checker.hpp"
 #include "replay/replay_driver.hpp"
@@ -213,25 +230,162 @@ int run_check(const std::filesystem::path& dir, bool dump_metrics) {
     return ok ? 0 : 1;
 }
 
+// ---- corpus container pack / unpack / verify -----------------------------
+
+std::uint32_t sniff_magic(const std::filesystem::path& path) {
+    std::ifstream in{path, std::ios::binary};
+    if (!in) throw io_error{"cannot open " + path.string()};
+    std::uint32_t magic = 0;
+    in.read(reinterpret_cast<char*>(&magic), sizeof(magic));
+    if (!in) throw io_error{path.string() + ": too short to carry a magic"};
+    return magic;
+}
+
+int run_pack(const std::filesystem::path& in, const std::filesystem::path& out,
+             std::size_t chunk_frames) {
+    replay::container_options options;
+    if (chunk_frames > 0) options.frames_per_chunk = chunk_frames;
+
+    const std::uint32_t magic = sniff_magic(in);
+    std::size_t frames = 0;
+    if (magic == replay::frame_corpus_magic) {
+        const replay::frame_corpus corpus = replay::load_corpus_file(in);
+        frames = corpus.size();
+        replay::pack_corpus_file(out, corpus, options);
+    } else if (magic == replay::corpus_set_magic) {
+        const replay::pole_corpus_set set = replay::load_corpus_set_file(in);
+        frames = set.total_frames();
+        replay::pack_corpus_set_file(out, set, options);
+    } else {
+        std::cerr << "pack: " << in.string() << " is neither a frame corpus (HWFR) nor a "
+                  << "pole corpus set (HWFS)\n";
+        return 2;
+    }
+
+    const auto in_size = std::filesystem::file_size(in);
+    const auto out_size = std::filesystem::file_size(out);
+    std::cout << "packed " << in.string() << " (" << in_size << " B, " << frames
+              << " frames) -> " << out.string() << " (" << out_size << " B, ratio "
+              << (out_size > 0
+                      ? static_cast<double>(in_size) / static_cast<double>(out_size)
+                      : 0.0)
+              << "x)\n";
+    return 0;
+}
+
+int run_unpack(const std::filesystem::path& in, const std::filesystem::path& out) {
+    replay::container_reader reader{in};
+    if (reader.kind() == replay::container_kind::corpus) {
+        replay::save_corpus_file(out, replay::unpack_corpus(reader));
+    } else {
+        replay::save_corpus_set_file(out, replay::unpack_corpus_set(reader));
+    }
+    std::cout << "unpacked " << in.string() << " -> " << out.string() << "\n";
+    return 0;
+}
+
+int run_verify(const std::filesystem::path& container,
+               const std::filesystem::path& golden) {
+    replay::container_reader reader{container};
+
+    // Stream every frame of every stream: each chunk is read, checksummed
+    // and decoded exactly once, holding one chunk at a time.
+    std::size_t frames = 0;
+    std::size_t points = 0;
+    for (std::uint32_t s = 0; s < reader.stream_count(); ++s) {
+        for (std::uint64_t i = 0; i < reader.frame_count(s); ++i) {
+            const replay::frame_record& frame = reader.frame(s, i);
+            ++frames;
+            points += frame.cloud.size();
+        }
+    }
+    std::uint64_t stored = 0;
+    std::uint64_t uncompressed = 0;
+    for (const replay::chunk_entry& chunk : reader.chunks()) {
+        stored += chunk.stored_size;
+        uncompressed += chunk.uncompressed_size;
+    }
+    std::cout << "container OK: " << reader.stream_count() << " stream(s), " << frames
+              << " frames, " << points << " points, " << reader.chunks().size()
+              << " chunks, " << stored << " B stored / " << uncompressed
+              << " B raw (ratio "
+              << (stored > 0 ? static_cast<double>(uncompressed) / static_cast<double>(stored)
+                             : 0.0)
+              << "x), peak cache " << reader.cache_capacity() << " chunk(s)\n";
+
+    if (golden.empty()) return 0;
+
+    // Golden comparison: frame-for-frame bit-exact against the envelope
+    // artifact the container was packed from.
+    std::size_t divergent = 0;
+    const std::uint32_t magic = sniff_magic(golden);
+    if (magic == replay::frame_corpus_magic) {
+        const replay::frame_corpus want = replay::load_corpus_file(golden);
+        const replay::frame_corpus got = replay::unpack_corpus(reader);
+        if (got.name != want.name || got.base_seed != want.base_seed ||
+            got.size() != want.size()) {
+            ++divergent;
+        }
+        for (std::size_t i = 0; i < want.size() && i < got.size(); ++i) {
+            if (!(got.frames[i] == want.frames[i])) ++divergent;
+        }
+    } else if (magic == replay::corpus_set_magic) {
+        const replay::pole_corpus_set want = replay::load_corpus_set_file(golden);
+        const replay::pole_corpus_set got = replay::unpack_corpus_set(reader);
+        if (!(got == want)) ++divergent;
+    } else {
+        std::cerr << "verify: unrecognized golden artifact " << golden.string() << "\n";
+        return 2;
+    }
+    if (divergent != 0) {
+        std::cerr << "verify: container DIVERGES from " << golden.string() << " ("
+                  << divergent << " mismatch(es))\n";
+        return 1;
+    }
+    std::cout << "container matches " << golden.string() << " bit-exactly\n";
+    return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
     bool dump_metrics = false;
+    std::size_t chunk_frames = 0;
     std::string mode;
-    std::filesystem::path dir;
+    std::vector<std::filesystem::path> paths;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--metrics") == 0) {
             dump_metrics = true;
+        } else if (std::strcmp(argv[i], "--chunk") == 0 && i + 1 < argc) {
+            chunk_frames = static_cast<std::size_t>(std::strtoul(argv[++i], nullptr, 10));
         } else if (mode.empty()) {
             mode = argv[i];
-        } else if (dir.empty()) {
-            dir = argv[i];
+        } else {
+            paths.emplace_back(argv[i]);
         }
     }
-    if (dir.empty()) dir = "data/golden";
 
-    if (mode == "record") return run_record(dir);
-    if (mode == "check") return run_check(dir, dump_metrics);
-    std::cerr << "usage: parity_checker record|check [golden-dir] [--metrics]\n";
+    try {
+        if (mode == "record") {
+            return run_record(paths.empty() ? "data/golden" : paths[0]);
+        }
+        if (mode == "check") {
+            return run_check(paths.empty() ? "data/golden" : paths[0], dump_metrics);
+        }
+        if (mode == "pack" && paths.size() == 2) {
+            return run_pack(paths[0], paths[1], chunk_frames);
+        }
+        if (mode == "unpack" && paths.size() == 2) return run_unpack(paths[0], paths[1]);
+        if (mode == "verify" && !paths.empty()) {
+            return run_verify(paths[0], paths.size() > 1 ? paths[1] : "");
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "parity_checker: " << e.what() << "\n";
+        return 2;
+    }
+    std::cerr << "usage: parity_checker record|check [golden-dir] [--metrics]\n"
+                 "       parity_checker pack <in.frames|in.hwfs> <out.hwcc> [--chunk N]\n"
+                 "       parity_checker unpack <in.hwcc> <out-file>\n"
+                 "       parity_checker verify <in.hwcc> [golden-file]\n";
     return 2;
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# Instrumented verification pipeline. By default runs nine phases:
+# Instrumented verification pipeline. By default runs ten phases:
 #
 #   1. AddressSanitizer + UndefinedBehaviorSanitizer over the full suite
 #      (degenerate-input and chaos-soak tests under heap/UB checking)
@@ -27,11 +27,15 @@
 #      bit-exactly and complete an SLO alert fire/resolve cycle, and
 #      bench_obs_overhead must show the obs stack costing <= 2% on
 #      clean frames
+#  10. The corpus-container drill (Release build): pack both golden
+#      corpora into chunked compressed "HWCC" containers, verify them
+#      frame-for-frame bit-exact against the envelope originals, and
+#      unpack one back to a byte-identical envelope file
 #
 # Setting HAWC_SANITIZE runs a single sanitizer configuration over the
 # full suite instead (any -fsanitize= value works):
 #
-#   scripts/check.sh                  # all nine phases
+#   scripts/check.sh                  # all ten phases
 #   HAWC_SANITIZE=thread scripts/check.sh
 #   HAWC_SANITIZE=address,undefined scripts/check.sh -R chaos_soak
 set -euo pipefail
@@ -57,49 +61,49 @@ if [[ -n "${HAWC_SANITIZE:-}" ]]; then
   exit 0
 fi
 
-echo "== phase 1/9: address,undefined over the full suite =="
+echo "== phase 1/10: address,undefined over the full suite =="
 run_suite "address,undefined" "${repo_root}/build-sanitize" "$@"
 
-echo "== phase 2/9: thread sanitizer over the concurrency tests =="
-run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity|fleet[a-z_]*|obs[a-z_]*)\.'
+echo "== phase 2/10: thread sanitizer over the concurrency tests =="
+run_suite "thread" "${repo_root}/build-tsan" -R '^(thread_pool|determinism|telemetry|parity|container|fleet[a-z_]*|obs[a-z_]*)\.'
 
-echo "== phase 3/9: bench snapshot smoke =="
+echo "== phase 3/10: bench snapshot smoke =="
 smoke_build="${repo_root}/build-sanitize"
 cmake --build "${smoke_build}" --target bench_snapshot -j "$(nproc)"
 "${smoke_build}/bench/bench_snapshot" 1 2 > /tmp/hawc_bench_smoke.json
 python3 -m json.tool /tmp/hawc_bench_smoke.json >/dev/null
 echo "bench snapshot smoke OK"
 
-echo "== phase 4/9: telemetry overhead gate (Release, <= 2%) =="
+echo "== phase 4/10: telemetry overhead gate (Release, <= 2%) =="
 perf_build="${repo_root}/build"
 cmake -B "${perf_build}" -S "${repo_root}" -DCMAKE_BUILD_TYPE=Release
 cmake --build "${perf_build}" --target bench_telemetry_overhead -j "$(nproc)"
 "${perf_build}/bench/bench_telemetry_overhead"
 echo "telemetry overhead gate OK"
 
-echo "== phase 5/9: golden-corpus parity gate =="
+echo "== phase 5/10: golden-corpus parity gate =="
 cmake --build "${perf_build}" --target parity_checker -j "$(nproc)"
 "${perf_build}/examples/parity_checker" check "${repo_root}/data/golden"
 echo "parity gate OK"
 
-echo "== phase 6/9: static-analysis gate =="
+echo "== phase 6/10: static-analysis gate =="
 "${repo_root}/scripts/lint.sh" --self-test
 "${repo_root}/scripts/lint.sh"
 echo "static-analysis gate OK"
 
-echo "== phase 7/9: fleet chaos gate (Release) =="
+echo "== phase 7/10: fleet chaos gate (Release) =="
 cmake --build "${perf_build}" --target test_fleet fleet_service -j "$(nproc)"
 "${perf_build}/tests/test_fleet" --gtest_filter='fleet_chaos.*:fleet.*'
 "${perf_build}/examples/fleet_service" 300 > /tmp/hawc_fleet_service.txt
 grep -q "Staleness bound (10 ticks) holds: yes" /tmp/hawc_fleet_service.txt
 echo "fleet chaos gate OK"
 
-echo "== phase 8/9: perf-regression gate (Release) =="
+echo "== phase 8/10: perf-regression gate (Release) =="
 cmake --build "${perf_build}" --target bench_snapshot -j "$(nproc)"
 "${perf_build}/bench/bench_snapshot" 1 > /tmp/hawc_bench_perf.json
 "${repo_root}/scripts/perf_gate.sh" /tmp/hawc_bench_perf.json
 
-echo "== phase 9/9: flight-recorder drill + obs overhead gate (Release) =="
+echo "== phase 9/10: flight-recorder drill + obs overhead gate (Release) =="
 cmake --build "${perf_build}" --target pole_postmortem bench_obs_overhead -j "$(nproc)"
 "${perf_build}/examples/pole_postmortem" 240 /tmp/hawc_postmortem_drill.hawcpm \
   > /tmp/hawc_pole_postmortem.txt
@@ -107,3 +111,15 @@ grep -q "postmortem replay: bit-exact" /tmp/hawc_pole_postmortem.txt
 grep -q "Alert poles_excluded: fired and resolved" /tmp/hawc_pole_postmortem.txt
 "${perf_build}/bench/bench_obs_overhead"
 echo "flight-recorder drill OK"
+
+echo "== phase 10/10: corpus-container pack/verify drill (Release) =="
+cmake --build "${perf_build}" --target parity_checker -j "$(nproc)"
+for corpus in clean degraded; do
+  "${perf_build}/examples/parity_checker" pack \
+    "${repo_root}/data/golden/${corpus}.frames" "/tmp/hawc_${corpus}.hwcc" --chunk 4
+  "${perf_build}/examples/parity_checker" verify \
+    "/tmp/hawc_${corpus}.hwcc" "${repo_root}/data/golden/${corpus}.frames"
+done
+"${perf_build}/examples/parity_checker" unpack /tmp/hawc_clean.hwcc /tmp/hawc_clean_rt.frames
+cmp "${repo_root}/data/golden/clean.frames" /tmp/hawc_clean_rt.frames
+echo "corpus-container drill OK"

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Perf-regression gate: compare the current.threads_1 block of a
 # bench_snapshot JSON against the checked-in ceilings in
-# bench/perf_floor.json and fail loudly on any metric over budget.
+# bench/perf_floor.json — and the corpus_container block against its
+# throughput floors — and fail loudly on any metric out of budget.
 #
 #   scripts/perf_gate.sh [snapshot_json] [floor_json]
 #
@@ -13,7 +14,7 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
-snapshot="${1:-$repo_root/BENCH_PR7.json}"
+snapshot="${1:-$repo_root/BENCH_PR9.json}"
 floor="${2:-$repo_root/bench/perf_floor.json}"
 tolerance="${HAWC_PERF_TOLERANCE:-1.35}"
 
@@ -44,6 +45,20 @@ for metric, spec in floor["ceilings"].items():
     if measured > budget:
         failures.append(
             f"  {metric}: {measured:.2f}us > {budget:.2f}us — {spec['why']}")
+
+container = snapshot.get("corpus_container", {})
+for metric, spec in floor.get("floors", {}).items():
+    if metric not in container:
+        failures.append(f"  {metric}: missing from snapshot corpus_container block")
+        continue
+    measured = float(container[metric])
+    budget = float(spec["min_mbps"]) / tolerance
+    verdict = "ok" if measured >= budget else "FAIL"
+    print(f"  [{verdict}] {metric}: {measured:.1f}MB/s (floor {budget:.1f}MB/s"
+          f" = {spec['min_mbps']:g} / {tolerance:g})")
+    if measured < budget:
+        failures.append(
+            f"  {metric}: {measured:.1f}MB/s < {budget:.1f}MB/s — {spec['why']}")
 
 if failures:
     print("\nPERF GATE FAILED — kernel-layer regression(s):", file=sys.stderr)

@@ -277,4 +277,45 @@ fleet_replay_result replay_corpus_set(fleet_manager& fleet,
     return result;
 }
 
+fleet_replay_result replay_container_set(fleet_manager& fleet,
+                                         replay::container_reader& reader,
+                                         std::uint64_t drain_ticks) {
+    HAWC_REQUIRE(reader.kind() == replay::container_kind::corpus_set,
+                 "streaming fleet replay needs a corpus-set container");
+    HAWC_REQUIRE(reader.stream_count() == fleet.pole_count(),
+                 "container stream count must match the fleet");
+    std::uint64_t longest = 0;
+    for (std::uint32_t s = 0; s < reader.stream_count(); ++s) {
+        HAWC_REQUIRE(reader.stream(s).base_seed == fleet.pole(s).stream_seed(),
+                     "pole stream seed must equal its container base_seed");
+        longest = std::max(longest, reader.frame_count(s));
+    }
+    // One hot chunk per pole keeps the tick-order round-robin from
+    // thrashing a single cache slot.
+    if (reader.cache_capacity() < fleet.pole_count()) {
+        reader.set_cache_capacity(fleet.pole_count());
+    }
+
+    fleet_replay_result result;
+    for (std::uint64_t frame = 0; frame < longest; ++frame) {
+        for (std::uint32_t s = 0; s < reader.stream_count(); ++s) {
+            if (frame >= reader.frame_count(s)) continue;
+            const replay::frame_record& record = reader.frame(s, frame);
+            link_message msg;
+            msg.frame_index = frame;
+            msg.ground_truth = record.ground_truth;
+            msg.cloud = record.cloud;
+            fleet.submit(s, std::move(msg));
+            ++result.frames_submitted;
+        }
+        fleet.tick();
+        ++result.ticks;
+    }
+    for (std::uint64_t i = 0; i < drain_ticks; ++i) {
+        fleet.tick();
+        ++result.ticks;
+    }
+    return result;
+}
+
 }  // namespace hawc::fleet

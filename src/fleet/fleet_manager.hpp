@@ -31,6 +31,7 @@
 #include "fleet/pole_runtime.hpp"
 #include "obs/event_log.hpp"
 #include "obs/slo.hpp"
+#include "replay/container.hpp"
 #include "replay/corpus_set.hpp"
 #include "telemetry/metrics.hpp"
 
@@ -197,5 +198,16 @@ struct fleet_replay_result {
 fleet_replay_result replay_corpus_set(fleet_manager& fleet,
                                       const replay::pole_corpus_set& set,
                                       std::uint64_t drain_ticks = 8);
+
+/// Streaming variant: replay a packed corpus-set container ("HWCC",
+/// replay::container.hpp) without materializing it. Tick t reads frame t
+/// of every stream straight from the container; the reader's chunk cache
+/// is widened to one chunk per pole so the round-robin read order stays
+/// chunk-at-a-time — memory is bounded by pole_count chunks however long
+/// the recording is. Preconditions match replay_corpus_set (one stream
+/// per pole, in order, matching seeds).
+fleet_replay_result replay_container_set(fleet_manager& fleet,
+                                         replay::container_reader& reader,
+                                         std::uint64_t drain_ticks = 8);
 
 }  // namespace hawc::fleet

@@ -61,7 +61,12 @@ void save_postmortem(std::ostream& out, const postmortem_bundle& bundle) {
 
     payload.str(bundle.events_jsonl);
     payload.str(bundle.trace_json);
-    replay::write_envelope(out, postmortem_magic, postmortem_version, payload);
+    // Bundles carry dozens of float32 clouds plus JSONL/trace text — both
+    // compress well, and quarantine storms can dump many of them. The
+    // flag-gated envelope keeps old bundles loadable while new ones
+    // shrink; a pre-flag reader rejects them cleanly instead of
+    // misparsing (the flags bug this PR fixes).
+    replay::write_envelope_compressed(out, postmortem_magic, postmortem_version, payload);
 }
 
 postmortem_bundle load_postmortem(std::istream& in) {

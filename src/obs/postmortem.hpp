@@ -17,7 +17,9 @@
 // supervisor via replay::replay_corpus_indexed and gets bit-identical
 // (count, status) per frame — the property the flight-recorder drill
 // asserts. On disk a bundle rides the standard checksummed replay
-// envelope ("HWPM"), so corruption fails with a clean io_error.
+// envelope ("HWPM") with the compressed-payload flag set (clouds and the
+// pre-rendered JSONL/trace text shrink well), so corruption fails with a
+// clean io_error and uncompressed pre-flag bundles still load.
 
 #include <cstdint>
 #include <filesystem>

@@ -5,6 +5,7 @@
 #include <ostream>
 
 #include "common/error.hpp"
+#include "replay/codec.hpp"
 
 namespace hawc::replay {
 
@@ -19,6 +20,10 @@ std::uint64_t fnv1a64(const void* data, std::size_t size) {
 }
 
 void byte_writer::str(std::string_view s) {
+    if (s.size() > std::numeric_limits<std::uint32_t>::max()) {
+        throw io_error{"string of " + std::to_string(s.size()) +
+                       " bytes cannot fit the u32 length prefix"};
+    }
     u32(static_cast<std::uint32_t>(s.size()));
     raw(s.data(), s.size());
 }
@@ -79,6 +84,13 @@ double byte_reader::f64() {
 
 std::string byte_reader::str() {
     const std::uint32_t length = u32();
+    // Validate the length against the remaining payload *before* any
+    // allocation: a corrupt length field must fail the parse, not attempt
+    // a multi-gigabyte std::string first.
+    if (length > remaining()) {
+        throw io_error{"string length " + std::to_string(length) +
+                       " exceeds the remaining payload"};
+    }
     const char* at = cursor(length, "string field");
     return std::string{at, length};
 }
@@ -94,18 +106,38 @@ void byte_reader::expect_exhausted(const char* what) const {
     }
 }
 
-void write_envelope(std::ostream& out, std::uint32_t magic, std::uint16_t version,
-                    const byte_writer& payload) {
-    const std::uint16_t flags = 0;
-    const auto payload_size = static_cast<std::uint64_t>(payload.bytes().size());
-    const std::uint64_t checksum = fnv1a64(payload.bytes().data(), payload.bytes().size());
+namespace {
+
+void write_envelope_bytes(std::ostream& out, std::uint32_t magic, std::uint16_t version,
+                          std::uint16_t flags, const char* payload, std::size_t size) {
+    const auto payload_size = static_cast<std::uint64_t>(size);
+    const std::uint64_t checksum = fnv1a64(payload, size);
     out.write(reinterpret_cast<const char*>(&magic), sizeof(magic));
     out.write(reinterpret_cast<const char*>(&version), sizeof(version));
     out.write(reinterpret_cast<const char*>(&flags), sizeof(flags));
     out.write(reinterpret_cast<const char*>(&payload_size), sizeof(payload_size));
     out.write(reinterpret_cast<const char*>(&checksum), sizeof(checksum));
-    out.write(payload.bytes().data(), static_cast<std::streamsize>(payload.bytes().size()));
+    out.write(payload, static_cast<std::streamsize>(size));
     if (!out) throw io_error{"replay artifact write failed"};
+}
+
+}  // namespace
+
+void write_envelope(std::ostream& out, std::uint32_t magic, std::uint16_t version,
+                    const byte_writer& payload) {
+    write_envelope_bytes(out, magic, version, /*flags=*/0, payload.bytes().data(),
+                         payload.bytes().size());
+}
+
+void write_envelope_compressed(std::ostream& out, std::uint32_t magic, std::uint16_t version,
+                               const byte_writer& payload) {
+    byte_writer stored;
+    stored.u64(static_cast<std::uint64_t>(payload.bytes().size()));
+    const std::vector<char> compressed =
+        lz_compress(payload.bytes().data(), payload.bytes().size());
+    stored.raw(compressed.data(), compressed.size());
+    write_envelope_bytes(out, magic, version, envelope_flag_compressed,
+                         stored.bytes().data(), stored.bytes().size());
 }
 
 envelope read_envelope(std::istream& in, std::uint32_t magic, std::uint16_t max_version,
@@ -126,6 +158,13 @@ envelope read_envelope(std::istream& in, std::uint32_t magic, std::uint16_t max_
         throw io_error{std::string{what} + ": unsupported format version " +
                        std::to_string(version)};
     }
+    // Flags this reader does not understand mean the payload encoding may
+    // differ from what the parser below expects; refuse rather than
+    // misparse (e.g. feeding compressed bytes to a plain-payload parser).
+    if ((flags & ~envelope_known_flags) != 0) {
+        throw io_error{std::string{what} + ": unknown envelope flag bits 0x" +
+                       std::to_string(static_cast<unsigned>(flags & ~envelope_known_flags))};
+    }
     // A corrupted size field must not become a multi-gigabyte allocation.
     constexpr std::uint64_t sanity_cap = 1ull << 31;
     if (payload_size > sanity_cap) {
@@ -140,6 +179,22 @@ envelope read_envelope(std::istream& in, std::uint32_t magic, std::uint16_t max_
     }
     if (fnv1a64(env.payload.data(), env.payload.size()) != checksum) {
         throw io_error{std::string{what} + ": checksum mismatch (corrupted payload)"};
+    }
+    if ((flags & envelope_flag_compressed) != 0) {
+        byte_reader framed{env.payload};
+        const std::uint64_t raw_size = framed.u64();
+        if (raw_size > sanity_cap) {
+            throw io_error{std::string{what} + ": implausible uncompressed payload size"};
+        }
+        std::vector<char> raw(static_cast<std::size_t>(raw_size));
+        try {
+            lz_decompress_into(env.payload.data() + sizeof(std::uint64_t),
+                               env.payload.size() - sizeof(std::uint64_t), raw.data(),
+                               raw.size());
+        } catch (const io_error& e) {
+            throw io_error{std::string{what} + ": " + e.what()};
+        }
+        env.payload = std::move(raw);
     }
     return env;
 }

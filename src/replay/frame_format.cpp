@@ -25,20 +25,39 @@ point_cloud round_to_recorded(const point_cloud& cloud) {
     return rounded;
 }
 
+void write_frame_record(byte_writer& out, const frame_record& frame) {
+    out.u32(frame.ground_truth);
+    out.u64(static_cast<std::uint64_t>(frame.cloud.size()));
+    for (const auto& p : frame.cloud) {
+        out.f32(static_cast<float>(p.x));
+        out.f32(static_cast<float>(p.y));
+        out.f32(static_cast<float>(p.z));
+    }
+}
+
+frame_record read_frame_record(byte_reader& in) {
+    frame_record frame;
+    frame.ground_truth = in.u32();
+    const std::uint64_t point_count = in.u64();
+    if (point_count > in.remaining() / 12) {  // 3 x f32 per point
+        throw io_error{"frame record: implausible point count"};
+    }
+    frame.cloud.reserve(static_cast<std::size_t>(point_count));
+    for (std::uint64_t i = 0; i < point_count; ++i) {
+        const double x = in.f32();
+        const double y = in.f32();
+        const double z = in.f32();
+        frame.cloud.push_back({x, y, z});
+    }
+    return frame;
+}
+
 void save_corpus(std::ostream& out, const frame_corpus& corpus) {
     byte_writer payload;
     payload.str(corpus.name);
     payload.u64(corpus.base_seed);
     payload.u64(static_cast<std::uint64_t>(corpus.frames.size()));
-    for (const auto& frame : corpus.frames) {
-        payload.u32(frame.ground_truth);
-        payload.u64(static_cast<std::uint64_t>(frame.cloud.size()));
-        for (const auto& p : frame.cloud) {
-            payload.f32(static_cast<float>(p.x));
-            payload.f32(static_cast<float>(p.y));
-            payload.f32(static_cast<float>(p.z));
-        }
-    }
+    for (const auto& frame : corpus.frames) write_frame_record(payload, frame);
     write_envelope(out, frame_corpus_magic, frame_corpus_version, payload);
 }
 
@@ -57,20 +76,7 @@ frame_corpus load_corpus(std::istream& in) {
     }
     corpus.frames.reserve(static_cast<std::size_t>(frame_count));
     for (std::uint64_t f = 0; f < frame_count; ++f) {
-        frame_record frame;
-        frame.ground_truth = reader.u32();
-        const std::uint64_t point_count = reader.u64();
-        if (point_count > reader.remaining() / 12) {  // 3 x f32 per point
-            throw io_error{"frame corpus: implausible point count"};
-        }
-        frame.cloud.reserve(static_cast<std::size_t>(point_count));
-        for (std::uint64_t i = 0; i < point_count; ++i) {
-            const double x = reader.f32();
-            const double y = reader.f32();
-            const double z = reader.f32();
-            frame.cloud.push_back({x, y, z});
-        }
-        corpus.frames.push_back(std::move(frame));
+        corpus.frames.push_back(read_frame_record(reader));
     }
     reader.expect_exhausted("frame corpus");
     return corpus;

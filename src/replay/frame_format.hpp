@@ -53,6 +53,16 @@ struct frame_corpus {
 /// being returned so save/load round-trips bit-exactly.
 point_cloud round_to_recorded(const point_cloud& cloud);
 
+class byte_writer;
+class byte_reader;
+
+/// One frame in the shared wire layout (u32 ground truth, u64 point
+/// count, f32 x/y/z per point) — the unit both the corpus envelope
+/// payload and the container's chunk payloads (container.hpp) are built
+/// from, so a frame read from either path is bit-identical.
+void write_frame_record(byte_writer& out, const frame_record& frame);
+frame_record read_frame_record(byte_reader& in);
+
 void save_corpus(std::ostream& out, const frame_corpus& corpus);
 frame_corpus load_corpus(std::istream& in);
 

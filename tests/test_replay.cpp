@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <limits>
 #include <sstream>
+#include <string_view>
 
 #include "common/thread_pool.hpp"
 #include "nn/activations.hpp"
@@ -125,6 +127,103 @@ TEST(byte_reader, bounds_checked) {
     byte_reader reader{payload.bytes()};
     EXPECT_EQ(reader.u16(), 9);
     EXPECT_THROW(reader.u32(), io_error);
+}
+
+// Regression: read_envelope used to read the flags field and drop it on
+// the floor, so an artifact carrying a future feature bit was misparsed
+// as its flagless layout instead of failing the load. Unknown bits must
+// be a clean io_error.
+TEST(binary_envelope, rejects_unknown_flag_bits) {
+    byte_writer payload;
+    payload.str("future format");
+    std::ostringstream out;
+    write_envelope(out, 0x11111111, 1, payload);
+    std::string bytes = out.str();
+    // Envelope layout: u32 magic | u16 version | u16 flags | ... — patch
+    // an undefined flag bit directly into the header.
+    for (const std::uint16_t flags : {std::uint16_t{0x0002}, std::uint16_t{0x8000},
+                                      std::uint16_t{0xfffe}}) {
+        std::string bad = bytes;
+        std::memcpy(bad.data() + 6, &flags, sizeof(flags));
+        std::istringstream in{bad};
+        EXPECT_THROW(read_envelope(in, 0x11111111, 1, "test"), io_error) << flags;
+    }
+}
+
+TEST(binary_envelope, compressed_payload_round_trips_and_shrinks) {
+    byte_writer payload;
+    for (int i = 0; i < 200; ++i) payload.str("the same string every time");
+    std::ostringstream plain_out;
+    write_envelope(plain_out, 0x11111111, 1, payload);
+    std::ostringstream packed_out;
+    write_envelope_compressed(packed_out, 0x11111111, 1, payload);
+    EXPECT_LT(packed_out.str().size(), plain_out.str().size() / 2);
+
+    std::istringstream in{packed_out.str()};
+    const envelope env = read_envelope(in, 0x11111111, 1, "test");
+    EXPECT_EQ(env.payload, payload.bytes());  // transparent decompression
+}
+
+TEST(binary_envelope, compressed_empty_payload_round_trips) {
+    const byte_writer payload;
+    std::ostringstream out;
+    write_envelope_compressed(out, 0x11111111, 1, payload);
+    std::istringstream in{out.str()};
+    EXPECT_TRUE(read_envelope(in, 0x11111111, 1, "test").payload.empty());
+}
+
+TEST(binary_envelope, corrupted_compressed_payload_fails_cleanly) {
+    byte_writer payload;
+    for (int i = 0; i < 50; ++i) payload.str("compressible compressible");
+    std::ostringstream out;
+    write_envelope_compressed(out, 0x11111111, 1, payload);
+    const std::string bytes = out.str();
+    // Any flip inside the stored (compressed) payload trips the checksum.
+    for (std::size_t i = 24; i < bytes.size(); i += 7) {
+        std::string bad = bytes;
+        bad[i] = static_cast<char>(bad[i] ^ 0x10);
+        std::istringstream in{bad};
+        EXPECT_THROW(read_envelope(in, 0x11111111, 1, "test"), io_error) << i;
+    }
+}
+
+TEST(binary_envelope, implausible_uncompressed_size_fails_before_allocating) {
+    byte_writer payload;
+    payload.str("small");
+    std::ostringstream out;
+    write_envelope_compressed(out, 0x11111111, 1, payload);
+    std::string bytes = out.str();
+    // Patch the leading u64 uncompressed size (payload offset 24) to an
+    // absurd value and re-checksum so only the size check can fire — the
+    // reader must reject it without attempting a huge allocation.
+    const std::uint64_t absurd = ~std::uint64_t{0};
+    std::memcpy(bytes.data() + 24, &absurd, sizeof(absurd));
+    const std::uint64_t sum = fnv1a64(bytes.data() + 24, bytes.size() - 24);
+    std::memcpy(bytes.data() + 16, &sum, sizeof(sum));
+    std::istringstream in{bytes};
+    EXPECT_THROW(read_envelope(in, 0x11111111, 1, "test"), io_error);
+}
+
+// Regression: byte_writer::str used to truncate the u32 length prefix of
+// a >4 GiB string silently while raw() appended every byte — a
+// self-inconsistent payload. Now it throws before writing anything. The
+// oversized string_view is a length without a readable buffer behind it;
+// str() must fail before touching the bytes.
+TEST(byte_writer, rejects_strings_overflowing_length_prefix) {
+    byte_writer payload;
+    const char byte = 'x';
+    const std::string_view huge{&byte,
+                                std::size_t{1} + std::numeric_limits<std::uint32_t>::max()};
+    EXPECT_THROW(payload.str(huge), io_error);
+    EXPECT_TRUE(payload.bytes().empty()) << "failed str() must not half-write";
+}
+
+TEST(byte_reader, rejects_string_length_beyond_payload_without_allocating) {
+    byte_writer payload;
+    payload.u32(0xffffffffu);  // claims a 4 GiB string...
+    payload.raw("abc", 3);     // ...backed by three bytes
+    byte_reader reader{payload.bytes()};
+    EXPECT_THROW(reader.str(), io_error);
 }
 
 // ---- frame corpus --------------------------------------------------------
