@@ -13,9 +13,9 @@
 #      past the budget)
 #   5. The golden-corpus parity gate (Release build): fp32-vs-int8 and
 #      1-vs-N-thread replays over data/golden must show zero divergences
-#   6. The static-analysis gate (scripts/lint.sh): linter self-test,
-#      banned-pattern scan, header self-sufficiency, HAWC_WERROR build,
-#      and clang-tidy when installed
+#   6. The static-analysis gate (scripts/lint.sh): analyzer self-test,
+#      hawc_analyze rule catalogue, header self-sufficiency, HAWC_WERROR
+#      build, and clang-tidy when installed
 #   7. The fleet chaos gate (Release build): the multi-pole soak test and
 #      the fleet_service example, proving fault isolation, staleness
 #      bounds, and watchdog recovery outside the sanitized builds too

@@ -2,34 +2,25 @@
 # Static-analysis gate (check.sh phase 6; CI job `static-analysis`).
 #
 # Phases, cheap first:
-#   1. Banned-pattern scan — project rules grep can enforce:
-#        raw-rng              rand()/srand()/std::random_device outside
-#                             common/rng (replays must be deterministic)
-#        naked-new            naked new/delete expressions (RAII only)
-#        mutex-in-lockfree    std::mutex in a file whose banner claims
-#                             lock-free behaviour
-#        double-seconds       duration<double>/duration<float> timing
-#                             outside common/timer.hpp
-#        wallclock-in-replay  any clock read inside src/replay — a wall
-#                             clock there would break bit-exact replay
-#        sleep-in-fleet       blocking sleeps inside src/fleet — the fleet
-#                             runs on tick virtual time; a sleep on a pool
-#                             lane stalls every pole sharing it
-#        simd-outside-kernels raw SIMD intrinsics (x86 _mm*/__m*/immintrin,
-#                             NEON v*_s8/int8x16_t/arm_neon.h) outside
-#                             src/nn/kernels/ — vector code lives behind
-#                             the dispatch table so every routine keeps a
-#                             scalar fallback and new ISAs land in one place
-#        raw-logging          std::cout/cerr/clog and printf-family calls
-#                             in src/ outside src/obs/ — library code
-#                             reports through events, metrics, and spans,
-#                             never straight to stdio (bounded snprintf
-#                             into a caller buffer stays legal)
-#      A hit is waived only by an inline `lint:allow(<rule>): <reason>`
-#      comment on the same line (the reason is mandatory by convention;
-#      DESIGN.md §11).
-#   2. Header self-sufficiency — every src/**/*.hpp must compile as a
-#      standalone translation unit (no include-order debt).
+#   1. hawc_analyze — the in-repo token-aware analyzer (tools/hawc_analyze).
+#      It lexes every TU (comments, strings, raw strings, #if 0 regions and
+#      line splices handled properly — a banned spelling inside a string or
+#      comment never trips a rule) and runs the full rule catalogue: the
+#      eight banned-pattern rules (raw-rng, naked-new, mutex-in-lockfree,
+#      double-seconds, wallclock-in-replay, sleep-in-fleet,
+#      simd-outside-kernels, raw-logging) plus the semantic families —
+#      layer-dag / include-cycle (module DAG from src/CMakeLists.txt's
+#      hawc_module table), replay-determinism (wall clocks, getenv,
+#      unordered-container iteration inside src/sim and the include closure
+#      of src/replay), lock-order / lock-across-parallel (inter-mutex
+#      acquisition graph), throw-in-noexcept / throw-in-destructor, and
+#      waiver-without-reason. See `hawc_analyze --list-rules` and
+#      DESIGN.md §16. A hit is waived only by an inline
+#      `lint:allow(<rule>): <reason>` comment on the same line (the reason
+#      is mandatory — enforced by waiver-without-reason; DESIGN.md §11).
+#      Accepted findings live in tools/hawc_analyze/baseline.txt.
+#   2. Header self-sufficiency — every .hpp under src/, tools/ and bench/
+#      must compile as a standalone translation unit (no include-order debt).
 #   3. HAWC_WERROR build — the hardened warning set as errors over
 #      src/tests/bench/examples (see CMakeLists.txt).
 #   4. clang-tidy over src/ TUs against the exported compile database,
@@ -38,10 +29,16 @@
 #
 # Usage:
 #   scripts/lint.sh                 # full gate (exit nonzero on any finding)
-#   scripts/lint.sh --self-test     # run the custom linters against the
-#                                   # tests/lint fixtures (registered as the
-#                                   # `lint.self_test` ctest)
+#   scripts/lint.sh --self-test     # run the analyzer's fixture self-test
+#                                   # plus the header-check fixtures
+#                                   # (registered as the `lint.self_test`
+#                                   # ctest; `analyze.self_test` pins the
+#                                   # analyzer rules on their own)
 #   scripts/lint.sh --no-build      # phases 1+2 only (fast dev loop)
+#   HAWC_ANALYZE_BIN=... scripts/lint.sh   # use a prebuilt analyzer (ctest
+#                                   # passes the CMake target; otherwise the
+#                                   # script bootstraps one with $CXX — the
+#                                   # analyzer is standalone-compilable)
 #   HAWC_LINT_CMAKE_ARGS="-DCMAKE_CXX_COMPILER_LAUNCHER=ccache" ...  # CI
 set -euo pipefail
 
@@ -55,92 +52,67 @@ violations=0
 
 note() { printf '%s\n' "$*"; }
 
-# --- phase 1 machinery: banned patterns ------------------------------------
+# --- phase 1 machinery: the hawc_analyze binary ----------------------------
 
-# scan_rule <rule> <extended-regex> <file...>
-# Greps the comment-stripped content of each file (so prose about a pattern
-# does not trip the scan), then re-reads the raw line to honour
-# `lint:allow(<rule>)` waivers. Prints one line per violation.
-scan_rule() {
-    local rule="$1" ere="$2"
-    shift 2
-    local f hits line_no raw
-    for f in "$@"; do
-        hits="$(sed 's|//.*||' "${f}" | grep -nE "${ere}" | cut -d: -f1 || true)"
-        [[ -z "${hits}" ]] && continue
-        while IFS= read -r line_no; do
-            raw="$(sed -n "${line_no}p" "${f}")"
-            if [[ "${raw}" == *"lint:allow(${rule})"* ]]; then
-                continue
-            fi
-            note "lint[${rule}] ${f}:${line_no}: ${raw#"${raw%%[![:space:]]*}"}"
-            violations=$((violations + 1))
-        done <<< "${hits}"
-    done
-}
-
-# Files whose banner/comments claim lock-freedom; only these are in scope
-# for the mutex-in-lockfree rule.
-claims_lockfree() {
-    local f
-    for f in "$@"; do
-        if grep -qiE 'lock[-_]free' "${f}"; then
-            printf '%s\n' "${f}"
+# Echoes a usable analyzer binary, preferring (in order) HAWC_ANALYZE_BIN,
+# a prebuilt CMake binary that is newer than every analyzer source, and
+# finally a bootstrap build into ${build_dir}. Bootstrap works because the
+# analyzer is deliberately standalone-compilable (no deps beyond libstdc++).
+analyzer_bin() {
+    if [[ -n "${HAWC_ANALYZE_BIN:-}" ]]; then
+        printf '%s\n' "${HAWC_ANALYZE_BIN}"
+        return
+    fi
+    local candidate
+    for candidate in "${build_dir}/tools/hawc_analyze/hawc_analyze" \
+                     "${repo_root}/build/tools/hawc_analyze/hawc_analyze"; do
+        if [[ -x "${candidate}" ]] && \
+           [[ -z "$(find tools/hawc_analyze \( -name '*.cpp' -o -name '*.hpp' \) \
+                    -newer "${candidate}" -print -quit)" ]]; then
+            printf '%s\n' "${candidate}"
+            return
         fi
     done
+    local out="${build_dir}/hawc_analyze-bootstrap"
+    mkdir -p "${build_dir}"
+    if [[ ! -x "${out}" ]] || \
+       [[ -n "$(find tools/hawc_analyze \( -name '*.cpp' -o -name '*.hpp' \) \
+                -newer "${out}" -print -quit)" ]]; then
+        note "bootstrapping hawc_analyze with ${cxx} (no fresh prebuilt binary)" >&2
+        "${cxx}" -std=c++20 -O1 tools/hawc_analyze/*.cpp -o "${out}" >&2
+    fi
+    printf '%s\n' "${out}"
 }
 
-ere_raw_rng='std::random_device|(^|[^[:alnum:]_])s?rand[[:space:]]*\('
-ere_naked_new='(^|[^[:alnum:]_.])new[[:space:]]+[[:alnum:]_:]|(^|[^[:alnum:]_])delete([[:space:]]*\[[[:space:]]*\])?[[:space:]]+[[:alnum:]_*]'
-ere_mutex='std::(recursive_|shared_|timed_)?mutex'
-ere_double_seconds='duration<[[:space:]]*(double|float)'
-ere_wallclock='system_clock|high_resolution_clock|steady_clock|gettimeofday|clock_gettime|localtime|gmtime|(^|[^[:alnum:]_:])time[[:space:]]*\('
-ere_sleep='sleep_for|sleep_until|(^|[^[:alnum:]_])usleep[[:space:]]*\(|(^|[^[:alnum:]_])nanosleep[[:space:]]*\(|(^|[^[:alnum:]_])sleep[[:space:]]*\('
-ere_simd='_mm(256|512)?_[a-z0-9_]+|__m(128|256|512)|[[:alpha:]]*mmintrin\.h|arm_neon\.h|(^|[^[:alnum:]_])v[a-z][a-z0-9_]*_[sufp](8|16|32|64)|(^|[^[:alnum:]_])(u?int|float|poly)(8|16|32|64)x(2|4|8|16)(x[2-4])?_t'
-ere_raw_logging='std::(cout|cerr|clog)|(^|[^[:alnum:]_])(printf|fprintf|vprintf|vfprintf|puts|fputs)[[:space:]]*\('
-
-phase_banned_patterns() {
-    note "== lint phase 1: banned-pattern scan =="
-    local all=() lockfree=()
-    mapfile -t all < <(find src bench tests examples \
-        \( -name '*.cpp' -o -name '*.hpp' \) -not -path 'tests/lint/*' | sort)
-
-    scan_rule raw-rng "${ere_raw_rng}" \
-        $(printf '%s\n' "${all[@]}" | grep -v '^src/common/rng\.')
-    scan_rule naked-new "${ere_naked_new}" "${all[@]}"
-    mapfile -t lockfree < <(claims_lockfree "${all[@]}")
-    if [[ ${#lockfree[@]} -gt 0 ]]; then
-        scan_rule mutex-in-lockfree "${ere_mutex}" "${lockfree[@]}"
+phase_analyze() {
+    note "== lint phase 1: hawc_analyze (token-aware rule catalogue) =="
+    local bin db_args=()
+    bin="$(analyzer_bin)"
+    if [[ -f "${build_dir}/compile_commands.json" ]]; then
+        db_args=(--compile-db "${build_dir}/compile_commands.json")
     fi
-    scan_rule double-seconds "${ere_double_seconds}" \
-        $(printf '%s\n' "${all[@]}" | grep -v '^src/common/timer\.hpp$')
-    scan_rule wallclock-in-replay "${ere_wallclock}" \
-        $(printf '%s\n' "${all[@]}" | grep '^src/replay/' || true)
-    scan_rule sleep-in-fleet "${ere_sleep}" \
-        $(printf '%s\n' "${all[@]}" | grep '^src/fleet/' || true)
-    scan_rule simd-outside-kernels "${ere_simd}" \
-        $(printf '%s\n' "${all[@]}" | grep -v '^src/nn/kernels/')
-    scan_rule raw-logging "${ere_raw_logging}" \
-        $(printf '%s\n' "${all[@]}" | grep '^src/' | grep -v '^src/obs/' || true)
-
-    if [[ ${violations} -eq 0 ]]; then
-        note "banned-pattern scan clean (${#all[@]} files)"
+    if ! "${bin}" --root "${repo_root}" "${db_args[@]}"; then
+        violations=$((violations + 1))
     fi
 }
 
 # --- phase 2 machinery: header self-sufficiency ----------------------------
 
-# check_header <include-spec> <include-dir>
+# check_header <include-spec> <include-dir...>
 # Compiles `#include "<include-spec>"` as its own TU. Returns nonzero (and
 # prints the compiler output) when the header is not self-sufficient.
 check_header() {
-    local spec="$1" incdir="$2"
+    local spec="$1"
+    shift
+    local inc=()
+    local d
+    for d in "$@"; do inc+=(-I "${d}"); done
     local tu err
     tu="$(mktemp /tmp/hawc_lint_hdr_XXXXXX.cpp)"
     err="${tu%.cpp}.err"
     printf '#include "%s"\nint main() { return 0; }\n' "${spec}" > "${tu}"
     if ! "${cxx}" -std=c++20 -fsyntax-only -Wall -Wextra -Wpedantic \
-        -I "${incdir}" "${tu}" 2> "${err}"; then
+        "${inc[@]}" "${tu}" 2> "${err}"; then
         note "lint[header-self-sufficiency] ${spec} does not compile standalone:"
         sed 's/^/    /' "${err}"
         rm -f "${tu}" "${err}"
@@ -158,6 +130,20 @@ phase_headers() {
         fi
         count=$((count + 1))
     done < <(find src -name '*.hpp' | sort)
+    # bench/ headers sit on top of src/; tools/ headers include siblings by
+    # bare name, so each compiles against its own directory.
+    while IFS= read -r h; do
+        if ! check_header "${h#bench/}" "${repo_root}/bench" "${repo_root}/src"; then
+            violations=$((violations + 1))
+        fi
+        count=$((count + 1))
+    done < <(find bench -name '*.hpp' 2>/dev/null | sort)
+    while IFS= read -r h; do
+        if ! check_header "$(basename "${h}")" "$(dirname "${repo_root}/${h}")"; then
+            violations=$((violations + 1))
+        fi
+        count=$((count + 1))
+    done < <(find tools -name '*.hpp' 2>/dev/null | sort)
     note "checked ${count} public headers"
 }
 
@@ -196,68 +182,20 @@ phase_tidy() {
 
 # --- self-test over tests/lint fixtures ------------------------------------
 
-# expect_hits <expected> <rule> <ere> <file...>
-expect_hits() {
-    local expected="$1" rule="$2"
-    shift 2
-    local before="${violations}" got
-    scan_rule "${rule}" "$@" > /dev/null
-    got=$((violations - before))
-    violations="${before}"
-    if [[ "${got}" -lt "${expected}" ]]; then
-        note "self-test FAIL: rule ${rule} found ${got} violation(s) in $*, expected >= ${expected}"
-        return 1
-    fi
-    if [[ "${expected}" -eq 0 && "${got}" -ne 0 ]]; then
-        note "self-test FAIL: rule ${rule} flagged clean fixture $* (${got} hits)"
-        return 1
-    fi
-}
-
 self_test() {
     note "== lint self-test over tests/lint fixtures =="
-    local fx="tests/lint" failures=0
+    local failures=0 bin
+    bin="$(analyzer_bin)"
 
-    expect_hits 1 raw-rng "${ere_raw_rng}" "${fx}/bad/raw_rng.cpp" || failures=$((failures + 1))
-    expect_hits 2 naked-new "${ere_naked_new}" "${fx}/bad/naked_new.cpp" || failures=$((failures + 1))
-    expect_hits 1 mutex-in-lockfree "${ere_mutex}" \
-        $(claims_lockfree "${fx}/bad/mutex_lockfree.cpp") || failures=$((failures + 1))
-    expect_hits 1 double-seconds "${ere_double_seconds}" "${fx}/bad/double_seconds.cpp" \
-        || failures=$((failures + 1))
-    expect_hits 1 wallclock-in-replay "${ere_wallclock}" "${fx}/bad/replay/wallclock.cpp" \
-        || failures=$((failures + 1))
-    expect_hits 2 sleep-in-fleet "${ere_sleep}" "${fx}/bad/fleet/blocking_sleep.cpp" \
-        || failures=$((failures + 1))
-    expect_hits 5 simd-outside-kernels "${ere_simd}" "${fx}/bad/simd_intrinsics.cpp" \
-        || failures=$((failures + 1))
-    expect_hits 7 raw-logging "${ere_raw_logging}" "${fx}/bad/raw_logging.cpp" \
-        || failures=$((failures + 1))
-
-    # The lock-free claim detector itself.
-    if [[ -z "$(claims_lockfree "${fx}/bad/mutex_lockfree.cpp")" ]]; then
-        note "self-test FAIL: claims_lockfree missed the fixture banner"
+    # The analyzer's own self-test: exact expect<->finding match over
+    # tree_bad/, zero active findings over tree_clean/, every rule in the
+    # catalogue exercised, baseline round-trip.
+    if ! "${bin}" --self-test "${repo_root}/tests/lint"; then
         failures=$((failures + 1))
     fi
 
-    # Clean fixtures: near-miss spellings and a waived hit must pass every rule.
-    local clean_files=("${fx}/clean/clean_snippets.cpp" "${fx}/clean/waived_mutex.cpp"
-                       "${fx}/clean/waived_sleep.cpp")
-    expect_hits 0 raw-rng "${ere_raw_rng}" "${clean_files[@]}" || failures=$((failures + 1))
-    expect_hits 0 naked-new "${ere_naked_new}" "${clean_files[@]}" || failures=$((failures + 1))
-    expect_hits 0 double-seconds "${ere_double_seconds}" "${clean_files[@]}" \
-        || failures=$((failures + 1))
-    expect_hits 0 sleep-in-fleet "${ere_sleep}" "${clean_files[@]}" || failures=$((failures + 1))
-    expect_hits 0 simd-outside-kernels "${ere_simd}" "${clean_files[@]}" \
-        || failures=$((failures + 1))
-    expect_hits 0 raw-logging "${ere_raw_logging}" "${clean_files[@]}" \
-        || failures=$((failures + 1))
-    local claiming
-    claiming="$(claims_lockfree "${clean_files[@]}")"
-    if [[ -n "${claiming}" ]]; then
-        expect_hits 0 mutex-in-lockfree "${ere_mutex}" ${claiming} || failures=$((failures + 1))
-    fi
-
     # Header self-sufficiency: the broken fixture must fail, the clean pass.
+    local fx="tests/lint"
     if check_header "bad/header_missing_include.hpp" "${fx}" > /dev/null 2>&1; then
         note "self-test FAIL: header check passed a non-self-sufficient header"
         failures=$((failures + 1))
@@ -292,7 +230,7 @@ if [[ "${mode}" == "self-test" ]]; then
     exit 0
 fi
 
-phase_banned_patterns
+phase_analyze
 phase_headers
 if [[ "${mode}" == "full" ]]; then
     phase_werror

@@ -1,7 +1,7 @@
 // Deliberately violates naked-new: ownership must be RAII-managed
 // (std::unique_ptr / std::vector). Never compiled.
 int leak_prone() {
-    int* block = new int[16];
-    delete[] block;
+    int* block = new int[16];  // lint:expect(naked-new)
+    delete[] block;  // lint:expect(naked-new)
     return 0;
 }

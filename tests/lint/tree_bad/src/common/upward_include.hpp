@@ -1,0 +1,9 @@
+#pragma once
+
+// Deliberately violates the module-layer DAG: common is the bottom
+// layer, fleet the top, so this include points straight up the stack —
+// the exact edge the layer-dag rule must reject (acceptance criterion
+// for DESIGN.md §16). Never compiled.
+#include "fleet/pole.hpp"  // lint:expect(layer-dag)
+
+inline int bottom_layer_peeking_up() { return fixture_pole_id(); }

@@ -1,0 +1,32 @@
+// Deliberate three-mutex lock-order cycle: take_ab orders a before b,
+// take_bc orders b before c, take_ca orders c before a — together an
+// ABBA-style deadlock shape the lock-order rule must report on every
+// edge of the cycle. Never compiled.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex mu_a;
+std::mutex mu_b;
+std::mutex mu_c;
+int shared_count = 0;
+
+void take_ab() {
+    std::lock_guard ga{mu_a};
+    std::lock_guard gb{mu_b};  // lint:expect(lock-order)
+    ++shared_count;
+}
+
+void take_bc() {
+    std::lock_guard gb{mu_b};
+    std::lock_guard gc{mu_c};  // lint:expect(lock-order)
+    ++shared_count;
+}
+
+void take_ca() {
+    std::lock_guard gc{mu_c};
+    std::lock_guard ga{mu_a};  // lint:expect(lock-order)
+    ++shared_count;
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Deliberately holds a mutex across a thread-pool fan-out: every lane
+// the parallel_for blocks on shares the pool with other poles, so a
+// lock held here can stall or deadlock all of them. Never compiled.
+#include <cstddef>
+#include <mutex>
+
+struct fixture_pool {
+    template <typename Fn>
+    void parallel_for(std::size_t, std::size_t, std::size_t, Fn&&) {}
+    template <typename Fn>
+    void submit(Fn&&) {}
+};
+
+std::mutex board_mutex;
+
+void flush_all(fixture_pool& pool) {
+    std::lock_guard hold{board_mutex};
+    pool.parallel_for(0, 8, 1, [](std::size_t, std::size_t, std::size_t) {});  // lint:expect(lock-across-parallel)
+}
+
+void enqueue_flush(fixture_pool& pool) {
+    std::unique_lock hold{board_mutex};
+    pool.submit([] {});  // lint:expect(lock-across-parallel)
+}

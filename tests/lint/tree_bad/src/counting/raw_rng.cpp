@@ -4,6 +4,6 @@
 #include <random>
 
 int bad_entropy() {
-    std::random_device rd;
+    std::random_device rd;  // lint:expect(raw-rng)
     return static_cast<int>(rd());
 }

@@ -7,11 +7,11 @@
 #include <thread>
 
 void wait_for_backoff() {
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // lint:expect(sleep-in-fleet)
 }
 
 void wait_until_resume() {
     const auto deadline =
         std::chrono::steady_clock::now() + std::chrono::seconds(1);
-    std::this_thread::sleep_until(deadline);
+    std::this_thread::sleep_until(deadline);  // lint:expect(sleep-in-fleet)
 }

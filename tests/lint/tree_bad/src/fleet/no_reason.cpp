@@ -1,0 +1,10 @@
+// A waiver with no reason: the lint:allow below does suppress its
+// sleep-in-fleet hit (waivers always work), but the waiver-without-reason
+// rule flags the missing justification — every waiver documents why
+// (DESIGN.md §11). Never compiled.
+#include <chrono>
+#include <thread>
+
+void fixture_undocumented_pause() {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));  // lint:allow(sleep-in-fleet) lint:expect(waiver-without-reason)
+}

@@ -1,0 +1,5 @@
+#pragma once
+
+// Top-of-stack header the upward-include fixture points at. Clean by
+// itself. Never compiled.
+inline int fixture_pole_id() { return 7; }

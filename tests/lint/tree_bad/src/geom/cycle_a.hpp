@@ -1,0 +1,8 @@
+#pragma once
+
+// Half of a deliberate include cycle (cycle_a -> cycle_b -> cycle_a);
+// the include-cycle rule reports the cycle once, at the
+// lexicographically-first file's edge. Never compiled.
+#include "geom/cycle_b.hpp"  // lint:expect(include-cycle)
+
+inline int fixture_cycle_a() { return 1; }

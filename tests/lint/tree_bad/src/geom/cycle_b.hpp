@@ -1,0 +1,8 @@
+#pragma once
+
+// The return edge of the include cycle. The cycle is reported at
+// cycle_a.hpp (the lexicographically-first member), so no marker here.
+// Never compiled.
+#include "geom/cycle_a.hpp"
+
+inline int fixture_cycle_b() { return 2; }

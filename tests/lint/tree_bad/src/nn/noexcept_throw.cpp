@@ -1,0 +1,29 @@
+// Throw paths where no exception may leave: a throw-expression inside a
+// noexcept function, a throw inside a destructor (noexcept by default),
+// and a call into the annotated throwing-helper allowlist (HAWC_REQUIRE
+// / throw_*) from a destructor. Any of these escaping calls
+// std::terminate. Never compiled.
+#include <stdexcept>
+
+int parse_fixture(int v) noexcept {
+    if (v < 0) {
+        throw std::runtime_error{"negative"};  // lint:expect(throw-in-noexcept)
+    }
+    return v;
+}
+
+struct closer {
+    bool fail = false;
+    ~closer() {
+        if (fail) {
+            throw std::runtime_error{"close failed"};  // lint:expect(throw-in-destructor)
+        }
+    }
+};
+
+struct flusher {
+    bool ok = false;
+    ~flusher() {
+        HAWC_REQUIRE(ok, "flush failed");  // lint:expect(throw-in-destructor)
+    }
+};

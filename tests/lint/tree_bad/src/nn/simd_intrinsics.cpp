@@ -1,0 +1,16 @@
+// Raw SIMD in application code: the simd-outside-kernels rule must flag
+// the intrinsics header include, the x86 vector type and _mm256 calls,
+// and the NEON type/intrinsic line. Vector code belongs behind the
+// dispatch table in src/nn/kernels/ so every routine keeps a scalar
+// fallback and new ISAs land in one place. Never compiled.
+#include <immintrin.h>  // lint:expect(simd-outside-kernels)
+
+inline void sum8(const float* a, const float* b, float* out) {
+    __m256 va = _mm256_loadu_ps(a);  // lint:expect(simd-outside-kernels)
+    __m256 vb = _mm256_loadu_ps(b);  // lint:expect(simd-outside-kernels)
+    _mm256_storeu_ps(out, _mm256_add_ps(va, vb));  // lint:expect(simd-outside-kernels)
+}
+
+inline unsigned first_lane_nonneg(int16x8_t v) {  // lint:expect(simd-outside-kernels)
+    return vgetq_lane_s16(v, 0) >= 0 ? 1u : 0u;  // lint:expect(simd-outside-kernels)
+}

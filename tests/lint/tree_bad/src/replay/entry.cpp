@@ -1,0 +1,7 @@
+// Replay entry point for the determinism-closure fixture: this file is
+// itself clean, but it pulls telemetry/clock_source.hpp into the
+// replay include closure, which puts that header in scope for the
+// replay-determinism rule. Never compiled.
+#include "telemetry/clock_source.hpp"
+
+int fixture_replay_entry() { return fixture_stamp(); }

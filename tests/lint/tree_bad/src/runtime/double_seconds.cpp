@@ -3,5 +3,5 @@
 #include <chrono>
 
 double seconds_since(std::chrono::steady_clock::time_point t0) {
-    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0).count();  // lint:expect(double-seconds)
 }

@@ -1,0 +1,17 @@
+// Lint fixture: raw logging in library code. Inside src/ (outside
+// src/obs/) every one of these lines must trip the raw-logging rule —
+// diagnostics belong in the structured event log, metrics, or spans,
+// not on stdout where nothing collects, rate-limits, or timestamps
+// them. Never compiled.
+#include <cstdio>
+#include <iostream>
+
+inline void bad_logging(int frames) {
+    std::cout << "frames: " << frames << "\n";  // lint:expect(raw-logging)
+    std::cerr << "something went wrong\n";  // lint:expect(raw-logging)
+    std::clog << "debugging note\n";  // lint:expect(raw-logging)
+    printf("frames=%d\n", frames);  // lint:expect(raw-logging)
+    std::fprintf(stderr, "dropped frame %d\n", frames);  // lint:expect(raw-logging)
+    fputs("done\n", stdout);  // lint:expect(raw-logging)
+    puts("really done");  // lint:expect(raw-logging)
+}

@@ -1,0 +1,22 @@
+// Determinism violations inside src/sim (scene generation feeds
+// recorded corpora, so all of sim is in the replay-determinism scope):
+// a range-for over an unordered container leaks hash order into
+// whatever consumes it, and time() reads host state. Never compiled.
+#include <ctime>
+#include <unordered_map>
+
+struct fixture_scene {
+    std::unordered_map<int, int> actor_heights;
+
+    int sum_heights() const {
+        int total = 0;
+        for (const auto& kv : actor_heights) {  // lint:expect(replay-determinism)
+            total += kv.second;
+        }
+        return total;
+    }
+
+    long seed_from_host() const {
+        return static_cast<long>(std::time(nullptr));  // lint:expect(replay-determinism)
+    }
+};

@@ -1,0 +1,12 @@
+#pragma once
+
+// A wall-clock read that is fine for live telemetry but poisonous once
+// the header is include-reachable from src/replay: the
+// replay-determinism rule must flag it because entry.cpp pulls this
+// file into the replay closure. Never compiled.
+#include <chrono>
+
+inline int fixture_stamp() {
+    return static_cast<int>(
+        std::chrono::system_clock::now().time_since_epoch().count());  // lint:expect(replay-determinism)
+}

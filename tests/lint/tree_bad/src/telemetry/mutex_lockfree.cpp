@@ -7,6 +7,6 @@ struct fake_lockfree_counter {
         std::lock_guard lock{m_};
         ++n_;
     }
-    std::mutex m_;
+    std::mutex m_;  // lint:expect(mutex-in-lockfree)
     long n_ = 0;
 };

@@ -1,0 +1,6 @@
+#pragma once
+
+// Shared bottom of the diamond include fixture: reached twice via
+// geom/left.hpp and geom/right.hpp, which is fine — a diamond is not a
+// cycle and include-cycle must stay quiet. Never compiled.
+inline int fixture_base_value() { return 3; }

@@ -1,0 +1,48 @@
+// Lexer traps: every banned spelling below sits inside a string
+// literal, a comment, or an #if 0 region — contexts a token-aware
+// analyzer must skip and a line-regex would flag. Zero findings
+// expected from this file. Never compiled.
+#include <string>
+
+// Prose traps: rand() and std::system_clock::now() and naked new int[4]
+// in a comment must not trip anything.
+
+/* Block-comment trap spanning lines:
+   std::cout << "hello";
+   std::this_thread::sleep_for(1s);
+*/
+
+inline std::string doc_snippet() {
+    // Raw string holding exactly the code the rules ban.
+    return R"doc(
+        std::cout << "count=" << n << std::endl;
+        auto* p = new PoleBoard();
+        srand(42);
+        __m256 v = _mm256_setzero_ps();
+    )doc";
+}
+
+inline std::string escaped_snippet() {
+    // Ordinary literal with escapes; contains rand( and printf( text.
+    return "call rand() then printf(\"%d\", x) \\ done";
+}
+
+#if 0
+// Dead region: nothing here may be tokenised.
+#include <arm_neon.h>
+void dead() noexcept {
+    auto now = std::chrono::system_clock::now();
+    int8x16_t lanes = vdupq_n_s8(0);
+    throw now;
+}
+#if 1
+std::mutex nested_dead_mutex;  // nested conditional inside the dead region
+#endif
+#endif
+
+// Line-splice trap: the identifier below is "splice_victim" after
+// splicing; the lexer must join it and must not misattribute lines.
+inline int spli\
+ce_victim() {
+    return 1;
+}

@@ -1,0 +1,41 @@
+// Legal locking shapes the lock-order rule must accept: the same
+// a-before-b order in two functions (consistent order, no cycle), a
+// scoped_lock taking both atomically (deadlock-free by construction,
+// so no intra-group edge), and guards that release at scope exit
+// before the next acquisition. This code locks freely but never in a
+// cyclic order. Never compiled.
+#include <mutex>
+
+namespace fixture {
+
+std::mutex order_a;
+std::mutex order_b;
+int guarded = 0;
+
+void first_path() {
+    std::lock_guard ga{order_a};
+    std::lock_guard gb{order_b};  // same a -> b order as second_path
+    ++guarded;
+}
+
+void second_path() {
+    std::lock_guard ga{order_a};
+    std::lock_guard gb{order_b};
+    --guarded;
+}
+
+void both_at_once() {
+    std::scoped_lock both{order_b, order_a};  // group-atomic: no b -> a edge
+    ++guarded;
+}
+
+void sequential_scopes() {
+    {
+        std::lock_guard gb{order_b};
+        ++guarded;
+    }  // order_b released here...
+    std::lock_guard ga{order_a};  // ...so this is not a b -> a edge
+    ++guarded;
+}
+
+}  // namespace fixture

@@ -1,0 +1,9 @@
+#pragma once
+
+// Top of the diamond: common/base.hpp is reachable along two paths but
+// there is no back-edge, so the include graph is acyclic and the
+// include-cycle rule must report nothing. Never compiled.
+#include "geom/left.hpp"
+#include "geom/right.hpp"
+
+inline int fixture_diamond() { return fixture_left() + fixture_right(); }

@@ -1,0 +1,6 @@
+#pragma once
+
+// Left edge of the diamond include fixture.
+#include "common/base.hpp"
+
+inline int fixture_left() { return fixture_base_value() + 1; }

@@ -1,0 +1,6 @@
+#pragma once
+
+// Right edge of the diamond include fixture.
+#include "common/base.hpp"
+
+inline int fixture_right() { return fixture_base_value() + 2; }

@@ -1,0 +1,31 @@
+// Legal throw shapes the throw audit must accept: a destructor
+// explicitly marked noexcept(false) may throw; a noexcept function may
+// throw inside a try block that catches everything locally; and the
+// noexcept *operator* in an expression is not a specifier. Never
+// compiled.
+#include <stdexcept>
+
+struct loud_closer {
+    bool fail = false;
+    ~loud_closer() noexcept(false) {
+        if (fail) {
+            throw std::runtime_error{"close failed"};  // noexcept(false): allowed
+        }
+    }
+};
+
+inline int guarded_parse(int v) noexcept {
+    try {
+        if (v < 0) {
+            throw std::runtime_error{"negative"};  // caught below, never escapes
+        }
+        return v;
+    } catch (const std::exception&) {
+        return 0;
+    }
+}
+
+inline bool probe() {
+    // noexcept operator in an expression context, not a function specifier.
+    return noexcept(guarded_parse(1));
+}

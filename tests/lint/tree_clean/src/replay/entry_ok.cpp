@@ -1,0 +1,7 @@
+// Replay entry that pulls only the monotonic clock header into its
+// closure: steady_clock outside src/replay is legal, so the
+// replay-determinism rule must stay quiet for the whole closure. Never
+// compiled.
+#include "telemetry/steady_ok.hpp"
+
+long fixture_replay_ok() { return fixture_elapsed_ticks(); }

@@ -1,0 +1,12 @@
+#pragma once
+
+// steady_clock is the sanctioned time source outside src/replay: it is
+// monotonic and feeds deadlines, not recorded outputs, so the
+// replay-determinism rule must leave it alone even though this header
+// is include-reachable from src/replay. Never compiled.
+#include <chrono>
+
+inline long fixture_elapsed_ticks() {
+    return static_cast<long>(
+        std::chrono::steady_clock::now().time_since_epoch().count());
+}

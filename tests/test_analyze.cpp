@@ -1,0 +1,388 @@
+// Unit tests for the hawc_analyze core: the C++-aware lexer's hard cases
+// (raw strings, line splices, non-nesting block comments, #if 0 regions),
+// the module-layer table, and the graph/lock rule families over synthetic
+// in-memory trees. The fixture trees under tests/lint/ are pinned
+// end-to-end by the analyze.self_test ctest; these tests isolate the
+// pieces so a regression points at the exact layer that broke.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyzer.hpp"
+#include "lexer.hpp"
+
+namespace ha = hawc::analyze;
+
+namespace {
+
+ha::lexed_file lexed(const char* path, std::string_view src) {
+    return ha::lex(src, path);
+}
+
+bool has_ident(const ha::lexed_file& f, std::string_view name) {
+    return std::any_of(f.tokens.begin(), f.tokens.end(),
+                       [&](const ha::token& t) { return ha::is_ident(t, name); });
+}
+
+std::vector<ha::finding> findings_for_rule(const std::vector<ha::finding>& all,
+                                           std::string_view rule) {
+    std::vector<ha::finding> out;
+    for (const auto& f : all) {
+        if (f.rule == rule) out.push_back(f);
+    }
+    return out;
+}
+
+// Build a ready-to-run analysis_input over in-memory files, with the
+// miniature module table the fixture trees also use.
+ha::analysis_input make_input(std::vector<ha::lexed_file> files) {
+    ha::analysis_input in;
+    in.root = ".";
+    in.files = std::move(files);
+    in.module_deps = ha::parse_module_table(
+        "hawc_module(common)\n"
+        "hawc_module(geom common)\n"
+        "hawc_module(telemetry common)\n"
+        "hawc_module(sim geom)\n"
+        "hawc_module(nn common telemetry)\n"
+        "hawc_module(counting nn telemetry)\n"
+        "hawc_module(runtime counting telemetry)\n"
+        "hawc_module(replay runtime)\n"
+        "hawc_module(obs replay)\n"
+        "hawc_module(fleet obs)\n");
+    in.module_closure = ha::module_transitive_closure(in.module_deps);
+    return in;
+}
+
+// --- lexer ------------------------------------------------------------------
+
+TEST(Lexer, EmitsCodeTokensAndCombinedPuncts) {
+    auto f = lexed("src/common/x.cpp", "int a = b->c + ns::d;\n");
+    ASSERT_FALSE(f.tokens.empty());
+    EXPECT_TRUE(has_ident(f, "int"));
+    EXPECT_TRUE(std::any_of(f.tokens.begin(), f.tokens.end(),
+                            [](const ha::token& t) { return ha::is_punct(t, "->"); }));
+    EXPECT_TRUE(std::any_of(f.tokens.begin(), f.tokens.end(),
+                            [](const ha::token& t) { return ha::is_punct(t, "::"); }));
+    EXPECT_EQ(f.line_count, 2);  // the trailing newline opens (empty) line 2
+}
+
+TEST(Lexer, StringAndCommentContentsNeverBecomeTokens) {
+    auto f = lexed("src/common/x.cpp",
+                   "// prose about rand() and new PoleBoard\n"
+                   "/* std::cout << x; */\n"
+                   "const char* s = \"srand(42) printf(\\\"%d\\\")\";\n");
+    EXPECT_FALSE(has_ident(f, "rand"));
+    EXPECT_FALSE(has_ident(f, "srand"));
+    EXPECT_FALSE(has_ident(f, "printf"));
+    EXPECT_FALSE(has_ident(f, "cout"));
+    // The literal itself is one token whose text excludes the quotes.
+    auto strings = std::count_if(f.tokens.begin(), f.tokens.end(), [](const ha::token& t) {
+        return t.kind == ha::token_kind::string_lit;
+    });
+    EXPECT_EQ(strings, 1);
+}
+
+TEST(Lexer, RawStringSwallowsBannedSpellingsUpToMatchingDelimiter) {
+    auto f = lexed("src/common/x.cpp",
+                   "auto s = R\"doc(\n"
+                   "  auto* p = new PoleBoard(); )\" not the end\n"
+                   "  srand(42);\n"
+                   ")doc\";\n"
+                   "int after = 1;\n");
+    EXPECT_FALSE(has_ident(f, "srand"));
+    EXPECT_FALSE(has_ident(f, "PoleBoard"));
+    EXPECT_TRUE(has_ident(f, "after"));
+    // Line attribution survives the multi-line literal.
+    auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                           [](const ha::token& t) { return ha::is_ident(t, "after"); });
+    ASSERT_NE(it, f.tokens.end());
+    EXPECT_EQ(it->line, 5);
+}
+
+TEST(Lexer, LineSplicesJoinTokensButKeepPhysicalLines) {
+    auto f = lexed("src/common/x.cpp",
+                   "int spli\\\nce_victim = 0;\n"
+                   "int next = 1;\n");
+    EXPECT_TRUE(has_ident(f, "splice_victim"));
+    EXPECT_FALSE(has_ident(f, "ce_victim"));
+    auto it = std::find_if(f.tokens.begin(), f.tokens.end(),
+                           [](const ha::token& t) { return ha::is_ident(t, "next"); });
+    ASSERT_NE(it, f.tokens.end());
+    EXPECT_EQ(it->line, 3);  // the splice consumed line 2's start, not its count
+}
+
+TEST(Lexer, BlockCommentsDoNotNest) {
+    // The first */ ends the comment per the standard; "int live" must appear.
+    auto f = lexed("src/common/x.cpp", "/* outer /* inner */ int live = 1;\n");
+    EXPECT_TRUE(has_ident(f, "live"));
+    EXPECT_FALSE(has_ident(f, "outer"));
+}
+
+TEST(Lexer, If0RegionsAreDeadIncludingNestedConditionals) {
+    auto f = lexed("src/common/x.cpp",
+                   "#if 0\n"
+                   "int dead = rand();\n"
+                   "#if 1\n"
+                   "int nested_dead = 2;\n"
+                   "#endif\n"
+                   "int also_dead = 3;\n"
+                   "#endif\n"
+                   "int live = 4;\n");
+    EXPECT_FALSE(has_ident(f, "dead"));
+    EXPECT_FALSE(has_ident(f, "nested_dead"));
+    EXPECT_FALSE(has_ident(f, "also_dead"));
+    EXPECT_FALSE(has_ident(f, "rand"));
+    EXPECT_TRUE(has_ident(f, "live"));
+}
+
+TEST(Lexer, PreprocessorLinesAreSingleTokens) {
+    auto f = lexed("src/common/x.cpp",
+                   "#include \"geom/left.hpp\"\n"
+                   "#define WIDE 1\n"
+                   "int x = WIDE;\n");
+    auto pps = std::count_if(f.tokens.begin(), f.tokens.end(), [](const ha::token& t) {
+        return t.kind == ha::token_kind::pp_directive;
+    });
+    EXPECT_EQ(pps, 2);
+    EXPECT_TRUE(has_ident(f, "WIDE"));  // the use site, not the definition
+}
+
+TEST(Lexer, WaiversExpectationsAndClaims) {
+    auto f = lexed("src/common/x.cpp",
+                   "int a = 1;  // lint:allow(raw-rng): seeded fixture\n"
+                   "int b = 2;  // lint:allow(naked-new)\n"
+                   "int c = 3;  // lint:expect(raw-logging)\n"
+                   "// this registry is lock-free on the record path\n");
+    ASSERT_EQ(f.waivers.size(), 2u);
+    EXPECT_EQ(f.waivers[0].rule, "raw-rng");
+    EXPECT_TRUE(f.waivers[0].has_reason);
+    EXPECT_EQ(f.waivers[0].line, 1);
+    EXPECT_EQ(f.waivers[1].rule, "naked-new");
+    EXPECT_FALSE(f.waivers[1].has_reason);
+    ASSERT_EQ(f.expects.size(), 1u);
+    EXPECT_EQ(f.expects[0].rule, "raw-logging");
+    EXPECT_EQ(f.expects[0].line, 3);
+    EXPECT_TRUE(f.claims_lockfree);
+}
+
+TEST(Lexer, DeadlockFreeProseIsNotALockFreeClaim) {
+    auto f = lexed("src/common/x.cpp", "// deadlock-free by construction\n");
+    EXPECT_FALSE(f.claims_lockfree);
+    auto g = lexed("src/common/y.cpp", "// a LOCK-FREE ring buffer\n");
+    EXPECT_TRUE(g.claims_lockfree);
+}
+
+// --- module table -----------------------------------------------------------
+
+TEST(ModuleTable, ParsesDeclarationsAndComputesClosure) {
+    auto deps = ha::parse_module_table(
+        "# comment\n"
+        "hawc_module(common)\n"
+        "hawc_module(geom common)\n"
+        "hawc_module(sim geom)\n");
+    ASSERT_EQ(deps.size(), 3u);
+    EXPECT_TRUE(deps.at("common").empty());
+    ASSERT_EQ(deps.at("sim").size(), 1u);
+    EXPECT_EQ(deps.at("sim")[0], "geom");
+
+    auto closure = ha::module_transitive_closure(deps);
+    EXPECT_TRUE(closure.at("sim").count("geom"));
+    EXPECT_TRUE(closure.at("sim").count("common"));  // transitive
+    EXPECT_FALSE(closure.at("geom").count("sim"));   // no upward edge
+}
+
+// --- graph rules ------------------------------------------------------------
+
+TEST(GraphRules, UpwardIncludeViolatesLayerDag) {
+    auto in = make_input({
+        lexed("src/common/bad.hpp", "#include \"fleet/pole.hpp\"\n"),
+        lexed("src/fleet/pole.hpp", "int pole();\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    auto hits = findings_for_rule(out, "layer-dag");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/common/bad.hpp");
+}
+
+TEST(GraphRules, DeclaredDependencyIncludeIsAllowed) {
+    auto in = make_input({
+        lexed("src/sim/scene.cpp", "#include \"geom/shape.hpp\"\n"),
+        lexed("src/geom/shape.hpp", "int shape();\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    EXPECT_TRUE(findings_for_rule(out, "layer-dag").empty());
+}
+
+TEST(GraphRules, ThreeFileIncludeCycleIsReportedOnce) {
+    auto in = make_input({
+        lexed("src/geom/a.hpp", "#include \"geom/b.hpp\"\n"),
+        lexed("src/geom/b.hpp", "#include \"geom/c.hpp\"\n"),
+        lexed("src/geom/c.hpp", "#include \"geom/a.hpp\"\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    auto hits = findings_for_rule(out, "include-cycle");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].file, "src/geom/a.hpp");  // lexicographically-first member
+    EXPECT_NE(hits[0].message.find("b.hpp"), std::string::npos);
+}
+
+TEST(GraphRules, DiamondIncludesAreNotACycle) {
+    auto in = make_input({
+        lexed("src/geom/top.hpp", "#include \"geom/l.hpp\"\n#include \"geom/r.hpp\"\n"),
+        lexed("src/geom/l.hpp", "#include \"common/base.hpp\"\n"),
+        lexed("src/geom/r.hpp", "#include \"common/base.hpp\"\n"),
+        lexed("src/common/base.hpp", "int base();\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    EXPECT_TRUE(findings_for_rule(out, "include-cycle").empty());
+}
+
+TEST(GraphRules, ReplayClosurePullsWallClockFindingIntoScope) {
+    const char* clock_hpp =
+        "#include <chrono>\n"
+        "inline auto stamp() { return std::chrono::system_clock::now(); }\n";
+    {
+        // Reachable from src/replay: the header's wall clock is a finding.
+        auto in = make_input({
+            lexed("src/replay/entry.cpp", "#include \"telemetry/clock.hpp\"\n"),
+            lexed("src/telemetry/clock.hpp", clock_hpp),
+        });
+        std::vector<ha::finding> out;
+        ha::run_graph_rules(in, out);
+        auto hits = findings_for_rule(out, "replay-determinism");
+        ASSERT_EQ(hits.size(), 1u);
+        EXPECT_EQ(hits[0].file, "src/telemetry/clock.hpp");
+    }
+    {
+        // The same header outside the closure is nobody's business.
+        auto in = make_input({
+            lexed("src/telemetry/clock.hpp", clock_hpp),
+        });
+        std::vector<ha::finding> out;
+        ha::run_graph_rules(in, out);
+        EXPECT_TRUE(findings_for_rule(out, "replay-determinism").empty());
+    }
+}
+
+TEST(GraphRules, UnorderedIterationInSimIsNondeterministic) {
+    auto in = make_input({
+        lexed("src/sim/scene.cpp",
+              "#include <unordered_map>\n"
+              "std::unordered_map<int, int> heights;\n"
+              "int sum() {\n"
+              "  int t = 0;\n"
+              "  for (const auto& kv : heights) t += kv.second;\n"
+              "  return t;\n"
+              "}\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    auto hits = findings_for_rule(out, "replay-determinism");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 5);
+}
+
+TEST(GraphRules, SteadyClockInSimIsAllowed) {
+    auto in = make_input({
+        lexed("src/sim/tick.cpp",
+              "#include <chrono>\n"
+              "auto t() { return std::chrono::steady_clock::now(); }\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_graph_rules(in, out);
+    EXPECT_TRUE(findings_for_rule(out, "replay-determinism").empty());
+}
+
+// --- lock rules -------------------------------------------------------------
+
+TEST(LockRules, ThreeMutexCycleReportsEveryEdge) {
+    auto in = make_input({
+        lexed("src/counting/locks.cpp",
+              "#include <mutex>\n"
+              "std::mutex a; std::mutex b; std::mutex c;\n"
+              "void ab() { std::lock_guard ga{a}; std::lock_guard gb{b}; }\n"
+              "void bc() { std::lock_guard gb{b}; std::lock_guard gc{c}; }\n"
+              "void ca() { std::lock_guard gc{c}; std::lock_guard ga{a}; }\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_lock_rules(in, out);
+    auto hits = findings_for_rule(out, "lock-order");
+    EXPECT_EQ(hits.size(), 3u);  // a->b, b->c, c->a all sit on the cycle
+}
+
+TEST(LockRules, ConsistentOrderAndScopedLockGroupsAreClean) {
+    auto in = make_input({
+        lexed("src/counting/locks.cpp",
+              "#include <mutex>\n"
+              "std::mutex a; std::mutex b;\n"
+              "void one() { std::lock_guard ga{a}; std::lock_guard gb{b}; }\n"
+              "void two() { std::lock_guard ga{a}; std::lock_guard gb{b}; }\n"
+              "void both() { std::scoped_lock g{b, a}; }\n"
+              "void seq() { { std::lock_guard gb{b}; } std::lock_guard ga{a}; }\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_lock_rules(in, out);
+    EXPECT_TRUE(findings_for_rule(out, "lock-order").empty());
+}
+
+TEST(LockRules, HoldingAcrossParallelForIsFlagged) {
+    auto in = make_input({
+        lexed("src/runtime/flush.cpp",
+              "#include <mutex>\n"
+              "std::mutex m;\n"
+              "void f(pool& p) {\n"
+              "  std::lock_guard g{m};\n"
+              "  p.parallel_for(0, 8, 1, [](int) {});\n"
+              "}\n"
+              "void ok(pool& p) {\n"
+              "  { std::lock_guard g{m}; }\n"
+              "  p.parallel_for(0, 8, 1, [](int) {});\n"
+              "}\n"),
+    });
+    std::vector<ha::finding> out;
+    ha::run_lock_rules(in, out);
+    auto hits = findings_for_rule(out, "lock-across-parallel");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0].line, 5);
+}
+
+// --- end-to-end over the on-disk fixture trees ------------------------------
+
+TEST(AnalyzeDriver, CleanFixtureTreeHasNoActiveFindingsButConsumesWaivers) {
+    ha::analysis_options opts;
+    opts.root = std::string(HAWC_LINT_FIXTURES) + "/tree_clean";
+    auto r = ha::analyze(opts);
+    EXPECT_TRUE(r.errors.empty());
+    EXPECT_EQ(r.active, 0u);
+    EXPECT_GT(r.waived, 0u);
+    EXPECT_GT(r.files_analyzed, 0u);
+}
+
+TEST(AnalyzeDriver, BadFixtureTreeMatchesItsExpectMarkersExactly) {
+    ha::analysis_options opts;
+    opts.root = std::string(HAWC_LINT_FIXTURES) + "/tree_bad";
+    auto r = ha::analyze(opts);
+    EXPECT_TRUE(r.errors.empty());
+    std::set<std::string> expected, actual;
+    for (const auto& e : r.expects) {
+        expected.insert(e.file + ":" + std::to_string(e.line) + ":" + e.rule);
+    }
+    for (const auto& f : r.findings) {
+        if (!f.waived && !f.baselined) {
+            actual.insert(f.file + ":" + std::to_string(f.line) + ":" + f.rule);
+        }
+    }
+    EXPECT_EQ(expected, actual);
+    EXPECT_EQ(r.active, expected.size());
+}
+
+}  // namespace

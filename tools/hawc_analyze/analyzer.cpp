@@ -1,0 +1,228 @@
+// Driver: collect the tree, lex every file once, run the three rule
+// families, then apply waivers and the baseline.
+
+#include "analyzer.hpp"
+
+#include <algorithm>
+#include <fstream>
+#include <sstream>
+
+namespace hawc::analyze {
+namespace fs = std::filesystem;
+
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+std::optional<std::string> read_file(const fs::path& p) {
+    std::ifstream in{p, std::ios::binary};
+    if (!in) return std::nullopt;
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    return std::move(ss).str();
+}
+
+std::string generic_rel(const fs::path& p, const fs::path& root) {
+    std::error_code ec;
+    fs::path rel = fs::relative(p, root, ec);
+    if (ec || rel.empty()) return p.generic_string();
+    return rel.generic_string();
+}
+
+bool analyzable_extension(const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".cpp" || ext == ".hpp";
+}
+
+/// Analyzed directories under the root. tests/lint holds deliberately
+/// broken fixtures and is always excluded from the real walk.
+bool excluded(std::string_view rel) {
+    return starts_with(rel, "tests/lint/") || starts_with(rel, "build") ||
+           starts_with(rel, ".git/") || starts_with(rel, "data/");
+}
+
+}  // namespace
+
+std::string finding_key(const finding& f) {
+    return f.rule + "|" + f.file + "|" + f.message;
+}
+
+const std::map<std::string, std::string>& rule_catalogue() {
+    static const std::map<std::string, std::string> catalogue{
+        {"raw-rng", "rand()/srand()/std::random_device outside common/rng"},
+        {"naked-new", "naked new/delete expressions (RAII only)"},
+        {"mutex-in-lockfree", "std::mutex in a file whose banner claims lock-freedom"},
+        {"double-seconds", "duration<double|float> timing outside common/timer.hpp"},
+        {"wallclock-in-replay", "any clock read inside src/replay"},
+        {"sleep-in-fleet", "blocking sleeps inside src/fleet (tick virtual time)"},
+        {"simd-outside-kernels", "raw SIMD intrinsics outside src/nn/kernels"},
+        {"raw-logging", "stdio logging in src/ outside src/obs"},
+        {"layer-dag", "module include violating the declared layer order"},
+        {"include-cycle", "cyclic quoted-include chain in src/"},
+        {"replay-determinism",
+         "wall-clock/host-state/hash-order nondeterminism reachable from replay"},
+        {"lock-order", "inter-mutex acquisition-order cycle (ABBA deadlock shape)"},
+        {"lock-across-parallel", "lock held across thread-pool fan-out"},
+        {"throw-in-noexcept", "throw path inside a noexcept function"},
+        {"throw-in-destructor", "throw path inside a (default-noexcept) destructor"},
+        {"waiver-without-reason", "lint:allow() without the mandatory reason"},
+    };
+    return catalogue;
+}
+
+std::set<std::string> load_baseline(const fs::path& path, std::vector<std::string>& errors) {
+    std::set<std::string> keys;
+    std::ifstream in{path};
+    if (!in) {
+        errors.push_back("cannot read baseline file: " + path.string());
+        return keys;
+    }
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.empty() || line[0] == '#') continue;
+        keys.insert(line);
+    }
+    return keys;
+}
+
+void write_baseline_file(const fs::path& path, const std::vector<finding>& findings) {
+    std::ofstream out{path, std::ios::trunc};
+    out << "# hawc_analyze baseline: grandfathered findings, one `rule|file|message`\n"
+           "# per line. Regenerate with `hawc_analyze --write-baseline`; shrink it\n"
+           "# whenever a finding is fixed. New findings never belong here without a\n"
+           "# review (DESIGN.md §16).\n";
+    std::set<std::string> keys;
+    for (const finding& f : findings) {
+        if (!f.waived) keys.insert(finding_key(f));
+    }
+    for (const std::string& k : keys) out << k << '\n';
+}
+
+analysis_result analyze(const analysis_options& opts) {
+    analysis_result result;
+    analysis_input input;
+    input.root = opts.root;
+
+    // --- collect files -----------------------------------------------------
+    std::set<std::string> rel_paths;
+    for (const char* top : {"src", "tools", "bench", "examples", "tests"}) {
+        fs::path dir = opts.root / top;
+        if (!fs::is_directory(dir)) continue;
+        for (const auto& entry : fs::recursive_directory_iterator{dir}) {
+            if (!entry.is_regular_file() || !analyzable_extension(entry.path())) continue;
+            std::string rel = generic_rel(entry.path(), opts.root);
+            if (!excluded(rel)) rel_paths.insert(std::move(rel));
+        }
+    }
+    if (opts.compile_db) {
+        for (const fs::path& p : compile_db_files(*opts.compile_db, result.errors)) {
+            if (!analyzable_extension(p) || !fs::exists(p)) continue;
+            std::string rel = generic_rel(fs::weakly_canonical(p), fs::weakly_canonical(opts.root));
+            if (starts_with(rel, "..") || excluded(rel)) continue;
+            rel_paths.insert(std::move(rel));
+        }
+    }
+    if (!opts.only_paths.empty()) {
+        std::set<std::string> filtered;
+        for (const std::string& rel : rel_paths) {
+            for (const std::string& prefix : opts.only_paths) {
+                if (starts_with(rel, prefix)) {
+                    filtered.insert(rel);
+                    break;
+                }
+            }
+        }
+        rel_paths = std::move(filtered);
+    }
+
+    for (const std::string& rel : rel_paths) {
+        std::optional<std::string> text = read_file(opts.root / rel);
+        if (!text) {
+            result.errors.push_back("cannot read " + rel);
+            continue;
+        }
+        input.files.push_back(lex(*text, rel));
+    }
+    result.files_analyzed = input.files.size();
+    for (const lexed_file& f : input.files) {
+        for (const expectation& e : f.expects) result.expects.push_back({f.path, e.line, e.rule});
+    }
+
+    // --- module layer table ------------------------------------------------
+    const fs::path cmake = opts.root / "src" / "CMakeLists.txt";
+    if (std::optional<std::string> text = read_file(cmake)) {
+        input.module_deps = parse_module_table(*text);
+        input.module_closure = module_transitive_closure(input.module_deps);
+    } else if (std::any_of(input.files.begin(), input.files.end(), [](const lexed_file& f) {
+                   return starts_with(f.path, "src/");
+               })) {
+        result.errors.push_back("cannot read " + cmake.string() +
+                                " (required for the layer-dag rule)");
+    }
+
+    // --- rules -------------------------------------------------------------
+    std::vector<finding> findings;
+    run_pattern_rules(input, findings);
+    run_graph_rules(input, findings);
+    run_lock_rules(input, findings);
+
+    // --- dedupe per (rule, file, line), keep the first message --------------
+    std::set<std::string> seen;
+    std::vector<finding> deduped;
+    for (finding& f : findings) {
+        std::string id = f.rule + "|" + f.file + "|" + std::to_string(f.line);
+        if (seen.insert(std::move(id)).second) deduped.push_back(std::move(f));
+    }
+
+    // --- waivers -----------------------------------------------------------
+    std::map<std::string, const lexed_file*> by_path;
+    for (const lexed_file& f : input.files) by_path[f.path] = &f;
+    for (finding& f : deduped) {
+        if (f.rule == "waiver-without-reason") continue;  // hygiene is not waivable
+        const lexed_file* lf = by_path[f.file];
+        if (lf == nullptr) continue;
+        for (const waiver& w : lf->waivers) {
+            if (w.rule == f.rule && w.line == f.line) {
+                f.waived = true;
+                break;
+            }
+        }
+    }
+
+    // --- baseline ----------------------------------------------------------
+    std::optional<fs::path> baseline = opts.baseline;
+    if (!baseline) {
+        fs::path def = opts.root / "tools" / "hawc_analyze" / "baseline.txt";
+        if (fs::exists(def)) baseline = def;
+    }
+    if (opts.write_baseline && baseline) {
+        write_baseline_file(*baseline, deduped);
+    }
+    if (baseline && fs::exists(*baseline)) {
+        std::set<std::string> keys = load_baseline(*baseline, result.errors);
+        for (finding& f : deduped) {
+            if (!f.waived && keys.count(finding_key(f)) != 0) f.baselined = true;
+        }
+    }
+
+    std::sort(deduped.begin(), deduped.end(), [](const finding& a, const finding& b) {
+        if (a.file != b.file) return a.file < b.file;
+        if (a.line != b.line) return a.line < b.line;
+        return a.rule < b.rule;
+    });
+    for (const finding& f : deduped) {
+        if (f.waived) {
+            ++result.waived;
+        } else if (f.baselined) {
+            ++result.baselined;
+        } else {
+            ++result.active;
+        }
+    }
+    result.findings = std::move(deduped);
+    return result;
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,135 @@
+#pragma once
+
+// hawc_analyze — in-repo semantic static analyzer (DESIGN.md §16).
+//
+// Orchestration model: every analyzed file is lexed once (lexer.hpp),
+// then three rule families walk the shared token streams:
+//
+//   pattern rules   token-sequence checks per file (the eight rules
+//                   ported from the grep linter, the noexcept/destructor
+//                   throw audit, and waiver hygiene)
+//   graph rules     the module-layer DAG over the src/ include graph
+//                   (layer order parsed from src/CMakeLists.txt
+//                   hawc_module declarations), include-cycle detection,
+//                   and the replay determinism audit over the
+//                   reachable-from-replay closure
+//   lock rules      lock-acquisition scopes per function, the
+//                   inter-mutex order graph with cycle detection, and
+//                   locks held across thread-pool fan-out calls
+//
+// Findings are deduplicated per (rule, file, line), then waivers
+// (`lint:allow(rule): reason` on the same line) and the checked-in
+// baseline (tools/hawc_analyze/baseline.txt) are applied. Only findings
+// that survive both make the exit status nonzero.
+
+#include <filesystem>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace hawc::analyze {
+
+struct finding {
+    std::string rule;
+    std::string file;  // analysis-root-relative, forward slashes
+    int line = 0;
+    std::string message;  // line-number-free (baseline keys depend on it)
+    bool waived = false;
+    bool baselined = false;
+};
+
+/// Stable identity of a finding across line drift: rule|file|message.
+std::string finding_key(const finding& f);
+
+struct analysis_input {
+    std::filesystem::path root;
+    std::vector<lexed_file> files;
+    // Module layer table from <root>/src/CMakeLists.txt: direct deps and
+    // the transitive closure (what each module may include).
+    std::map<std::string, std::vector<std::string>> module_deps;
+    std::map<std::string, std::set<std::string>> module_closure;
+};
+
+// --- rule families ---------------------------------------------------------
+
+void run_pattern_rules(const analysis_input& in, std::vector<finding>& out);
+void run_graph_rules(const analysis_input& in, std::vector<finding>& out);
+void run_lock_rules(const analysis_input& in, std::vector<finding>& out);
+
+/// Rule catalogue: id -> one-line description. The self-test requires
+/// every id here to be exercised by the tree_bad fixtures.
+const std::map<std::string, std::string>& rule_catalogue();
+
+// --- driver ----------------------------------------------------------------
+
+struct analysis_options {
+    std::filesystem::path root;
+    std::optional<std::filesystem::path> compile_db;  // adds TUs to the walk
+    std::optional<std::filesystem::path> baseline;
+    bool write_baseline = false;
+    std::vector<std::string> only_paths;  // restrict to these root-relative prefixes
+};
+
+/// A lint:expect(rule) marker seen during the walk (self-test only).
+struct expect_site {
+    std::string file;
+    int line = 0;
+    std::string rule;
+};
+
+struct analysis_result {
+    std::vector<finding> findings;  // sorted by (file, line, rule)
+    std::vector<expect_site> expects;
+    std::size_t files_analyzed = 0;
+    std::size_t active = 0;     // neither waived nor baselined
+    std::size_t waived = 0;
+    std::size_t baselined = 0;
+    std::vector<std::string> errors;  // unreadable files, bad config, ...
+};
+
+/// Load, lex, and analyze the tree under `opts.root`. Walks src/, tools/,
+/// bench/, examples/, and tests/ (minus tests/lint/) plus any files the
+/// compile database names, applies waivers and the baseline, and sorts
+/// the findings.
+analysis_result analyze(const analysis_options& opts);
+
+/// Parse hawc_module(<name> <deps...>) declarations. Exposed for tests.
+std::map<std::string, std::vector<std::string>> parse_module_table(std::string_view cmake_text);
+
+/// Transitive closure of the direct-deps table. Exposed for tests.
+std::map<std::string, std::set<std::string>> module_transitive_closure(
+    const std::map<std::string, std::vector<std::string>>& deps);
+
+// --- baseline --------------------------------------------------------------
+
+std::set<std::string> load_baseline(const std::filesystem::path& path,
+                                    std::vector<std::string>& errors);
+void write_baseline_file(const std::filesystem::path& path, const std::vector<finding>& findings);
+
+// --- compile database ------------------------------------------------------
+
+/// Extract the "file" entries from a compile_commands.json. Minimal JSON
+/// scanning (the format is machine-generated); returns absolute paths.
+std::vector<std::filesystem::path> compile_db_files(const std::filesystem::path& db,
+                                                    std::vector<std::string>& errors);
+
+// --- reports ---------------------------------------------------------------
+
+std::string render_text(const analysis_result& r, bool verbose);
+std::string render_json(const analysis_result& r);
+std::string render_sarif(const analysis_result& r);
+
+// --- self-test -------------------------------------------------------------
+
+/// Fixture self-test over tests/lint: tree_bad findings must exactly
+/// match the lint:expect annotations, tree_clean must be finding-free
+/// (with its waivers provably consumed), every catalogued rule must be
+/// pinned, and the baseline round-trip must suppress everything.
+/// Returns 0 on success, prints failures to stdout.
+int run_self_test(const std::filesystem::path& fixtures_dir);
+
+}  // namespace hawc::analyze

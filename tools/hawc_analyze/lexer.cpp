@@ -1,0 +1,363 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+
+namespace hawc::analyze {
+namespace {
+
+bool ident_start(char c) { return std::isalpha(static_cast<unsigned char>(c)) || c == '_'; }
+bool ident_char(char c) { return std::isalnum(static_cast<unsigned char>(c)) || c == '_'; }
+bool digit(char c) { return std::isdigit(static_cast<unsigned char>(c)) != 0; }
+
+std::string trim(std::string_view s) {
+    std::size_t b = s.find_first_not_of(" \t\r");
+    if (b == std::string_view::npos) return {};
+    std::size_t e = s.find_last_not_of(" \t\r");
+    return std::string{s.substr(b, e - b + 1)};
+}
+
+// Case-insensitive substring search requiring a non-alphanumeric left
+// boundary, so a claim of "lock-free" matches but "deadlock-free" does not.
+bool contains_word_ci(std::string_view hay, std::string_view needle) {
+    auto begin = hay.begin();
+    for (;;) {
+        auto it = std::search(begin, hay.end(), needle.begin(), needle.end(),
+                              [](char a, char b) {
+                                  return std::tolower(static_cast<unsigned char>(a)) ==
+                                         std::tolower(static_cast<unsigned char>(b));
+                              });
+        if (it == hay.end()) return false;
+        if (it == hay.begin() ||
+            !std::isalnum(static_cast<unsigned char>(*(it - 1)))) {
+            return true;
+        }
+        begin = it + 1;
+    }
+}
+
+// Splice-removed source plus a physical-line map per character. Raw-string
+// contents are spliced too, which is harmless here: the lexer only skips
+// over them and line attribution stays exact.
+struct spliced_source {
+    std::string text;
+    std::vector<int> line;  // line.size() == text.size()
+    int last_line = 1;
+};
+
+spliced_source remove_splices(std::string_view src) {
+    spliced_source out;
+    out.text.reserve(src.size());
+    out.line.reserve(src.size());
+    int line = 1;
+    for (std::size_t i = 0; i < src.size();) {
+        if (src[i] == '\\') {
+            std::size_t j = i + 1;
+            if (j < src.size() && src[j] == '\r') ++j;
+            if (j < src.size() && src[j] == '\n') {
+                i = j + 1;
+                ++line;
+                continue;
+            }
+        }
+        out.text.push_back(src[i]);
+        out.line.push_back(line);
+        if (src[i] == '\n') ++line;
+        ++i;
+    }
+    out.last_line = line;
+    return out;
+}
+
+// Scan a comment's text for the in-band annotations. `base_line` is the
+// line of the comment's first character; markers inside a multi-line
+// block comment are attributed to the line they actually sit on.
+void scan_comment(std::string_view text, int base_line, lexed_file& out) {
+    if (contains_word_ci(text, "lock-free") || contains_word_ci(text, "lock_free")) {
+        out.claims_lockfree = true;
+    }
+    for (const char* marker : {"lint:allow(", "lint:expect("}) {
+        const bool allow = marker[5] == 'a';
+        std::size_t pos = 0;
+        while ((pos = text.find(marker, pos)) != std::string_view::npos) {
+            const int line =
+                base_line + static_cast<int>(std::count(text.begin(),
+                                                        text.begin() + static_cast<long>(pos), '\n'));
+            std::size_t open = pos + std::string_view{marker}.size();
+            std::size_t close = text.find(')', open);
+            pos = open;
+            if (close == std::string_view::npos) continue;
+            std::string rule = trim(text.substr(open, close - open));
+            if (rule.empty()) continue;
+            if (allow) {
+                waiver w;
+                w.line = line;
+                w.rule = rule;
+                std::size_t after = close + 1;
+                while (after < text.size() && (text[after] == ' ' || text[after] == '\t')) ++after;
+                if (after < text.size() && text[after] == ':') {
+                    std::size_t eol = text.find('\n', after);
+                    std::string reason = trim(text.substr(
+                        after + 1, (eol == std::string_view::npos ? text.size() : eol) - after - 1));
+                    w.has_reason = !reason.empty();
+                }
+                out.waivers.push_back(std::move(w));
+            } else {
+                out.expects.push_back({line, std::move(rule)});
+            }
+        }
+    }
+}
+
+struct scanner {
+    const spliced_source& src;
+    lexed_file& out;
+    std::size_t i = 0;
+    bool bol = true;  // only whitespace seen since the last newline
+
+    char cur() const { return src.text[i]; }
+    char peek(std::size_t k = 1) const {
+        return i + k < src.text.size() ? src.text[i + k] : '\0';
+    }
+    bool done() const { return i >= src.text.size(); }
+    int line_here() const { return src.line[i]; }
+
+    void emit(token_kind kind, std::string text, int line) {
+        out.tokens.push_back({kind, std::move(text), line});
+    }
+
+    void line_comment() {
+        std::size_t start = i;
+        int line = line_here();
+        while (!done() && cur() != '\n') ++i;
+        scan_comment(std::string_view{src.text}.substr(start, i - start), line, out);
+    }
+
+    void block_comment() {
+        std::size_t start = i;
+        int line = line_here();
+        i += 2;  // consume /*
+        // Block comments do not nest in C++: the first */ ends the comment
+        // (the lexer golden tests pin this).
+        while (!done()) {
+            if (cur() == '*' && peek() == '/') {
+                i += 2;
+                break;
+            }
+            ++i;
+        }
+        scan_comment(std::string_view{src.text}.substr(start, i - start), line, out);
+    }
+
+    // Ordinary string/char literal starting at the quote character.
+    void quoted(char quote, token_kind kind) {
+        int line = line_here();
+        std::size_t start = ++i;  // past the opening quote
+        while (!done() && cur() != quote && cur() != '\n') {
+            if (cur() == '\\' && i + 1 < src.text.size()) ++i;
+            ++i;
+        }
+        std::string text{std::string_view{src.text}.substr(start, i - start)};
+        if (!done() && cur() == quote) ++i;
+        emit(kind, std::move(text), line);
+    }
+
+    // Raw string literal; `i` is at the opening quote after the R prefix.
+    void raw_string(int line) {
+        ++i;  // past "
+        std::size_t dstart = i;
+        while (!done() && cur() != '(') ++i;
+        std::string delim{std::string_view{src.text}.substr(dstart, i - dstart)};
+        if (!done()) ++i;  // past (
+        std::string close = ")" + delim + "\"";
+        std::size_t end = src.text.find(close, i);
+        std::size_t text_end = end == std::string::npos ? src.text.size() : end;
+        std::string text{std::string_view{src.text}.substr(i, text_end - i)};
+        i = end == std::string::npos ? src.text.size() : end + close.size();
+        emit(token_kind::string_lit, std::move(text), line);
+    }
+
+    // One whole logical preprocessor line (splices already removed).
+    // Returns the trimmed directive text.
+    std::string pp_line() {
+        std::size_t start = i;
+        int line = line_here();
+        while (!done() && cur() != '\n') {
+            // A // comment ends the directive's meaningful text; /* ... */
+            // inside a directive is skipped (it cannot span lines after
+            // splicing, and if unterminated it swallows the rest — fine
+            // for lint purposes).
+            if (cur() == '/' && peek() == '/') break;
+            if (cur() == '/' && peek() == '*') {
+                std::size_t save = i;
+                i += 2;
+                while (!done() && !(cur() == '*' && peek() == '/')) ++i;
+                if (!done()) i += 2;
+                scan_comment(std::string_view{src.text}.substr(save, i - save), line, out);
+                continue;
+            }
+            ++i;
+        }
+        std::string text = trim(std::string_view{src.text}.substr(start, i - start));
+        if (!done() && cur() == '/') {  // trailing // comment
+            line_comment();
+        }
+        emit(token_kind::pp_directive, text, line);
+        return text;
+    }
+
+    // After an `#if 0`: skip raw lines, tracking nested conditionals,
+    // until the matching #endif / #else / #elif. Everything inside is
+    // dead code and must produce no tokens and no annotations.
+    void skip_disabled_region() {
+        int depth = 0;
+        while (!done()) {
+            // advance to next line
+            while (!done() && cur() != '\n') ++i;
+            if (!done()) ++i;
+            // inspect the new line's first non-whitespace
+            std::size_t j = i;
+            while (j < src.text.size() && (src.text[j] == ' ' || src.text[j] == '\t')) ++j;
+            if (j >= src.text.size()) {
+                i = src.text.size();
+                return;
+            }
+            if (src.text[j] != '#') continue;
+            std::size_t eol = src.text.find('\n', j);
+            std::string dir = trim(std::string_view{src.text}.substr(
+                j, (eol == std::string::npos ? src.text.size() : eol) - j));
+            auto starts = [&](std::string_view p) { return dir.rfind(p, 0) == 0; };
+            if (starts("#if") || starts("# if")) {
+                ++depth;
+            } else if (starts("#endif") || starts("# endif")) {
+                if (depth == 0) {
+                    i = j;
+                    pp_line();
+                    return;
+                }
+                --depth;
+            } else if ((starts("#else") || starts("#elif") || starts("# else") ||
+                        starts("# elif")) &&
+                       depth == 0) {
+                i = j;
+                pp_line();
+                return;
+            }
+        }
+    }
+
+    void identifier_or_raw() {
+        std::size_t start = i;
+        int line = line_here();
+        while (!done() && ident_char(cur())) ++i;
+        std::string text{std::string_view{src.text}.substr(start, i - start)};
+        if (!done() && cur() == '"' &&
+            (text == "R" || text == "u8R" || text == "uR" || text == "UR" || text == "LR")) {
+            raw_string(line);
+            return;
+        }
+        if (!done() && (cur() == '"' || cur() == '\'') &&
+            (text == "u8" || text == "u" || text == "U" || text == "L")) {
+            quoted(cur(), cur() == '"' ? token_kind::string_lit : token_kind::char_lit);
+            return;
+        }
+        emit(token_kind::identifier, std::move(text), line);
+    }
+
+    void number() {
+        std::size_t start = i;
+        int line = line_here();
+        while (!done()) {
+            char c = cur();
+            if (ident_char(c) || c == '.' || c == '\'') {
+                ++i;
+            } else if ((c == '+' || c == '-') && i > start) {
+                char prev = src.text[i - 1];
+                if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+                    ++i;
+                } else {
+                    break;
+                }
+            } else {
+                break;
+            }
+        }
+        emit(token_kind::number, std::string{std::string_view{src.text}.substr(start, i - start)},
+             line);
+    }
+
+    void run() {
+        while (!done()) {
+            char c = cur();
+            if (c == '\n') {
+                bol = true;
+                ++i;
+                continue;
+            }
+            if (c == ' ' || c == '\t' || c == '\r' || c == '\f' || c == '\v') {
+                ++i;
+                continue;
+            }
+            if (c == '/' && peek() == '/') {
+                line_comment();
+                continue;
+            }
+            if (c == '/' && peek() == '*') {
+                block_comment();
+                continue;
+            }
+            if (c == '#' && bol) {
+                std::string dir = pp_line();
+                if (dir.rfind("#if", 0) == 0) {
+                    std::string cond = trim(std::string_view{dir}.substr(3));
+                    if (cond == "0" || cond == "false") skip_disabled_region();
+                }
+                bol = true;  // pp_line leaves i at the newline
+                continue;
+            }
+            bol = false;
+            if (c == '"') {
+                quoted('"', token_kind::string_lit);
+                continue;
+            }
+            if (c == '\'') {
+                quoted('\'', token_kind::char_lit);
+                continue;
+            }
+            if (ident_start(c)) {
+                identifier_or_raw();
+                continue;
+            }
+            if (digit(c) || (c == '.' && digit(peek()))) {
+                number();
+                continue;
+            }
+            // punctuator; keep `::` and `->` whole, everything else single
+            int line = line_here();
+            if (c == ':' && peek() == ':') {
+                emit(token_kind::punct, "::", line);
+                i += 2;
+            } else if (c == '-' && peek() == '>') {
+                emit(token_kind::punct, "->", line);
+                i += 2;
+            } else {
+                emit(token_kind::punct, std::string(1, c), line);
+                ++i;
+            }
+        }
+    }
+};
+
+}  // namespace
+
+lexed_file lex(std::string_view source, std::string path) {
+    lexed_file out;
+    out.path = std::move(path);
+    spliced_source spliced = remove_splices(source);
+    scanner s{spliced, out};
+    s.run();
+    out.line_count = spliced.last_line;
+    return out;
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,80 @@
+#pragma once
+
+// C++-aware lexer for the in-repo semantic analyzer (hawc_analyze).
+//
+// This is not a conforming C++ tokenizer — it is the minimal faithful
+// subset the lint rules need: comments (line and block), string literals
+// (ordinary, prefixed, and raw), character literals, preprocessor
+// directives as whole logical lines, backslash line-splices, and `#if 0`
+// regions, all stripped out of the code-token stream so a rule that
+// matches tokens can never be fooled by prose in a comment or a pattern
+// inside a string — the exact failure mode of the grep linters this
+// replaces (DESIGN.md §16).
+//
+// Comments are scanned (not emitted as tokens) for the three in-band
+// annotations:
+//   lint:allow(<rule>): <reason>   waiver for a finding on the same line
+//   lint:expect(<rule>)            self-test marker: a finding of <rule>
+//                                  must be reported on this line
+//   "lock-free"/"lock_free"        a lock-freedom claim (scopes the
+//                                  mutex-in-lockfree rule to this file)
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hawc::analyze {
+
+enum class token_kind {
+    identifier,    // names and keywords, including `new`, `throw`, `noexcept`
+    number,        // pp-number: 0x1F, 1'000, 6.02e23f
+    string_lit,    // "..."  u8"..."  R"raw(...)raw"  (text excludes quotes)
+    char_lit,      // 'a'  '\n'
+    punct,         // one punctuator; `::` and `->` are single tokens
+    pp_directive,  // one whole logical preprocessor line, text trimmed
+};
+
+struct token {
+    token_kind kind;
+    std::string text;
+    int line = 0;  // 1-based physical line of the token's first character
+};
+
+/// A `lint:allow(rule): reason` comment. Attributed to the physical line
+/// the marker appears on (same-line placement is the waiver contract).
+struct waiver {
+    int line = 0;
+    std::string rule;
+    bool has_reason = false;
+};
+
+/// A `lint:expect(rule)` self-test marker.
+struct expectation {
+    int line = 0;
+    std::string rule;
+};
+
+struct lexed_file {
+    std::string path;  // analysis-root-relative, forward slashes
+    std::vector<token> tokens;
+    std::vector<waiver> waivers;
+    std::vector<expectation> expects;
+    bool claims_lockfree = false;
+    int line_count = 0;
+};
+
+/// Tokenize one translation unit. `path` is stored verbatim.
+lexed_file lex(std::string_view source, std::string path);
+
+/// True if the token is an identifier with exactly this text.
+inline bool is_ident(const token& t, std::string_view text) {
+    return t.kind == token_kind::identifier && t.text == text;
+}
+
+/// True if the token is a punctuator with exactly this text.
+inline bool is_punct(const token& t, std::string_view text) {
+    return t.kind == token_kind::punct && t.text == text;
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,104 @@
+// hawc_analyze CLI. See DESIGN.md §16 and `hawc_analyze --help`.
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "analyzer.hpp"
+
+namespace {
+
+constexpr const char* usage =
+    "usage: hawc_analyze [options] [path-prefix...]\n"
+    "\n"
+    "In-repo semantic static analyzer: token-aware banned-pattern rules,\n"
+    "the module-layer include DAG, lock-order and determinism audits.\n"
+    "Walks src/, tools/, bench/, examples/, and tests/ (minus tests/lint/)\n"
+    "under --root, plus anything the compile database names.\n"
+    "\n"
+    "  --root DIR         repository root to analyze (default: .)\n"
+    "  --compile-db FILE  compile_commands.json to add translation units from\n"
+    "  --baseline FILE    baseline file (default: tools/hawc_analyze/baseline.txt\n"
+    "                     under the root, when present)\n"
+    "  --write-baseline   rewrite the baseline with the current findings\n"
+    "  --sarif FILE       write a SARIF 2.1.0 report\n"
+    "  --json FILE        write a findings JSON report\n"
+    "  --verbose          also print waived and baselined findings\n"
+    "  --list-rules       print the rule catalogue and exit\n"
+    "  --self-test DIR    run the fixture self-test over DIR (tests/lint)\n"
+    "\n"
+    "Exit status: 0 when no active (non-waived, non-baselined) findings,\n"
+    "1 when there are, 2 on usage or I/O errors.\n";
+
+bool write_text_file(const std::string& path, const std::string& text) {
+    std::ofstream out{path, std::ios::trunc};
+    if (!out) return false;
+    out << text;
+    return static_cast<bool>(out);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    using namespace hawc::analyze;
+    analysis_options opts;
+    opts.root = ".";
+    std::string sarif_path;
+    std::string json_path;
+    bool verbose = false;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "missing value for %s\n%s", arg.c_str(), usage);
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--help" || arg == "-h") {
+            std::fputs(usage, stdout);
+            return 0;
+        } else if (arg == "--root") {
+            opts.root = next();
+        } else if (arg == "--compile-db") {
+            opts.compile_db = std::filesystem::path{next()};
+        } else if (arg == "--baseline") {
+            opts.baseline = std::filesystem::path{next()};
+        } else if (arg == "--write-baseline") {
+            opts.write_baseline = true;
+        } else if (arg == "--sarif") {
+            sarif_path = next();
+        } else if (arg == "--json") {
+            json_path = next();
+        } else if (arg == "--verbose") {
+            verbose = true;
+        } else if (arg == "--list-rules") {
+            for (const auto& [id, desc] : rule_catalogue()) {
+                std::printf("%-22s %s\n", id.c_str(), desc.c_str());
+            }
+            return 0;
+        } else if (arg == "--self-test") {
+            return run_self_test(next());
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::fprintf(stderr, "unknown option %s\n%s", arg.c_str(), usage);
+            return 2;
+        } else {
+            opts.only_paths.push_back(arg);
+        }
+    }
+
+    analysis_result result = analyze(opts);
+    std::fputs(render_text(result, verbose).c_str(), stdout);
+    if (!sarif_path.empty() && !write_text_file(sarif_path, render_sarif(result))) {
+        std::fprintf(stderr, "cannot write %s\n", sarif_path.c_str());
+        return 2;
+    }
+    if (!json_path.empty() && !write_text_file(json_path, render_json(result))) {
+        std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+        return 2;
+    }
+    if (!result.errors.empty()) return 2;
+    return result.active == 0 ? 0 : 1;
+}

@@ -1,0 +1,116 @@
+// Output renderers: human text, a findings JSON, and SARIF 2.1.0 so CI
+// can annotate PRs from the uploaded artifact.
+
+#include <sstream>
+
+#include "analyzer.hpp"
+
+namespace hawc::analyze {
+namespace {
+
+std::string json_escape(std::string_view s) {
+    std::string out;
+    out.reserve(s.size() + 8);
+    for (char c : s) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            case '\r': out += "\\r"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+const char* status_of(const finding& f) {
+    if (f.waived) return "waived";
+    if (f.baselined) return "baselined";
+    return "active";
+}
+
+}  // namespace
+
+std::string render_text(const analysis_result& r, bool verbose) {
+    std::ostringstream out;
+    for (const finding& f : r.findings) {
+        if (!verbose && (f.waived || f.baselined)) continue;
+        out << "analyze[" << f.rule << "] " << f.file << ":" << f.line << ": " << f.message;
+        if (f.waived) out << "  (waived)";
+        if (f.baselined) out << "  (baselined)";
+        out << '\n';
+    }
+    for (const std::string& e : r.errors) out << "analyze[error] " << e << '\n';
+    out << "hawc_analyze: " << r.files_analyzed << " files, " << r.active << " active finding(s)";
+    if (r.waived != 0) out << ", " << r.waived << " waived";
+    if (r.baselined != 0) out << ", " << r.baselined << " baselined";
+    out << '\n';
+    return std::move(out).str();
+}
+
+std::string render_json(const analysis_result& r) {
+    std::ostringstream out;
+    out << "{\n  \"files_analyzed\": " << r.files_analyzed << ",\n  \"active\": " << r.active
+        << ",\n  \"waived\": " << r.waived << ",\n  \"baselined\": " << r.baselined
+        << ",\n  \"findings\": [";
+    bool first = true;
+    for (const finding& f : r.findings) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "    {\"rule\": \"" << json_escape(f.rule) << "\", \"file\": \""
+            << json_escape(f.file) << "\", \"line\": " << f.line << ", \"status\": \""
+            << status_of(f) << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    out << "\n  ]\n}\n";
+    return std::move(out).str();
+}
+
+std::string render_sarif(const analysis_result& r) {
+    std::ostringstream out;
+    out << "{\n"
+           "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+           "  \"version\": \"2.1.0\",\n"
+           "  \"runs\": [\n"
+           "    {\n"
+           "      \"tool\": {\n"
+           "        \"driver\": {\n"
+           "          \"name\": \"hawc_analyze\",\n"
+           "          \"informationUri\": \"DESIGN.md\",\n"
+           "          \"rules\": [";
+    bool first = true;
+    for (const auto& [id, desc] : rule_catalogue()) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        out << "            {\"id\": \"" << json_escape(id)
+            << "\", \"shortDescription\": {\"text\": \"" << json_escape(desc) << "\"}}";
+    }
+    out << "\n          ]\n"
+           "        }\n"
+           "      },\n"
+           "      \"results\": [";
+    first = true;
+    for (const finding& f : r.findings) {
+        out << (first ? "\n" : ",\n");
+        first = false;
+        // Waived/baselined findings ship with level "note" so the PR
+        // annotation shows the debt without failing anything.
+        const bool soft = f.waived || f.baselined;
+        out << "        {\"ruleId\": \"" << json_escape(f.rule) << "\", \"level\": \""
+            << (soft ? "note" : "error") << "\", \"message\": {\"text\": \""
+            << json_escape(f.message) << "\"}, \"locations\": [{\"physicalLocation\": "
+            << "{\"artifactLocation\": {\"uri\": \"" << json_escape(f.file)
+            << "\"}, \"region\": {\"startLine\": " << (f.line > 0 ? f.line : 1) << "}}}]}";
+    }
+    out << "\n      ]\n    }\n  ]\n}\n";
+    return std::move(out).str();
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,373 @@
+// Graph rule family: the module-layer DAG over the src/ include graph,
+// file-level include-cycle detection, and the replay determinism audit
+// over everything reachable from the replay entry points.
+//
+// The layer order is not duplicated here: it is parsed from the
+// hawc_module(<name> <deps...>) declarations in src/CMakeLists.txt, so
+// the analyzer and the build agree on one source of truth. A module may
+// include headers of itself and of its transitive dependencies; any
+// other edge is an upward include and a finding.
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "analyzer.hpp"
+
+namespace hawc::analyze {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// "src/nn/kernels/x.cpp" -> "nn"; empty when not under src/ or not in a
+/// module subdirectory.
+std::string module_of(std::string_view path) {
+    if (!starts_with(path, "src/")) return {};
+    std::string_view rest = path.substr(4);
+    std::size_t slash = rest.find('/');
+    if (slash == std::string_view::npos) return {};
+    return std::string{rest.substr(0, slash)};
+}
+
+struct include_edge {
+    std::string spec;  // the quoted include text, e.g. "common/rng.hpp"
+    int line = 0;
+};
+
+/// Quoted includes of a file, from its pp_directive tokens.
+std::vector<include_edge> quoted_includes(const lexed_file& f) {
+    std::vector<include_edge> out;
+    for (const token& t : f.tokens) {
+        if (t.kind != token_kind::pp_directive) continue;
+        if (!starts_with(t.text, "#include")) continue;
+        std::size_t open = t.text.find('"');
+        if (open == std::string::npos) continue;
+        std::size_t close = t.text.find('"', open + 1);
+        if (close == std::string::npos) continue;
+        out.push_back({t.text.substr(open + 1, close - open - 1), t.line});
+    }
+    return out;
+}
+
+struct graph_ctx {
+    const analysis_input& in;
+    std::vector<finding>& out;
+    std::map<std::string, std::size_t> by_path;          // path -> file index
+    std::vector<std::vector<std::size_t>> adj;           // src-file include graph
+    std::vector<std::vector<include_edge>> includes;     // per file
+
+    explicit graph_ctx(const analysis_input& input, std::vector<finding>& findings)
+        : in{input}, out{findings} {
+        for (std::size_t i = 0; i < in.files.size(); ++i) by_path[in.files[i].path] = i;
+        adj.resize(in.files.size());
+        includes.resize(in.files.size());
+        for (std::size_t i = 0; i < in.files.size(); ++i) {
+            includes[i] = quoted_includes(in.files[i]);
+            for (const include_edge& e : includes[i]) {
+                // Quoted includes resolve against src/ (the project include
+                // root) with a same-directory fallback.
+                std::string from_src = "src/" + e.spec;
+                auto it = by_path.find(from_src);
+                if (it == by_path.end()) {
+                    std::string dir{in.files[i].path};
+                    std::size_t slash = dir.rfind('/');
+                    if (slash != std::string::npos) {
+                        it = by_path.find(dir.substr(0, slash + 1) + e.spec);
+                    }
+                }
+                if (it != by_path.end()) adj[i].push_back(it->second);
+            }
+        }
+    }
+};
+
+// --- module-layer DAG ------------------------------------------------------
+
+void rule_layer_dag(graph_ctx& g) {
+    for (std::size_t i = 0; i < g.in.files.size(); ++i) {
+        const lexed_file& f = g.in.files[i];
+        std::string mod = module_of(f.path);
+        if (mod.empty()) continue;
+        auto closure_it = g.in.module_closure.find(mod);
+        if (closure_it == g.in.module_closure.end()) {
+            g.out.push_back({"layer-dag", f.path, 1,
+                             "module '" + mod + "' is not declared by any hawc_module() in "
+                                                "src/CMakeLists.txt",
+                             false, false});
+            continue;
+        }
+        for (const include_edge& e : g.includes[i]) {
+            std::size_t slash = e.spec.find('/');
+            if (slash == std::string::npos) continue;
+            std::string target = e.spec.substr(0, slash);
+            if (g.in.module_closure.find(target) == g.in.module_closure.end()) {
+                continue;  // not a module-qualified include (local header etc.)
+            }
+            if (target == mod) continue;
+            if (closure_it->second.count(target) == 0) {
+                std::string allowed;
+                for (const std::string& d : closure_it->second) {
+                    if (!allowed.empty()) allowed += ", ";
+                    allowed += d;
+                }
+                g.out.push_back(
+                    {"layer-dag", f.path, e.line,
+                     "include of \"" + e.spec + "\" — module '" + mod +
+                         "' may not depend on '" + target + "' (declared deps: " +
+                         (allowed.empty() ? std::string{"none"} : allowed) + "); the layer order "
+                         "flows common -> ... -> runtime -> replay -> obs -> fleet",
+                     false, false});
+            }
+        }
+    }
+}
+
+// --- include cycles --------------------------------------------------------
+
+void rule_include_cycles(graph_ctx& g) {
+    const std::size_t n = g.in.files.size();
+    // Iterative coloured DFS; each back edge yields a cycle. Cycles are
+    // normalised (rotated so the lexicographically-smallest path leads)
+    // and deduplicated so one cycle is one finding.
+    std::vector<int> colour(n, 0);  // 0 white, 1 grey, 2 black
+    std::vector<std::size_t> stack;
+    std::set<std::vector<std::size_t>> seen;
+
+    // order roots by path for deterministic output
+    std::vector<std::size_t> order(n);
+    for (std::size_t i = 0; i < n; ++i) order[i] = i;
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t a, std::size_t b) { return g.in.files[a].path < g.in.files[b].path; });
+
+    struct frame {
+        std::size_t node;
+        std::size_t next_child = 0;
+    };
+    for (std::size_t root : order) {
+        if (colour[root] != 0) continue;
+        std::vector<frame> frames{{root}};
+        colour[root] = 1;
+        stack.push_back(root);
+        while (!frames.empty()) {
+            frame& fr = frames.back();
+            if (fr.next_child < g.adj[fr.node].size()) {
+                std::size_t child = g.adj[fr.node][fr.next_child++];
+                if (colour[child] == 0) {
+                    colour[child] = 1;
+                    stack.push_back(child);
+                    frames.push_back({child});
+                } else if (colour[child] == 1) {
+                    // back edge: cycle = stack suffix from child
+                    auto it = std::find(stack.begin(), stack.end(), child);
+                    std::vector<std::size_t> cycle{it, stack.end()};
+                    auto smallest = std::min_element(
+                        cycle.begin(), cycle.end(), [&](std::size_t a, std::size_t b) {
+                            return g.in.files[a].path < g.in.files[b].path;
+                        });
+                    std::rotate(cycle.begin(), smallest, cycle.end());
+                    if (seen.insert(cycle).second) {
+                        std::string chain;
+                        for (std::size_t idx : cycle) chain += g.in.files[idx].path + " -> ";
+                        chain += g.in.files[cycle.front()].path;
+                        // witness line: the include in cycle[0] that reaches
+                        // cycle[1] (or itself for a self-include)
+                        std::size_t head = cycle.front();
+                        std::size_t next = cycle.size() > 1 ? cycle[1] : head;
+                        int line = 1;
+                        for (std::size_t k = 0; k < g.adj[head].size(); ++k) {
+                            if (g.adj[head][k] == next) {
+                                line = g.includes[head][k].line;
+                                break;
+                            }
+                        }
+                        g.out.push_back({"include-cycle", g.in.files[head].path, line,
+                                         "include cycle: " + chain, false, false});
+                    }
+                }
+            } else {
+                colour[fr.node] = 2;
+                stack.pop_back();
+                frames.pop_back();
+            }
+        }
+    }
+}
+
+// --- replay determinism ----------------------------------------------------
+
+void rule_replay_determinism(graph_ctx& g) {
+    const std::size_t n = g.in.files.size();
+    // Scope: everything include-reachable from src/replay entry points,
+    // plus all of src/sim (scene generation feeds recorded corpora), minus
+    // src/replay itself — the stricter wallclock-in-replay rule owns that
+    // directory.
+    std::vector<char> in_scope(n, 0);
+    std::vector<std::size_t> work;
+    for (std::size_t i = 0; i < n; ++i) {
+        if (starts_with(g.in.files[i].path, "src/replay/") ||
+            starts_with(g.in.files[i].path, "src/sim/")) {
+            in_scope[i] = 1;
+            work.push_back(i);
+        }
+    }
+    while (!work.empty()) {
+        std::size_t f = work.back();
+        work.pop_back();
+        for (std::size_t child : g.adj[f]) {
+            if (!in_scope[child]) {
+                in_scope[child] = 1;
+                work.push_back(child);
+            }
+        }
+    }
+
+    for (std::size_t i = 0; i < n; ++i) {
+        if (!in_scope[i]) continue;
+        const lexed_file& f = g.in.files[i];
+        if (starts_with(f.path, "src/replay/")) continue;
+        auto report = [&](int line, std::string msg) {
+            g.out.push_back({"replay-determinism", f.path, line, std::move(msg), false, false});
+        };
+
+        // Names declared as unordered containers in this file; iterating
+        // one in a range-for feeds hash-order into whatever consumes it.
+        std::set<std::string> unordered_names;
+        const auto& toks = f.tokens;
+        for (std::size_t t = 0; t < toks.size(); ++t) {
+            if (toks[t].kind != token_kind::identifier) continue;
+            const std::string& name = toks[t].text;
+            if (name == "unordered_map" || name == "unordered_set" ||
+                name == "unordered_multimap" || name == "unordered_multiset") {
+                std::size_t j = t + 1;
+                if (j < toks.size() && is_punct(toks[j], "<")) {
+                    int depth = 0;
+                    for (; j < toks.size(); ++j) {
+                        if (is_punct(toks[j], "<")) ++depth;
+                        if (is_punct(toks[j], ">") && --depth == 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                }
+                if (j < toks.size() && toks[j].kind == token_kind::identifier) {
+                    unordered_names.insert(toks[j].text);
+                }
+            }
+        }
+
+        for (std::size_t t = 0; t < toks.size(); ++t) {
+            const token& tok = toks[t];
+            if (tok.kind != token_kind::identifier) continue;
+            if (tok.text == "system_clock" || tok.text == "localtime" || tok.text == "gmtime" ||
+                tok.text == "gettimeofday" || tok.text == "clock_gettime") {
+                report(tok.line, tok.text + " — wall-clock/date nondeterminism in code reachable "
+                                            "from replay (src/sim or the replay include closure)");
+            } else if ((tok.text == "time" || tok.text == "getenv") && t + 1 < toks.size() &&
+                       is_punct(toks[t + 1], "(")) {
+                report(tok.line, tok.text + "() — host-state nondeterminism in code reachable "
+                                            "from replay");
+            } else if (tok.text == "for" && t + 1 < toks.size() && is_punct(toks[t + 1], "(") &&
+                       !unordered_names.empty()) {
+                // range-for over an unordered container declared in this file
+                int depth = 0;
+                std::size_t colon = 0;
+                for (std::size_t j = t + 1; j < toks.size(); ++j) {
+                    if (is_punct(toks[j], "(")) ++depth;
+                    if (is_punct(toks[j], ")") && --depth == 0) break;
+                    if (is_punct(toks[j], ":") && depth == 1) {
+                        colon = j;
+                        break;
+                    }
+                }
+                if (colon == 0) continue;
+                int depth2 = 1;
+                for (std::size_t j = colon + 1; j < toks.size() && depth2 > 0; ++j) {
+                    if (is_punct(toks[j], "(")) ++depth2;
+                    if (is_punct(toks[j], ")")) --depth2;
+                    if (depth2 >= 1 && toks[j].kind == token_kind::identifier &&
+                        unordered_names.count(toks[j].text) != 0) {
+                        report(toks[j].line,
+                               "range-for over unordered container '" + toks[j].text +
+                                   "' — hash iteration order is nondeterministic and must not "
+                                   "feed replayed output");
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+}  // namespace
+
+void run_graph_rules(const analysis_input& in, std::vector<finding>& out) {
+    graph_ctx g{in, out};
+    rule_layer_dag(g);
+    rule_include_cycles(g);
+    rule_replay_determinism(g);
+}
+
+std::map<std::string, std::vector<std::string>> parse_module_table(std::string_view cmake_text) {
+    std::map<std::string, std::vector<std::string>> table;
+    std::size_t pos = 0;
+    while (pos < cmake_text.size()) {
+        std::size_t eol = cmake_text.find('\n', pos);
+        if (eol == std::string_view::npos) eol = cmake_text.size();
+        std::string_view line = cmake_text.substr(pos, eol - pos);
+        pos = eol + 1;
+        std::size_t b = line.find_first_not_of(" \t");
+        if (b == std::string_view::npos) continue;
+        line = line.substr(b);
+        if (!starts_with(line, "hawc_module(")) continue;
+        std::size_t close = line.find(')');
+        if (close == std::string_view::npos) continue;
+        std::string_view args = line.substr(12, close - 12);
+        std::vector<std::string> words;
+        std::size_t i = 0;
+        while (i < args.size()) {
+            while (i < args.size() && (args[i] == ' ' || args[i] == '\t')) ++i;
+            std::size_t start = i;
+            while (i < args.size() && args[i] != ' ' && args[i] != '\t') ++i;
+            if (i > start) words.emplace_back(args.substr(start, i - start));
+        }
+        if (words.empty()) continue;
+        std::string name = words.front();
+        words.erase(words.begin());
+        table[name] = std::move(words);
+    }
+    return table;
+}
+
+std::map<std::string, std::set<std::string>> module_transitive_closure(
+    const std::map<std::string, std::vector<std::string>>& deps) {
+    std::map<std::string, std::set<std::string>> closure;
+    // Repeated relaxation; the table is tiny and possibly (erroneously)
+    // cyclic, so a fixed-point loop is the robust choice.
+    for (const auto& [name, direct] : deps) {
+        closure[name] = std::set<std::string>{direct.begin(), direct.end()};
+    }
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (auto& [name, set] : closure) {
+            std::set<std::string> add;
+            for (const std::string& dep : set) {
+                auto it = closure.find(dep);
+                if (it == closure.end()) continue;
+                for (const std::string& d : it->second) {
+                    if (set.count(d) == 0) add.insert(d);
+                }
+            }
+            if (!add.empty()) {
+                set.insert(add.begin(), add.end());
+                changed = true;
+            }
+        }
+    }
+    return closure;
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,319 @@
+// Lock rule family: recognise std::mutex acquisition scopes
+// (lock_guard / unique_lock / scoped_lock / shared_lock and manual
+// .lock()/.unlock()), build the inter-mutex acquisition-order graph, and
+// report
+//   lock-order            edges participating in an order cycle (the
+//                         classic ABBA deadlock shape)
+//   lock-across-parallel  a lock held across thread-pool fan-out
+//                         (parallel_for / submit); the pool's lanes are
+//                         shared, so a blocked lane can deadlock or stall
+//                         every pole multiplexed onto it
+//
+// Mutex identity is token-level: the trailing identifier of the lock's
+// argument expression, scoped per file (two files' `mutex_` members are
+// distinct nodes). Edges are therefore only created where both
+// acquisitions are lexically visible in one function — cross-TU inversion
+// needs call-graph analysis and is out of scope (DESIGN.md §16 documents
+// the limitation).
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <string_view>
+
+#include "analyzer.hpp"
+
+namespace hawc::analyze {
+namespace {
+
+bool is_guard_type(std::string_view name) {
+    return name == "lock_guard" || name == "unique_lock" || name == "scoped_lock" ||
+           name == "shared_lock";
+}
+
+struct held_lock {
+    std::string mutex_key;   // file-scoped node name
+    std::string guard_name;  // empty for manual .lock()
+    int depth = 0;           // brace depth at acquisition
+    bool active = true;      // false for defer_lock until .lock()
+    int line = 0;
+};
+
+struct lock_edge {
+    std::string from;  // held mutex
+    std::string to;    // newly acquired mutex
+    std::string file;
+    int line = 0;      // acquisition site of `to`
+    std::string to_short;
+    std::string from_short;
+};
+
+struct lock_scan {
+    const lexed_file& f;
+    std::vector<lock_edge>& edges;
+    std::vector<finding>& out;
+    std::vector<held_lock> held;
+    int depth = 0;
+
+    std::string key(std::string_view name) const { return f.path + "#" + std::string{name}; }
+
+    void acquire(const std::vector<std::string>& names, const std::string& guard, bool active,
+                 int line, bool group_atomic) {
+        // Edges from everything already held to each new mutex. A
+        // scoped_lock's own group acquires atomically (std::scoped_lock
+        // orders internally), so no edges within the group.
+        for (const std::string& name : names) {
+            if (active) {
+                for (const held_lock& h : held) {
+                    if (!h.active) continue;
+                    if (group_atomic &&
+                        std::find(names.begin(), names.end(),
+                                  h.mutex_key.substr(h.mutex_key.find('#') + 1)) != names.end() &&
+                        h.line == line) {
+                        continue;  // same scoped_lock group
+                    }
+                    if (h.mutex_key == key(name)) continue;  // self edge: distinct objects
+                    edges.push_back({h.mutex_key, key(name), f.path, line, name,
+                                     h.mutex_key.substr(h.mutex_key.find('#') + 1)});
+                }
+            }
+            held.push_back({key(name), guard, depth, active, line});
+        }
+    }
+
+    void release_guard(std::string_view guard_or_mutex) {
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->guard_name == guard_or_mutex ||
+                it->mutex_key == key(guard_or_mutex)) {
+                it->active = false;
+                return;
+            }
+        }
+    }
+
+    void reactivate_guard(std::string_view guard) {
+        for (auto it = held.rbegin(); it != held.rend(); ++it) {
+            if (it->guard_name == guard) {
+                if (!it->active) {
+                    it->active = true;
+                    // re-acquisition creates order edges again
+                    for (const held_lock& h : held) {
+                        if (!h.active || h.mutex_key == it->mutex_key) continue;
+                        edges.push_back({h.mutex_key, it->mutex_key, f.path, it->line,
+                                         it->mutex_key.substr(it->mutex_key.find('#') + 1),
+                                         h.mutex_key.substr(h.mutex_key.find('#') + 1)});
+                    }
+                }
+                return;
+            }
+        }
+    }
+
+    bool any_active() const {
+        return std::any_of(held.begin(), held.end(), [](const held_lock& h) { return h.active; });
+    }
+
+    // Parse one argument list of a guard declaration starting at the `(`
+    // or `{` opener index; returns one past the closer and the trailing
+    // identifier of each top-level argument.
+    std::size_t parse_args(std::size_t i, std::vector<std::string>& names, bool& deferred) {
+        const std::string open{f.tokens[i].text};
+        const std::string close = open == "(" ? ")" : "}";
+        int d = 0;
+        std::string last_ident;
+        auto flush = [&] {
+            if (!last_ident.empty() && last_ident != "adopt_lock" && last_ident != "defer_lock" &&
+                last_ident != "try_to_lock") {
+                names.push_back(last_ident);
+            }
+            if (last_ident == "defer_lock") deferred = true;
+            last_ident.clear();
+        };
+        for (; i < f.tokens.size(); ++i) {
+            const token& t = f.tokens[i];
+            if (is_punct(t, open)) {
+                ++d;
+                continue;
+            }
+            if (is_punct(t, close)) {
+                if (--d == 0) {
+                    flush();
+                    return i + 1;
+                }
+                continue;
+            }
+            if (is_punct(t, ",") && d == 1) {
+                flush();
+                continue;
+            }
+            if (t.kind == token_kind::identifier && d == 1) last_ident = t.text;
+        }
+        flush();
+        return i;
+    }
+
+    void run() {
+        const auto& toks = f.tokens;
+        for (std::size_t i = 0; i < toks.size(); ++i) {
+            const token& t = toks[i];
+            if (is_punct(t, "{")) {
+                ++depth;
+                continue;
+            }
+            if (is_punct(t, "}")) {
+                --depth;
+                held.erase(std::remove_if(held.begin(), held.end(),
+                                          [&](const held_lock& h) { return h.depth > depth; }),
+                           held.end());
+                continue;
+            }
+            if (t.kind != token_kind::identifier) continue;
+
+            // guard declaration: [std ::] guard_type [<...>] name ( args ) | { args }
+            if (is_guard_type(t.text)) {
+                std::size_t j = i + 1;
+                if (j < toks.size() && is_punct(toks[j], "<")) {
+                    int d = 0;
+                    for (; j < toks.size(); ++j) {
+                        if (is_punct(toks[j], "<")) ++d;
+                        if (is_punct(toks[j], ">") && --d == 0) {
+                            ++j;
+                            break;
+                        }
+                    }
+                }
+                if (j + 1 < toks.size() && toks[j].kind == token_kind::identifier &&
+                    (is_punct(toks[j + 1], "(") || is_punct(toks[j + 1], "{"))) {
+                    std::string guard = toks[j].text;
+                    std::vector<std::string> names;
+                    bool deferred = false;
+                    std::size_t after = parse_args(j + 1, names, deferred);
+                    acquire(names, guard, !deferred, toks[j].line,
+                            /*group_atomic=*/t.text == "scoped_lock");
+                    i = after - 1;
+                }
+                continue;
+            }
+
+            // manual lock()/unlock(): expr . lock ( ) — expr's trailing
+            // identifier two tokens back
+            if ((t.text == "lock" || t.text == "unlock") && i >= 2 &&
+                (is_punct(toks[i - 1], ".") || is_punct(toks[i - 1], "->")) &&
+                toks[i - 2].kind == token_kind::identifier && i + 1 < toks.size() &&
+                is_punct(toks[i + 1], "(")) {
+                const std::string& target = toks[i - 2].text;
+                if (t.text == "unlock") {
+                    release_guard(target);
+                } else {
+                    bool was_guard = std::any_of(held.begin(), held.end(), [&](const held_lock& h) {
+                        return h.guard_name == target;
+                    });
+                    if (was_guard) {
+                        reactivate_guard(target);
+                    } else {
+                        acquire({target}, "", true, t.line, false);
+                    }
+                }
+                continue;
+            }
+
+            // fan-out under a lock
+            if ((t.text == "parallel_for" || t.text == "submit") && i + 1 < toks.size() &&
+                is_punct(toks[i + 1], "(") && any_active()) {
+                std::string held_names;
+                for (const held_lock& h : held) {
+                    if (!h.active) continue;
+                    if (!held_names.empty()) held_names += ", ";
+                    held_names += h.mutex_key.substr(h.mutex_key.find('#') + 1);
+                }
+                out.push_back({"lock-across-parallel", f.path, t.line,
+                               t.text + "() called while holding [" + held_names +
+                                   "] — fan-out under a lock can deadlock the shared pool lanes",
+                               false, false});
+            }
+        }
+    }
+};
+
+}  // namespace
+
+void run_lock_rules(const analysis_input& in, std::vector<finding>& out) {
+    std::vector<lock_edge> edges;
+    for (const lexed_file& f : in.files) {
+        lock_scan scan{f, edges, out, {}, 0};
+        scan.run();
+    }
+
+    // Tarjan-free SCC via Kosaraju on the (small) mutex graph.
+    std::map<std::string, std::vector<std::string>> fwd;
+    std::map<std::string, std::vector<std::string>> rev;
+    std::set<std::string> nodes;
+    for (const lock_edge& e : edges) {
+        fwd[e.from].push_back(e.to);
+        rev[e.to].push_back(e.from);
+        nodes.insert(e.from);
+        nodes.insert(e.to);
+    }
+    std::vector<std::string> order;
+    std::set<std::string> visited;
+    // iterative post-order
+    for (const std::string& start : nodes) {
+        if (visited.count(start)) continue;
+        std::vector<std::pair<std::string, bool>> stack{{start, false}};
+        while (!stack.empty()) {
+            auto [node, processed] = stack.back();
+            stack.pop_back();
+            if (processed) {
+                order.push_back(node);
+                continue;
+            }
+            if (!visited.insert(node).second) continue;
+            stack.push_back({node, true});
+            for (const std::string& next : fwd[node]) {
+                if (!visited.count(next)) stack.push_back({next, false});
+            }
+        }
+    }
+    std::map<std::string, int> component;
+    int comp = 0;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+        if (component.count(*it)) continue;
+        std::vector<std::string> stack{*it};
+        while (!stack.empty()) {
+            std::string node = stack.back();
+            stack.pop_back();
+            if (component.count(node)) continue;
+            component[node] = comp;
+            for (const std::string& prev : rev[node]) {
+                if (!component.count(prev)) stack.push_back(prev);
+            }
+        }
+        ++comp;
+    }
+    std::map<int, int> comp_size;
+    for (const auto& [node, c] : component) ++comp_size[c];
+
+    std::set<std::string> reported;  // dedupe per edge
+    for (const lock_edge& e : edges) {
+        const int cf = component[e.from];
+        if (cf != component[e.to]) continue;
+        const bool self_loop = e.from == e.to;
+        if (comp_size[cf] < 2 && !self_loop) continue;
+        if (!reported.insert(e.from + ">" + e.to).second) continue;
+        std::set<std::string> members;
+        for (const auto& [node, c] : component) {
+            if (c == cf) members.insert(node.substr(node.find('#') + 1));
+        }
+        std::string cycle;
+        for (const std::string& m : members) {
+            if (!cycle.empty()) cycle += ", ";
+            cycle += m;
+        }
+        out.push_back({"lock-order", e.file, e.line,
+                       "acquiring '" + e.to_short + "' while holding '" + e.from_short +
+                           "' participates in a lock-order cycle among {" + cycle + "}",
+                       false, false});
+    }
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,394 @@
+// Pattern rule family: per-file token-sequence checks. These are the
+// eight rules ported from the grep-based scripts/lint.sh plus the
+// noexcept/destructor throw audit and waiver hygiene. Because they match
+// lexed tokens, prose in comments, patterns inside string literals, and
+// code disabled under `#if 0` can no longer trip (or hide) a rule —
+// the grep scanner's two standing failure modes.
+
+#include <regex>
+#include <string_view>
+
+#include "analyzer.hpp"
+
+namespace hawc::analyze {
+namespace {
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+    return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool in_set(std::string_view s, std::initializer_list<std::string_view> set) {
+    for (std::string_view v : set) {
+        if (s == v) return true;
+    }
+    return false;
+}
+
+struct file_ctx {
+    const lexed_file& f;
+    std::vector<finding>& out;
+
+    const token& tok(std::size_t i) const { return f.tokens[i]; }
+    std::size_t size() const { return f.tokens.size(); }
+    bool next_is_punct(std::size_t i, std::string_view p) const {
+        return i + 1 < size() && is_punct(tok(i + 1), p);
+    }
+    bool prev_is_ident(std::size_t i, std::string_view name) const {
+        return i > 0 && is_ident(tok(i - 1), name);
+    }
+    // tokens[i] is `name` and the two before it are `std` `::`
+    bool std_qualified(std::size_t i) const {
+        return i >= 2 && is_punct(tok(i - 1), "::") && is_ident(tok(i - 2), "std");
+    }
+    void report(const char* rule, int line, std::string message) {
+        out.push_back({rule, f.path, line, std::move(message), false, false});
+    }
+};
+
+// --- the eight ported rules ------------------------------------------------
+
+void rule_raw_rng(file_ctx& c) {
+    if (starts_with(c.f.path, "src/common/rng.")) return;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (t.text == "random_device") {
+            c.report("raw-rng", t.line,
+                     "std::random_device — randomness must flow through common/rng so replays "
+                     "stay deterministic");
+        } else if ((t.text == "rand" || t.text == "srand") && c.next_is_punct(i, "(")) {
+            c.report("raw-rng", t.line,
+                     t.text + "() — randomness must flow through common/rng so replays stay "
+                              "deterministic");
+        }
+    }
+}
+
+void rule_naked_new(file_ctx& c) {
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (c.prev_is_ident(i, "operator")) continue;  // operator new/delete overloads
+        if (t.text == "new") {
+            if (i + 1 < c.size() && (c.tok(i + 1).kind == token_kind::identifier ||
+                                     is_punct(c.tok(i + 1), "::"))) {
+                c.report("naked-new", t.line, "naked new-expression — ownership must be RAII-managed");
+            }
+        } else if (t.text == "delete") {
+            // `= delete;` has punct next; `delete p` / `delete[] p` have an
+            // identifier (possibly after `[]`).
+            std::size_t j = i + 1;
+            if (c.next_is_punct(i, "[") && i + 2 < c.size() && is_punct(c.tok(i + 2), "]")) {
+                j = i + 3;
+            }
+            if (j < c.size() && (c.tok(j).kind == token_kind::identifier ||
+                                 is_punct(c.tok(j), "*") || is_punct(c.tok(j), "::"))) {
+                c.report("naked-new", t.line,
+                         "naked delete-expression — ownership must be RAII-managed");
+            }
+        }
+    }
+}
+
+void rule_mutex_in_lockfree(file_ctx& c) {
+    if (!c.f.claims_lockfree) return;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (in_set(t.text, {"mutex", "recursive_mutex", "shared_mutex", "timed_mutex",
+                            "recursive_timed_mutex", "shared_timed_mutex"}) &&
+            c.std_qualified(i)) {
+            c.report("mutex-in-lockfree", t.line,
+                     "std::" + t.text + " in a file whose banner claims lock-free behaviour");
+        }
+    }
+}
+
+void rule_double_seconds(file_ctx& c) {
+    if (c.f.path == "src/common/timer.hpp") return;
+    for (std::size_t i = 0; i + 2 < c.size(); ++i) {
+        if (is_ident(c.tok(i), "duration") && is_punct(c.tok(i + 1), "<") &&
+            (is_ident(c.tok(i + 2), "double") || is_ident(c.tok(i + 2), "float"))) {
+            c.report("double-seconds", c.tok(i).line,
+                     "duration<" + c.tok(i + 2).text +
+                         "> timing — elapsed-time arithmetic goes through common/timer.hpp");
+        }
+    }
+}
+
+void rule_wallclock_in_replay(file_ctx& c) {
+    if (!starts_with(c.f.path, "src/replay/")) return;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (in_set(t.text, {"system_clock", "high_resolution_clock", "steady_clock",
+                            "gettimeofday", "clock_gettime", "localtime", "gmtime"})) {
+            c.report("wallclock-in-replay", t.line,
+                     t.text + " — a clock read in src/replay breaks bit-exact replay");
+        } else if (t.text == "time" && c.next_is_punct(i, "(")) {
+            c.report("wallclock-in-replay", t.line,
+                     "time() — a clock read in src/replay breaks bit-exact replay");
+        }
+    }
+}
+
+void rule_sleep_in_fleet(file_ctx& c) {
+    if (!starts_with(c.f.path, "src/fleet/")) return;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (in_set(t.text, {"sleep_for", "sleep_until"}) ||
+            (in_set(t.text, {"usleep", "nanosleep", "sleep"}) && c.next_is_punct(i, "("))) {
+            c.report("sleep-in-fleet", t.line,
+                     t.text + " — the fleet runs on tick virtual time; a blocking sleep stalls "
+                              "every pole sharing the pool lane");
+        }
+    }
+}
+
+void rule_simd_outside_kernels(file_ctx& c) {
+    if (starts_with(c.f.path, "src/nn/kernels/")) return;
+    static const std::regex neon_intrinsic{"^v[a-z][a-z0-9_]*_[sufp](8|16|32|64)"};
+    static const std::regex neon_type{"^(u?int|float|poly)(8|16|32|64)x(2|4|8|16)(x[2-4])?_t$"};
+    for (const token& t : c.f.tokens) {
+        if (t.kind == token_kind::pp_directive) {
+            if (starts_with(t.text, "#include") &&
+                (t.text.find("mmintrin.h") != std::string::npos ||
+                 t.text.find("arm_neon.h") != std::string::npos)) {
+                c.report("simd-outside-kernels", t.line,
+                         "intrinsics header include — vector code lives behind the dispatch "
+                         "table in src/nn/kernels/");
+            }
+            continue;
+        }
+        if (t.kind != token_kind::identifier) continue;
+        const bool x86 = starts_with(t.text, "_mm_") || starts_with(t.text, "_mm256_") ||
+                         starts_with(t.text, "_mm512_") || starts_with(t.text, "__m128") ||
+                         starts_with(t.text, "__m256") || starts_with(t.text, "__m512");
+        if (x86 || std::regex_search(t.text, neon_intrinsic) ||
+            std::regex_match(t.text, neon_type)) {
+            c.report("simd-outside-kernels", t.line,
+                     "raw SIMD ('" + t.text +
+                         "') — vector code lives behind the dispatch table in src/nn/kernels/");
+        }
+    }
+}
+
+void rule_raw_logging(file_ctx& c) {
+    if (!starts_with(c.f.path, "src/") || starts_with(c.f.path, "src/obs/")) return;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (t.kind != token_kind::identifier) continue;
+        if (in_set(t.text, {"cout", "cerr", "clog"}) && c.std_qualified(i)) {
+            c.report("raw-logging", t.line,
+                     "std::" + t.text +
+                         " — library code reports through events/metrics/spans, not stdio");
+        } else if (in_set(t.text, {"printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs"}) &&
+                   c.next_is_punct(i, "(")) {
+            c.report("raw-logging", t.line,
+                     t.text + "() — library code reports through events/metrics/spans, not stdio");
+        }
+    }
+}
+
+// --- noexcept / destructor throw audit -------------------------------------
+
+bool is_throwing_helper(std::string_view name) {
+    // Small annotated allowlist of helpers whose contract is "throws":
+    // the HAWC_REQUIRE precondition macro and the throw_* helper family
+    // (common/error.hpp).
+    return name == "HAWC_REQUIRE" || starts_with(name, "throw_");
+}
+
+// Skip a balanced token group starting at tokens[i] (which must be the
+// opener). Returns the index one past the matching closer.
+std::size_t skip_balanced(const lexed_file& f, std::size_t i, std::string_view open,
+                          std::string_view close) {
+    int depth = 0;
+    for (; i < f.tokens.size(); ++i) {
+        if (is_punct(f.tokens[i], open)) {
+            ++depth;
+        } else if (is_punct(f.tokens[i], close)) {
+            if (--depth == 0) return i + 1;
+        }
+    }
+    return i;
+}
+
+struct body_region {
+    std::size_t begin = 0;  // index of the opening `{`
+    std::size_t end = 0;    // index of the matching `}`
+    const char* rule;       // throw-in-destructor | throw-in-noexcept
+};
+
+// Scan a function body region for throw-expressions and calls into the
+// throwing allowlist. Throws inside a try block are assumed handled by
+// its catch and are not flagged.
+void audit_region(file_ctx& c, const body_region& r) {
+    int brace = 0;
+    std::vector<int> try_braces;  // brace depth at which each try body opened
+    bool pending_try = false;
+    for (std::size_t i = r.begin; i <= r.end && i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        if (is_punct(t, "{")) {
+            ++brace;
+            if (pending_try) {
+                try_braces.push_back(brace);
+                pending_try = false;
+            }
+            continue;
+        }
+        if (is_punct(t, "}")) {
+            if (!try_braces.empty() && try_braces.back() == brace) try_braces.pop_back();
+            --brace;
+            continue;
+        }
+        if (t.kind != token_kind::identifier) continue;
+        if (t.text == "try") {
+            pending_try = true;
+            continue;
+        }
+        if (!try_braces.empty()) continue;  // inside try: assume caught locally
+        if (t.text == "throw") {
+            c.report(r.rule, t.line,
+                     std::string{"throw-expression inside a "} +
+                         (r.rule == std::string_view{"throw-in-destructor"}
+                              ? "destructor (destructors are noexcept by default)"
+                              : "noexcept function"));
+        } else if (is_throwing_helper(t.text) && c.next_is_punct(i, "(")) {
+            c.report(r.rule, t.line,
+                     "call to throwing helper '" + t.text + "' inside a " +
+                         (r.rule == std::string_view{"throw-in-destructor"} ? "destructor"
+                                                                            : "noexcept function"));
+        }
+    }
+}
+
+// After a declarator's closing `)` at index i (one past it), walk the
+// specifier zone to decide whether a body follows and whether it is
+// noexcept. `noexcept_fn` is set for plain `noexcept` / `noexcept(true)`.
+// Returns the index of the body's `{`, or npos when the declarator ends
+// in `;` / `= default` / `= delete` / anything unexpected.
+std::size_t find_body(const lexed_file& f, std::size_t i, bool& noexcept_fn) {
+    const std::size_t npos = static_cast<std::size_t>(-1);
+    while (i < f.tokens.size()) {
+        const token& t = f.tokens[i];
+        if (is_punct(t, "{")) return i;
+        if (is_punct(t, ";") || is_punct(t, "=")) return npos;
+        if (is_ident(t, "noexcept")) {
+            if (i + 1 < f.tokens.size() && is_punct(f.tokens[i + 1], "(")) {
+                std::size_t close = skip_balanced(f, i + 1, "(", ")");
+                // Only literal noexcept(true)/noexcept(false) are decided;
+                // value-dependent specifications are left alone.
+                if (close == i + 4 && is_ident(f.tokens[i + 2], "true")) noexcept_fn = true;
+                if (close == i + 4 && is_ident(f.tokens[i + 2], "false")) noexcept_fn = false;
+                i = close;
+                continue;
+            }
+            noexcept_fn = true;
+            ++i;
+            continue;
+        }
+        if (is_punct(t, ":")) {
+            // Constructor member-init list: skip `name(args)` / `name{args}`
+            // groups separated by commas; the `{` that follows the last
+            // group is the body.
+            ++i;
+            while (i < f.tokens.size()) {
+                const token& u = f.tokens[i];
+                if (is_punct(u, "(")) {
+                    i = skip_balanced(f, i, "(", ")");
+                } else if (is_punct(u, "{")) {
+                    // `{` directly after `,` or an identifier group that has
+                    // not consumed an initializer yet is ambiguous; treat a
+                    // `{` preceded by an identifier as an init group, any
+                    // other as the body.
+                    if (i > 0 && f.tokens[i - 1].kind == token_kind::identifier) {
+                        i = skip_balanced(f, i, "{", "}");
+                    } else {
+                        return i;
+                    }
+                } else if (is_punct(u, ";")) {
+                    return npos;
+                } else {
+                    ++i;
+                }
+            }
+            return npos;
+        }
+        ++i;
+    }
+    return npos;
+}
+
+void rule_throw_audit(file_ctx& c) {
+    const std::size_t npos = static_cast<std::size_t>(-1);
+    std::vector<body_region> regions;
+    for (std::size_t i = 0; i < c.size(); ++i) {
+        const token& t = c.tok(i);
+        // Destructor: `~name (` where the context rules out bitwise-not —
+        // statement/class-body position or a qualified `type::~type`.
+        if (is_punct(t, "~") && i + 2 < c.size() &&
+            c.tok(i + 1).kind == token_kind::identifier && is_punct(c.tok(i + 2), "(")) {
+            const bool dtor_context =
+                i == 0 || is_punct(c.tok(i - 1), "{") || is_punct(c.tok(i - 1), "}") ||
+                is_punct(c.tok(i - 1), ";") || is_punct(c.tok(i - 1), "::") ||
+                is_punct(c.tok(i - 1), ":") || is_ident(c.tok(i - 1), "virtual");
+            if (!dtor_context) continue;
+            std::size_t after = skip_balanced(c.f, i + 2, "(", ")");
+            bool noexcept_fn = true;  // destructors are noexcept by default
+            std::size_t body = find_body(c.f, after, noexcept_fn);
+            if (body != npos && noexcept_fn) {
+                regions.push_back(
+                    {body, skip_balanced(c.f, body, "{", "}") - 1, "throw-in-destructor"});
+            }
+            continue;
+        }
+        // noexcept function: the specifier position is right after the
+        // parameter list's `)` (possibly past cv-qualifiers / ref-quals).
+        if (is_ident(t, "noexcept") && i > 0) {
+            const token& p = c.tok(i - 1);
+            const bool specifier_pos = is_punct(p, ")") || is_ident(p, "const") ||
+                                       is_punct(p, "&") || is_ident(p, "final") ||
+                                       is_ident(p, "override");
+            if (!specifier_pos) continue;
+            bool noexcept_fn = false;
+            std::size_t body = find_body(c.f, i, noexcept_fn);
+            if (body != npos && noexcept_fn) {
+                regions.push_back(
+                    {body, skip_balanced(c.f, body, "{", "}") - 1, "throw-in-noexcept"});
+            }
+        }
+    }
+    for (const body_region& r : regions) audit_region(c, r);
+}
+
+void rule_waiver_hygiene(file_ctx& c) {
+    for (const waiver& w : c.f.waivers) {
+        if (!w.has_reason) {
+            c.report("waiver-without-reason", w.line,
+                     "lint:allow(" + w.rule + ") without a reason — every waiver documents why "
+                                              "(DESIGN.md §11)");
+        }
+    }
+}
+
+}  // namespace
+
+void run_pattern_rules(const analysis_input& in, std::vector<finding>& out) {
+    for (const lexed_file& f : in.files) {
+        file_ctx c{f, out};
+        rule_raw_rng(c);
+        rule_naked_new(c);
+        rule_mutex_in_lockfree(c);
+        rule_double_seconds(c);
+        rule_wallclock_in_replay(c);
+        rule_sleep_in_fleet(c);
+        rule_simd_outside_kernels(c);
+        rule_raw_logging(c);
+        rule_throw_audit(c);
+        rule_waiver_hygiene(c);
+    }
+}
+
+}  // namespace hawc::analyze

@@ -1,0 +1,124 @@
+// Fixture self-test (the `analyze.self_test` ctest, also run by
+// scripts/lint.sh --self-test). The linter is itself under test:
+//
+//   tests/lint/tree_bad    a synthetic mini source tree where every rule
+//                          has at least one deliberate violation, each
+//                          marked with a `lint:expect(rule)` comment on
+//                          the offending line. The analyzer's non-waived
+//                          findings must match the markers EXACTLY — a
+//                          missing finding is a dead rule, an unexpected
+//                          one is a false positive.
+//   tests/lint/tree_clean  near-miss spellings, correctly-waived hits,
+//                          and benign graph shapes; zero active findings
+//                          allowed, and the waivers must actually have
+//                          been consumed (proving the waiver machinery
+//                          saw real hits).
+//
+// On top of the two trees: every rule in the catalogue must be pinned by
+// some expect marker, and the baseline round-trip (write, re-run) must
+// suppress every tree_bad finding.
+
+#include <cstdio>
+#include <filesystem>
+#include <set>
+
+#include "analyzer.hpp"
+
+namespace hawc::analyze {
+namespace fs = std::filesystem;
+namespace {
+
+std::string site(const std::string& rule, const std::string& file, int line) {
+    return file + ":" + std::to_string(line) + " [" + rule + "]";
+}
+
+}  // namespace
+
+int run_self_test(const fs::path& fixtures_dir) {
+    int failures = 0;
+    auto fail = [&](const std::string& msg) {
+        std::printf("self-test FAIL: %s\n", msg.c_str());
+        ++failures;
+    };
+
+    // --- tree_bad: exact expect/finding agreement --------------------------
+    analysis_options bad_opts;
+    bad_opts.root = fixtures_dir / "tree_bad";
+    if (!fs::is_directory(bad_opts.root)) {
+        fail("missing fixture tree " + bad_opts.root.string());
+        return 1;
+    }
+    analysis_result bad = analyze(bad_opts);
+    for (const std::string& e : bad.errors) fail("tree_bad: " + e);
+
+    std::set<std::string> expected;
+    std::set<std::string> expected_rules;
+    for (const expect_site& e : bad.expects) {
+        expected.insert(site(e.rule, e.file, e.line));
+        expected_rules.insert(e.rule);
+    }
+    std::set<std::string> found;
+    for (const finding& f : bad.findings) {
+        if (f.waived) continue;
+        found.insert(site(f.rule, f.file, f.line));
+    }
+    for (const std::string& s : expected) {
+        if (found.count(s) == 0) fail("rule went dead: expected finding not reported at " + s);
+    }
+    for (const std::string& s : found) {
+        if (expected.count(s) == 0) fail("false positive: unexpected finding at " + s);
+    }
+
+    // --- every catalogued rule is pinned -----------------------------------
+    for (const auto& [rule, desc] : rule_catalogue()) {
+        if (expected_rules.count(rule) == 0) {
+            fail("rule '" + rule + "' has no lint:expect fixture in tree_bad (" + desc + ")");
+        }
+    }
+
+    // --- tree_clean: no active findings, waivers consumed ------------------
+    analysis_options clean_opts;
+    clean_opts.root = fixtures_dir / "tree_clean";
+    if (!fs::is_directory(clean_opts.root)) {
+        fail("missing fixture tree " + clean_opts.root.string());
+        return 1;
+    }
+    analysis_result clean = analyze(clean_opts);
+    for (const std::string& e : clean.errors) fail("tree_clean: " + e);
+    for (const finding& f : clean.findings) {
+        if (!f.waived) {
+            fail("clean fixture flagged: " + site(f.rule, f.file, f.line) + ": " + f.message);
+        }
+    }
+    if (clean.waived == 0) {
+        fail("tree_clean produced no waived findings — the waiver fixtures went dead");
+    }
+
+    // --- baseline round-trip ------------------------------------------------
+    fs::path tmp = fs::temp_directory_path() / "hawc_analyze_selftest_baseline.txt";
+    write_baseline_file(tmp, bad.findings);
+    analysis_options rerun = bad_opts;
+    rerun.baseline = tmp;
+    analysis_result suppressed = analyze(rerun);
+    if (suppressed.active != 0) {
+        fail("baseline round-trip left " + std::to_string(suppressed.active) +
+             " finding(s) active");
+    }
+    if (suppressed.baselined == 0) {
+        fail("baseline round-trip suppressed nothing");
+    }
+    std::error_code ec;
+    fs::remove(tmp, ec);
+
+    if (failures == 0) {
+        std::printf("hawc_analyze self-test OK: %zu finding(s) pinned across %zu+%zu files, "
+                    "%zu rules exercised\n",
+                    expected.size(), bad.files_analyzed, clean.files_analyzed,
+                    expected_rules.size());
+        return 0;
+    }
+    std::printf("hawc_analyze self-test: %d failure(s)\n", failures);
+    return 1;
+}
+
+}  // namespace hawc::analyze
